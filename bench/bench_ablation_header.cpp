@@ -1,0 +1,114 @@
+// Ablation: header handling (paper §4.3). PnetCDF keeps one header with all
+// variable metadata, cached locally on every process after a single
+// broadcast at open — inquiry and per-variable access cost no file I/O and
+// no synchronization. The HDF5-style design disperses metadata in per-object
+// header blocks and opens every object collectively, iterating the namespace
+// with real file reads.
+//
+// This bench opens a file with a growing number of variables and then
+// "touches" (locates) every variable once, measuring virtual time per open.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/platforms.hpp"
+#include "hdf5lite/h5file.hpp"
+#include "pnetcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+constexpr int kProcs = 8;
+
+double PnetcdfTouchAll(int nvars) {
+  pfs::Config pcfg = bench::AsciFrost();
+  pfs::FileSystem fs(pcfg);
+  double ms = 0.0;
+  simmpi::Run(
+      kProcs,
+      [&](simmpi::Comm& comm) {
+        {
+          auto ds = pnetcdf::Dataset::Create(comm, fs, "h.nc",
+                                             simmpi::NullInfo())
+                        .value();
+          const int xd = ds.DefDim("x", 16).value();
+          for (int v = 0; v < nvars; ++v)
+            (void)ds.DefVar("v" + std::to_string(v), ncformat::NcType::kFloat,
+                            {xd});
+          (void)ds.EndDef();
+          (void)ds.Close();
+        }
+        auto ds = pnetcdf::Dataset::Open(comm, fs, "h.nc", false,
+                                         simmpi::NullInfo())
+                      .value();
+        comm.SyncClocksToMax();
+        const double t0 = comm.clock().now();
+        // Locate every variable: pure local-memory inquiry on the cached
+        // header ("each array can be identified by its permanent ID and
+        // accessed at any time by any process").
+        long long checksum = 0;
+        for (int v = 0; v < nvars; ++v)
+          checksum += ds.VarId("v" + std::to_string(v)).value();
+        comm.SyncClocksToMax();
+        if (comm.rank() == 0 && checksum >= 0)
+          ms = (comm.clock().now() - t0) / 1e6;
+        (void)ds.Close();
+      },
+      bench::Sp2Cost());
+  return ms;
+}
+
+double Hdf5liteTouchAll(int nvars) {
+  pfs::Config pcfg = bench::AsciFrost();
+  pfs::FileSystem fs(pcfg);
+  double ms = 0.0;
+  simmpi::Run(
+      kProcs,
+      [&](simmpi::Comm& comm) {
+        {
+          auto f = hdf5lite::File::Create(comm, fs, "h.h5l",
+                                          simmpi::NullInfo())
+                       .value();
+          const std::uint64_t dims[] = {16};
+          for (int v = 0; v < nvars; ++v) {
+            auto ds = f.CreateDataset("v" + std::to_string(v),
+                                      ncformat::NcType::kFloat, dims)
+                          .value();
+            (void)ds.Close();
+          }
+          (void)f.Close();
+        }
+        auto f = hdf5lite::File::Open(comm, fs, "h.h5l", false,
+                                      simmpi::NullInfo())
+                     .value();
+        comm.SyncClocksToMax();
+        const double t0 = comm.clock().now();
+        // Locate every dataset: collective opens with namespace iteration
+        // and header-block file reads.
+        for (int v = 0; v < nvars; ++v) {
+          auto ds = f.OpenDataset("v" + std::to_string(v)).value();
+          (void)ds.Close();
+        }
+        comm.SyncClocksToMax();
+        if (comm.rank() == 0) ms = (comm.clock().now() - t0) / 1e6;
+        (void)f.Close();
+      },
+      bench::Sp2Cost());
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: header caching vs per-object collective opens\n");
+  std::printf("locating every variable once, 8 processes\n\n");
+  std::printf("%-8s %16s %18s\n", "nvars", "PnetCDF (ms)", "hdf5lite (ms)");
+  for (int n : {4, 16, 64, 256}) {
+    std::printf("%-8d %16.3f %18.1f\n", n, PnetcdfTouchAll(n),
+                Hdf5liteTouchAll(n));
+  }
+  std::printf("\nPnetCDF's cost is flat and essentially zero (local memory); "
+              "the dispersed-\nmetadata design pays per-object file reads and "
+              "synchronization, quadratic in\nthe namespace scan.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: I/O server pool size. Figure 6 ran against 12 GPFS I/O nodes,
+// Figure 7 against 2 — the paper notes bandwidth "does not scale in direct
+// proportion because the number of I/O nodes (and disks) is fixed". Here the
+// same collective write sweeps the server count, showing where the
+// saturation ceiling comes from.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "bench/platforms.hpp"
+#include "pnetcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+double RunOne(int num_servers, int nprocs) {
+  pfs::Config pcfg = bench::SdscBlueHorizon();
+  pcfg.num_servers = num_servers;
+  pcfg.discard_data = true;
+  pfs::FileSystem fs(pcfg);
+  const std::uint64_t kZ = 256, kY = 128, kX = 64;
+  double bw = 0.0;
+
+  simmpi::Run(
+      nprocs,
+      [&](simmpi::Comm& comm) {
+        auto ds = pnetcdf::Dataset::Create(comm, fs, "srv.nc",
+                                           simmpi::NullInfo())
+                      .value();
+        const int zd = ds.DefDim("z", kZ).value();
+        const int yd = ds.DefDim("y", kY).value();
+        const int xd = ds.DefDim("x", kX).value();
+        const int v =
+            ds.DefVar("u", ncformat::NcType::kDouble, {zd, yd, xd}).value();
+        (void)ds.EndDef();
+        const std::uint64_t zper = kZ / static_cast<std::uint64_t>(nprocs);
+        const std::uint64_t start[] = {
+            zper * static_cast<std::uint64_t>(comm.rank()), 0, 0};
+        const std::uint64_t count[] = {zper, kY, kX};
+        std::vector<double> mine(zper * kY * kX, 1.0);
+        comm.SyncClocksToMax();
+        const double t0 = comm.clock().now();
+        (void)ds.PutVaraAll<double>(v, start, count, mine);
+        comm.SyncClocksToMax();
+        if (comm.rank() == 0)
+          bw = bench::MBps(kZ * kY * kX * 8, comm.clock().now() - t0);
+        (void)ds.Close();
+      },
+      bench::Sp2Cost());
+  return bw;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: number of I/O servers (the Fig.6 vs Fig.7 platform "
+              "difference)\n");
+  std::printf("Z-partitioned 16 MB collective write, MB/s\n\n");
+  std::printf("%-10s", "nprocs");
+  for (int s : {1, 2, 4, 8, 12, 24}) std::printf(" %8dsrv", s);
+  std::printf("\n");
+  for (int np : {1, 4, 16}) {
+    std::printf("%-10d", np);
+    for (int s : {1, 2, 4, 8, 12, 24}) std::printf(" %11.1f", RunOne(s, np));
+    std::printf("\n");
+  }
+  std::printf("\nAt low server counts extra clients cannot help (the pool is "
+              "the ceiling);\nmore servers raise the ceiling until client "
+              "links bind.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the paper-figure benchmark drivers.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+/// Tiny --key=value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] std::string Get(const std::string& key,
+                                const std::string& def) const {
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_)
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    return def;
+  }
+  [[nodiscard]] bool Has(const std::string& flag) const {
+    for (const auto& a : args_)
+      if (a == "--" + flag) return true;
+    return false;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// The seven array partitions of Figure 5, encoded as axis bitmasks
+/// (bit 0 = Z, bit 1 = Y, bit 2 = X).
+struct Partition {
+  const char* name;
+  unsigned mask;
+};
+inline constexpr Partition kPartitions[] = {
+    {"Z", 1u},  {"Y", 2u},  {"X", 4u},  {"ZY", 3u},
+    {"ZX", 5u}, {"YX", 6u}, {"ZYX", 7u},
+};
+
+/// Factor `nprocs` across the set axes of `mask` (powers of two), returning
+/// per-axis process counts for a 3-D decomposition.
+inline void Decompose(int nprocs, unsigned mask, int factors[3]) {
+  factors[0] = factors[1] = factors[2] = 1;
+  std::vector<int> axes;
+  for (int d = 0; d < 3; ++d)
+    if (mask & (1u << d)) axes.push_back(d);
+  int rem = nprocs;
+  std::size_t i = 0;
+  while (rem > 1) {
+    factors[axes[i % axes.size()]] *= 2;
+    rem /= 2;
+    ++i;
+  }
+}
+
+/// MB/s from bytes and virtual nanoseconds.
+inline double MBps(std::uint64_t bytes, double ns) {
+  return ns <= 0 ? 0.0 : static_cast<double>(bytes) / ns * 1e3;
+}
+
+}  // namespace bench

@@ -1,0 +1,185 @@
+// Figure 6 reproduction: serial vs parallel netCDF scalability.
+//
+// The LBL test code (§5.1): read/write a three-dimensional array field
+// tt(Z,Y,X) from/into a single netCDF file, partitioned along Z, Y, X, ZY,
+// ZX, YX and ZYX (Figure 5), on an SDSC Blue Horizon-like platform with 12
+// I/O servers. The first column of each chart is the serial netCDF library
+// accessing the whole array through one process; the remaining columns are
+// PnetCDF with collective I/O.
+//
+// Usage: bench_fig6_scalability [--size=64mb|1gb|all] [--op=read|write|all]
+//                               [--procs=1,2,4,8,16] [--quick]
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_common.hpp"
+#include "bench/platforms.hpp"
+#include "netcdf/dataset.hpp"
+#include "pnetcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using bench::Args;
+using bench::Decompose;
+using bench::kPartitions;
+using bench::MBps;
+
+struct Case {
+  const char* label;
+  std::uint64_t z, y, x;
+  std::vector<int> procs;
+};
+
+/// Serial netCDF baseline: one process reads/writes the whole array through
+/// the serial library (in Z-slabs, as the original Fortran test code does).
+double RunSerial(const Case& cse, bool is_write) {
+  pfs::Config pcfg = bench::SdscBlueHorizon();
+  pcfg.discard_data = true;
+  pfs::FileSystem fs(pcfg);
+  const std::uint64_t total_bytes = cse.z * cse.y * cse.x * 8;
+
+  auto ds = netcdf::Dataset::Create(fs, "tt.nc").value();
+  const int zd = ds.DefDim("level", cse.z).value();
+  const int yd = ds.DefDim("latitude", cse.y).value();
+  const int xd = ds.DefDim("longitude", cse.x).value();
+  const int v = ds.DefVar("tt", ncformat::NcType::kDouble, {zd, yd, xd}).value();
+  if (!ds.EndDef().ok()) return 0.0;
+
+  const std::uint64_t slabs = std::min<std::uint64_t>(cse.z, 8);
+  const std::uint64_t zper = cse.z / slabs;
+  std::vector<double> buf(zper * cse.y * cse.x, 1.5);
+
+  if (is_write) {  // populate before timing reads, too
+    const double t0 = ds.clock().now();
+    for (std::uint64_t s = 0; s < slabs; ++s) {
+      const std::uint64_t st[] = {s * zper, 0, 0};
+      const std::uint64_t ct[] = {zper, cse.y, cse.x};
+      if (!ds.PutVara<double>(v, st, ct, buf).ok()) return 0.0;
+    }
+    if (!ds.Sync().ok()) return 0.0;
+    return MBps(total_bytes, ds.clock().now() - t0);
+  }
+  // Read benchmark: file contents already "exist" (sizes known); time reads.
+  const double t0 = ds.clock().now();
+  for (std::uint64_t s = 0; s < slabs; ++s) {
+    const std::uint64_t st[] = {s * zper, 0, 0};
+    const std::uint64_t ct[] = {zper, cse.y, cse.x};
+    if (!ds.GetVara<double>(v, st, ct, buf).ok()) return 0.0;
+  }
+  return MBps(total_bytes, ds.clock().now() - t0);
+}
+
+/// PnetCDF collective access with the given partition.
+double RunParallel(const Case& cse, unsigned mask, int nprocs, bool is_write) {
+  pfs::Config pcfg = bench::SdscBlueHorizon();
+  pcfg.discard_data = true;
+  pfs::FileSystem fs(pcfg);
+  const std::uint64_t total_bytes = cse.z * cse.y * cse.x * 8;
+  double bw = 0.0;
+
+  simmpi::Run(
+      nprocs,
+      [&](simmpi::Comm& comm) {
+        auto ds = pnetcdf::Dataset::Create(comm, fs, "tt.nc",
+                                           simmpi::NullInfo())
+                      .value();
+        const int zd = ds.DefDim("level", cse.z).value();
+        const int yd = ds.DefDim("latitude", cse.y).value();
+        const int xd = ds.DefDim("longitude", cse.x).value();
+        const int v =
+            ds.DefVar("tt", ncformat::NcType::kDouble, {zd, yd, xd}).value();
+        if (!ds.EndDef().ok()) return;
+
+        int f[3];
+        Decompose(nprocs, mask, f);
+        const std::uint64_t dims[3] = {cse.z, cse.y, cse.x};
+        std::uint64_t start[3], count[3];
+        int rem = comm.rank();
+        for (int d = 2; d >= 0; --d) {
+          const int coord = rem % f[d];
+          rem /= f[d];
+          count[d] = dims[d] / static_cast<std::uint64_t>(f[d]);
+          start[d] = count[d] * static_cast<std::uint64_t>(coord);
+        }
+        std::vector<double> mine(count[0] * count[1] * count[2], 2.5);
+
+        if (is_write) {
+          comm.SyncClocksToMax();
+          const double t0 = comm.clock().now();
+          if (!ds.PutVaraAll<double>(v, start, count, mine).ok()) return;
+          if (!ds.Sync().ok()) return;
+          comm.SyncClocksToMax();
+          if (comm.rank() == 0)
+            bw = MBps(total_bytes, comm.clock().now() - t0);
+        } else {
+          comm.SyncClocksToMax();
+          const double t0 = comm.clock().now();
+          if (!ds.GetVaraAll<double>(v, start, count, mine).ok()) return;
+          comm.SyncClocksToMax();
+          if (comm.rank() == 0)
+            bw = MBps(total_bytes, comm.clock().now() - t0);
+        }
+        (void)ds.Close();
+      },
+      bench::Sp2Cost());
+  return bw;
+}
+
+void RunChart(const Case& cse, bool is_write) {
+  std::printf("\n=== Figure 6: %s %s ===\n", is_write ? "Write" : "Read",
+              cse.label);
+  std::printf("(bandwidth in MB/s; first column is the serial netCDF "
+              "library on 1 processor)\n");
+  std::printf("%-8s %10s", "nprocs", "serial");
+  for (const auto& p : kPartitions) std::printf(" %9s", p.name);
+  std::printf("\n");
+
+  const double serial_bw = RunSerial(cse, is_write);
+  bool first = true;
+  for (int np : cse.procs) {
+    if (first) {
+      std::printf("%-8d %10.1f", np, serial_bw);
+    } else {
+      std::printf("%-8d %10s", np, "-");
+    }
+    for (const auto& p : kPartitions) {
+      const double bw = RunParallel(cse, p.mask, np, is_write);
+      std::printf(" %9.1f", bw);
+    }
+    std::printf("\n");
+    first = false;
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::string size = args.Get("size", "all");
+  const std::string op = args.Get("op", "all");
+  const bool quick = args.Has("quick");
+
+  // 64 MB: 256 x 256 x 128 doubles; 1 GB: 512^3 doubles (as in §5.1 the
+  // most significant dimension is Z = level, least significant X =
+  // longitude).
+  std::vector<Case> cases;
+  if (size == "64mb" || size == "all")
+    cases.push_back({"64 MB (tt 256x256x128, double)", 256, 256, 128,
+                     quick ? std::vector<int>{1, 4, 16}
+                           : std::vector<int>{1, 2, 4, 8, 16}});
+  if (size == "1gb" || size == "all")
+    cases.push_back({"1 GB (tt 512x512x512, double)", 512, 512, 512,
+                     quick ? std::vector<int>{1, 16}
+                           : std::vector<int>{1, 4, 16, 32}});
+
+  std::printf("PnetCDF reproduction - Figure 6 scalability benchmark\n");
+  std::printf("Platform: SDSC Blue Horizon-like (12 I/O servers, GPFS-style "
+              "striping)\n");
+  for (const auto& cse : cases) {
+    if (op == "write" || op == "all") RunChart(cse, /*is_write=*/true);
+    if (op == "read" || op == "all") RunChart(cse, /*is_write=*/false);
+  }
+  return 0;
+}

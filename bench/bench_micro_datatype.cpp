@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark): datatype construction/flattening and
+// pack/unpack throughput — the CPU-side costs of the flexible API and the
+// file-view machinery.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "simmpi/datatype.hpp"
+
+namespace {
+
+using simmpi::Datatype;
+
+void BM_SubarrayConstruct(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t sizes[] = {n, n, n};
+  const std::uint64_t sub[] = {n / 2, n / 2, n / 2};
+  const std::uint64_t starts[] = {n / 4, n / 4, n / 4};
+  for (auto _ : state) {
+    auto t = Datatype::Subarray(sizes, sub, starts, simmpi::DoubleType());
+    benchmark::DoNotOptimize(t.value().Flatten().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n / 2 * (n / 2)));
+}
+BENCHMARK(BM_SubarrayConstruct)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_HindexedConstruct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> lens(n, 64), offs(n);
+  for (std::size_t i = 0; i < n; ++i) offs[i] = i * 128;
+  for (auto _ : state) {
+    auto t = Datatype::Hindexed(lens, offs, simmpi::ByteType());
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HindexedConstruct)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_PackSubarray(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t sizes[] = {n, n, n};
+  const std::uint64_t sub[] = {n - 8, n - 8, n - 8};
+  const std::uint64_t starts[] = {4, 4, 4};
+  auto t = Datatype::Subarray(sizes, sub, starts, simmpi::DoubleType()).value();
+  std::vector<std::byte> base(n * n * n * 8);
+  std::vector<std::byte> out(t.size());
+  for (auto _ : state) {
+    t.Pack(base.data(), 1, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_PackSubarray)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_UnpackSubarray(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t sizes[] = {n, n, n};
+  const std::uint64_t sub[] = {n - 8, n - 8, n - 8};
+  const std::uint64_t starts[] = {4, 4, 4};
+  auto t = Datatype::Subarray(sizes, sub, starts, simmpi::DoubleType()).value();
+  std::vector<std::byte> base(n * n * n * 8);
+  std::vector<std::byte> in(t.size());
+  for (auto _ : state) {
+    t.Unpack(in.data(), 1, base.data());
+    benchmark::DoNotOptimize(base.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_UnpackSubarray)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_ContiguousPackIsMemcpySpeed(benchmark::State& state) {
+  auto t = Datatype::Contiguous(1 << 20, simmpi::ByteType());
+  std::vector<std::byte> base(1 << 20), out(1 << 20);
+  for (auto _ : state) {
+    t.Pack(base.data(), 1, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) << 20);
+}
+BENCHMARK(BM_ContiguousPackIsMemcpySpeed);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Virtual-platform presets for the paper-figure benchmarks.
+//
+// These loosely calibrate the PFS/network cost model to the two testbeds of
+// the paper's §5. Absolute numbers are not the goal (our substrate is a
+// simulator, not the authors' machines) — the presets are chosen so that the
+// *shape* of the results carries: single-client rates in the low hundreds of
+// MB/s, aggregate rates that saturate at a fixed server pool, writes slower
+// than reads, and a heavy per-request latency that rewards large contiguous
+// transfers.
+#pragma once
+
+#include "pfs/pfs.hpp"
+#include "simmpi/clock.hpp"
+
+namespace bench {
+
+/// SDSC Blue Horizon-like platform (Figure 6): "12 I/O nodes ... aggregate
+/// disk space is 5 TB and the peak I/O bandwidth is 1.5 GB/s".
+inline pfs::Config SdscBlueHorizon() {
+  pfs::Config c;
+  c.num_servers = 12;
+  c.stripe_size = 256 * 1024;
+  c.client_read_ns_per_byte = 4.0;    // ~250 MB/s per client, reads
+  c.client_write_ns_per_byte = 10.0;  // ~100 MB/s per client, writes
+  c.client_request_ns = 30'000.0;
+  c.server_read_ns_per_byte = 16.0;  // ~62 MB/s/server, ~750 MB/s aggregate
+  c.server_write_ns_per_byte = 40.0; // ~25 MB/s/server, ~300 MB/s aggregate
+  c.server_request_ns = 800'000.0;
+  return c;
+}
+
+/// ASCI White Frost-like platform (Figure 7): "a 68 compute node system ...
+/// attached to a 2-node I/O system running GPFS".
+inline pfs::Config AsciFrost() {
+  pfs::Config c;
+  c.num_servers = 2;
+  c.stripe_size = 256 * 1024;
+  c.client_read_ns_per_byte = 3.0;
+  c.client_write_ns_per_byte = 6.0;
+  c.client_request_ns = 30'000.0;
+  c.server_read_ns_per_byte = 8.0;    // ~125 MB/s/server read
+  c.server_write_ns_per_byte = 14.0;  // ~70 MB/s/server, ~140 MB/s aggregate
+  c.server_request_ns = 500'000.0;
+  return c;
+}
+
+/// SP-2-era switch fabric for the message-passing cost model.
+inline simmpi::CostModel Sp2Cost() {
+  simmpi::CostModel c;
+  c.msg_latency_ns = 20'000.0;
+  c.msg_ns_per_byte = 2.0;  // ~500 MB/s links
+  c.mem_copy_ns_per_byte = 0.35;
+  c.sw_overhead_ns = 2'000.0;
+  return c;
+}
+
+}  // namespace bench

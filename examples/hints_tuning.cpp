@@ -1,0 +1,111 @@
+// MPI-IO hints and the flexible API (paper §4.1/§4.2.2).
+//
+// The same strided collective write is issued under different hint settings
+// — two-phase collective buffering on/off, data sieving on/off, varying
+// cb_nodes — and the resulting request traffic at the (simulated) I/O
+// servers plus the virtual completion time are printed, making the effect of
+// each optimization visible. The user buffer is noncontiguous in memory and
+// described with an MPI datatype through the flexible API.
+#include <cstdio>
+#include <vector>
+
+#include "pnetcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+struct Outcome {
+  std::uint64_t write_requests = 0;
+  std::uint64_t bytes_written = 0;
+  double time_ms = 0;
+};
+
+Outcome RunWith(const simmpi::Info& info) {
+  pfs::FileSystem fs;
+  const int nprocs = 8;
+  const std::uint64_t kZ = 64, kY = 64, kX = 64;
+  Outcome out;
+
+  auto result = simmpi::Run(nprocs, [&](simmpi::Comm& comm) {
+    auto ds = pnetcdf::Dataset::Create(comm, fs, "tuned.nc", info).value();
+    const int zd = ds.DefDim("z", kZ).value();
+    const int yd = ds.DefDim("y", kY).value();
+    const int xd = ds.DefDim("x", kX).value();
+    const int v =
+        ds.DefVar("u", ncformat::NcType::kDouble, {zd, yd, xd}).value();
+    (void)ds.EndDef();
+
+    // Y-partition: maximally interleaved in the file. The local buffer has
+    // a one-plane halo on the Y faces, described by a subarray datatype.
+    const std::uint64_t yper = kY / static_cast<std::uint64_t>(comm.size());
+    const std::uint64_t msizes[] = {kZ, yper + 2, kX};
+    const std::uint64_t msub[] = {kZ, yper, kX};
+    const std::uint64_t mstart[] = {0, 1, 0};
+    auto buftype = simmpi::Datatype::Subarray(msizes, msub, mstart,
+                                              simmpi::DoubleType())
+                       .value();
+    std::vector<double> local(kZ * (yper + 2) * kX, 1.0);
+
+    const std::uint64_t start[] = {
+        0, yper * static_cast<std::uint64_t>(comm.rank()), 0};
+    const std::uint64_t count[] = {kZ, yper, kX};
+    (void)ds.PutVaraAllFlex(v, start, count, local.data(), 1, buftype);
+    (void)ds.Close();
+  });
+
+  out.write_requests = fs.stats().write_requests;
+  out.bytes_written = fs.stats().bytes_written;
+  out.time_ms = result.max_time_ns / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  struct NamedInfo {
+    const char* label;
+    simmpi::Info info;
+  };
+  std::vector<NamedInfo> settings;
+
+  settings.push_back({"defaults (two-phase collective I/O)", {}});
+  {
+    simmpi::Info i;
+    i.Set("cb_nodes", "2");
+    settings.push_back({"cb_nodes=2 (fewer aggregators)", i});
+  }
+  {
+    simmpi::Info i;
+    i.Set("cb_buffer_size", "1048576");
+    settings.push_back({"cb_buffer_size=1MB (smaller windows)", i});
+  }
+  {
+    simmpi::Info i;
+    i.Set("romio_cb_write", "disable");  // independent + data sieving
+    settings.push_back({"romio_cb_write=disable (sieved independent)", i});
+  }
+  {
+    simmpi::Info i;
+    i.Set("romio_cb_write", "disable");
+    i.Set("romio_ds_write", "disable");  // fully naive
+    settings.push_back({"cb+ds disabled (naive per-segment writes)", i});
+  }
+  {
+    simmpi::Info i;
+    i.Set("nc_header_align_size", "8192");
+    settings.push_back({"nc_header_align_size=8192 (PnetCDF-level hint)", i});
+  }
+
+  std::printf("%-48s %10s %12s %12s\n", "hint setting", "requests",
+              "bytes", "time(ms)");
+  for (auto& s : settings) {
+    const Outcome o = RunWith(s.info);
+    std::printf("%-48s %10llu %12llu %12.2f\n", s.label,
+                static_cast<unsigned long long>(o.write_requests),
+                static_cast<unsigned long long>(o.bytes_written), o.time_ms);
+  }
+  std::printf("\nFewer, larger requests <=> faster completion: the ordering "
+              "above is the paper's\nmotivation for building PnetCDF on "
+              "MPI-IO's collective machinery.\n");
+  return 0;
+}

@@ -1,0 +1,444 @@
+#include "flash/flash.hpp"
+
+#include <cmath>
+
+#include "netcdf/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace flashio {
+
+using ncformat::NcType;
+
+namespace {
+
+/// Deterministic cell value: reproducible across ranks and backends so the
+/// PnetCDF and hdf5lite files contain identical data.
+double CellValue(int rank, int var, int blk, std::uint64_t z, std::uint64_t y,
+                 std::uint64_t x) {
+  return static_cast<double>(rank) * 1e6 + static_cast<double>(var) * 1e4 +
+         static_cast<double>(blk) * 1e2 + static_cast<double>(z) * 4.0 +
+         static_cast<double>(y) * 2.0 + static_cast<double>(x) * 1.0 + 0.25;
+}
+
+}  // namespace
+
+FlashData::FlashData(const FlashConfig& cfg, int rank)
+    : cfg_(cfg), rank_(rank) {
+  const auto blocks = static_cast<std::uint64_t>(cfg.blocks_per_proc);
+
+  // AMR tree metadata, synthesized deterministically.
+  pnc::SplitMix64 rng(0xF1A5F1A5ULL + static_cast<std::uint64_t>(rank));
+  lrefine_.resize(blocks);
+  nodetype_.resize(blocks);
+  gid_.resize(blocks * kGidEntries);
+  coord_.resize(blocks * static_cast<std::uint64_t>(cfg.ndim));
+  bsize_.resize(blocks * static_cast<std::uint64_t>(cfg.ndim));
+  bnd_box_.resize(blocks * 2 * static_cast<std::uint64_t>(cfg.ndim));
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    lrefine_[b] = 1 + static_cast<std::int32_t>(rng.Below(6));
+    nodetype_[b] = 1;
+    for (int e = 0; e < kGidEntries; ++e)
+      gid_[b * kGidEntries + static_cast<std::uint64_t>(e)] =
+          static_cast<std::int32_t>(rng.Below(blocks * 16));
+    for (int d = 0; d < cfg.ndim; ++d) {
+      const double size = 1.0 / std::pow(2.0, lrefine_[b]);
+      const double lo = rng.NextDouble();
+      coord_[b * 3 + static_cast<std::uint64_t>(d)] = lo + size / 2;
+      bsize_[b * 3 + static_cast<std::uint64_t>(d)] = size;
+      bnd_box_[(b * 3 + static_cast<std::uint64_t>(d)) * 2] = lo;
+      bnd_box_[(b * 3 + static_cast<std::uint64_t>(d)) * 2 + 1] = lo + size;
+    }
+  }
+}
+
+void FlashData::FillUnk(int var, std::vector<double>& buf) const {
+  const auto& cfg = cfg_;
+  const auto blocks = static_cast<std::uint64_t>(cfg.blocks_per_proc);
+  const std::uint64_t gz = cfg.guarded(cfg.nzb), gy = cfg.guarded(cfg.nyb),
+                      gx = cfg.guarded(cfg.nxb);
+  const auto g = static_cast<std::uint64_t>(cfg.nguard);
+  buf.assign(blocks * gz * gy * gx, -1.0);  // guards hold a sentinel
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    for (std::uint64_t z = 0; z < static_cast<std::uint64_t>(cfg.nzb); ++z)
+      for (std::uint64_t y = 0; y < static_cast<std::uint64_t>(cfg.nyb); ++y)
+        for (std::uint64_t x = 0; x < static_cast<std::uint64_t>(cfg.nxb); ++x)
+          buf[((b * gz + z + g) * gy + y + g) * gx + x + g] =
+              CellValue(rank_, var, static_cast<int>(b), z, y, x);
+  }
+}
+
+std::vector<float> FlashData::PackPlotVar(int var) const {
+  const auto& cfg = cfg_;
+  const auto blocks = static_cast<std::uint64_t>(cfg.blocks_per_proc);
+  const std::uint64_t gz = cfg.guarded(cfg.nzb), gy = cfg.guarded(cfg.nyb),
+                      gx = cfg.guarded(cfg.nxb);
+  const auto g = static_cast<std::uint64_t>(cfg.nguard);
+  std::vector<double> u;
+  FillUnk(var, u);
+  std::vector<float> out(blocks * cfg.block_interior_elems());
+  std::size_t w = 0;
+  for (std::uint64_t b = 0; b < blocks; ++b)
+    for (std::uint64_t z = 0; z < static_cast<std::uint64_t>(cfg.nzb); ++z)
+      for (std::uint64_t y = 0; y < static_cast<std::uint64_t>(cfg.nyb); ++y)
+        for (std::uint64_t x = 0; x < static_cast<std::uint64_t>(cfg.nxb); ++x)
+          out[w++] = static_cast<float>(
+              u[((b * gz + z + g) * gy + y + g) * gx + x + g]);
+  return out;
+}
+
+std::vector<float> FlashData::PackCornerVar(int var) const {
+  // Corner value = average of the (up to) 8 surrounding cell centers,
+  // using guard cells at the block boundary — exactly why FLASH keeps them.
+  const auto& cfg = cfg_;
+  const auto blocks = static_cast<std::uint64_t>(cfg.blocks_per_proc);
+  const std::uint64_t gz = cfg.guarded(cfg.nzb), gy = cfg.guarded(cfg.nyb),
+                      gx = cfg.guarded(cfg.nxb);
+  const auto g = static_cast<std::uint64_t>(cfg.nguard);
+  std::vector<double> u;
+  FillUnk(var, u);
+  const std::uint64_t cz = static_cast<std::uint64_t>(cfg.nzb) + 1;
+  const std::uint64_t cy = static_cast<std::uint64_t>(cfg.nyb) + 1;
+  const std::uint64_t cx = static_cast<std::uint64_t>(cfg.nxb) + 1;
+  std::vector<float> out(blocks * cz * cy * cx);
+  std::size_t w = 0;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    auto cell = [&](std::uint64_t z, std::uint64_t y, std::uint64_t x) {
+      return u[((b * gz + z) * gy + y) * gx + x];
+    };
+    for (std::uint64_t z = 0; z < cz; ++z)
+      for (std::uint64_t y = 0; y < cy; ++y)
+        for (std::uint64_t x = 0; x < cx; ++x) {
+          double acc = 0.0;
+          for (int dz = 0; dz < 2; ++dz)
+            for (int dy = 0; dy < 2; ++dy)
+              for (int dx = 0; dx < 2; ++dx)
+                acc += cell(z + g - 1 + static_cast<std::uint64_t>(dz),
+                            y + g - 1 + static_cast<std::uint64_t>(dy),
+                            x + g - 1 + static_cast<std::uint64_t>(dx));
+          out[w++] = static_cast<float>(acc / 8.0);
+        }
+  }
+  return out;
+}
+
+std::uint64_t BytesPerProc(const FlashConfig& cfg, FileKind kind) {
+  const auto blocks = static_cast<std::uint64_t>(cfg.blocks_per_proc);
+  switch (kind) {
+    case FileKind::kCheckpoint:
+      return static_cast<std::uint64_t>(cfg.nvar) * blocks *
+                 cfg.block_interior_elems() * 8 +
+             blocks * (4 + 4 + FlashData::kGidEntries * 4 + 3 * 8 + 3 * 8 +
+                       6 * 8);
+    case FileKind::kPlotfile:
+      return static_cast<std::uint64_t>(cfg.nplot) * blocks *
+             cfg.block_interior_elems() * 4;
+    case FileKind::kPlotfileCorners:
+      return static_cast<std::uint64_t>(cfg.nplot) * blocks *
+             static_cast<std::uint64_t>(cfg.nzb + 1) *
+             static_cast<std::uint64_t>(cfg.nyb + 1) *
+             static_cast<std::uint64_t>(cfg.nxb + 1) * 4;
+  }
+  return 0;
+}
+
+namespace {
+
+std::string VarName(FileKind kind, int v) {
+  const char* prefix = kind == FileKind::kCheckpoint ? "var" : "plot";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%02d", prefix, v + 1);
+  return buf;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- PnetCDF path
+
+pnc::Status WriteFlashPnetcdf(simmpi::Comm& comm, pfs::FileSystem& fs,
+                              const std::string& path, const FlashData& data,
+                              FileKind kind, const simmpi::Info& info) {
+  const auto& cfg = data.config();
+  const int nprocs = comm.size();
+  const auto blocks = static_cast<std::uint64_t>(cfg.blocks_per_proc);
+  const std::uint64_t tot_blocks = blocks * static_cast<std::uint64_t>(nprocs);
+  const std::uint64_t b0 = blocks * static_cast<std::uint64_t>(comm.rank());
+
+  auto dsr = pnetcdf::Dataset::Create(comm, fs, path, info);
+  if (!dsr.ok()) return dsr.status();
+  auto ds = std::move(dsr).value();
+
+  const bool corners = kind == FileKind::kPlotfileCorners;
+  const std::uint64_t fz = static_cast<std::uint64_t>(cfg.nzb) + (corners ? 1 : 0);
+  const std::uint64_t fy = static_cast<std::uint64_t>(cfg.nyb) + (corners ? 1 : 0);
+  const std::uint64_t fx = static_cast<std::uint64_t>(cfg.nxb) + (corners ? 1 : 0);
+
+  PNC_ASSIGN_OR_RETURN(int d_blocks, ds.DefDim("tot_blocks", tot_blocks));
+  PNC_ASSIGN_OR_RETURN(int d_z, ds.DefDim("nzb", fz));
+  PNC_ASSIGN_OR_RETURN(int d_y, ds.DefDim("nyb", fy));
+  PNC_ASSIGN_OR_RETURN(int d_x, ds.DefDim("nxb", fx));
+
+  const int nvars = kind == FileKind::kCheckpoint ? cfg.nvar : cfg.nplot;
+  const NcType vtype =
+      kind == FileKind::kCheckpoint ? NcType::kDouble : NcType::kFloat;
+  std::vector<int> varids(static_cast<std::size_t>(nvars));
+  for (int v = 0; v < nvars; ++v) {
+    PNC_ASSIGN_OR_RETURN(varids[static_cast<std::size_t>(v)],
+                         ds.DefVar(VarName(kind, v), vtype,
+                                   {d_blocks, d_z, d_y, d_x}));
+  }
+
+  int v_lref = -1, v_ntype = -1, v_gid = -1, v_coord = -1, v_bsize = -1,
+      v_bnd = -1;
+  if (kind == FileKind::kCheckpoint) {
+    PNC_ASSIGN_OR_RETURN(int d_dim, ds.DefDim("ndim", 3));
+    PNC_ASSIGN_OR_RETURN(int d_gid, ds.DefDim("gid_entries",
+                                              FlashData::kGidEntries));
+    PNC_ASSIGN_OR_RETURN(int d_two, ds.DefDim("two", 2));
+    PNC_ASSIGN_OR_RETURN(v_lref,
+                         ds.DefVar("lrefine", NcType::kInt, {d_blocks}));
+    PNC_ASSIGN_OR_RETURN(v_ntype,
+                         ds.DefVar("nodetype", NcType::kInt, {d_blocks}));
+    PNC_ASSIGN_OR_RETURN(v_gid,
+                         ds.DefVar("gid", NcType::kInt, {d_blocks, d_gid}));
+    PNC_ASSIGN_OR_RETURN(
+        v_coord, ds.DefVar("coordinates", NcType::kDouble, {d_blocks, d_dim}));
+    PNC_ASSIGN_OR_RETURN(
+        v_bsize, ds.DefVar("blocksize", NcType::kDouble, {d_blocks, d_dim}));
+    PNC_ASSIGN_OR_RETURN(
+        v_bnd, ds.DefVar("bounding_box", NcType::kDouble,
+                         {d_blocks, d_dim, d_two}));
+  }
+  PNC_RETURN_IF_ERROR(ds.PutAttText(pnetcdf::kGlobal, "file_kind",
+                                    kind == FileKind::kCheckpoint
+                                        ? "checkpoint"
+                                        : (corners ? "plotfile_corners"
+                                                   : "plotfile")));
+  PNC_RETURN_IF_ERROR(ds.EndDef());
+
+  const std::uint64_t start[] = {b0, 0, 0, 0};
+  const std::uint64_t count[] = {blocks, fz, fy, fx};
+
+  if (kind == FileKind::kCheckpoint) {
+    // Unknowns go straight from the guarded in-memory blocks through the
+    // flexible API: the subarray datatype strips the guard cells without an
+    // application-side copy (§4.1's reason for the flexible interface).
+    const std::uint64_t msizes[] = {blocks, cfg.guarded(cfg.nzb),
+                                    cfg.guarded(cfg.nyb), cfg.guarded(cfg.nxb)};
+    const std::uint64_t msub[] = {blocks, static_cast<std::uint64_t>(cfg.nzb),
+                                  static_cast<std::uint64_t>(cfg.nyb),
+                                  static_cast<std::uint64_t>(cfg.nxb)};
+    const std::uint64_t mstart[] = {0, static_cast<std::uint64_t>(cfg.nguard),
+                                    static_cast<std::uint64_t>(cfg.nguard),
+                                    static_cast<std::uint64_t>(cfg.nguard)};
+    auto buftype =
+        simmpi::Datatype::Subarray(msizes, msub, mstart, simmpi::DoubleType());
+    if (!buftype.ok()) return buftype.status();
+    std::vector<double> scratch;
+    for (int v = 0; v < nvars; ++v) {
+      data.FillUnk(v, scratch);
+      PNC_RETURN_IF_ERROR(ds.PutVaraAllFlex(
+          varids[static_cast<std::size_t>(v)], start, count, scratch.data(),
+          1, buftype.value()));
+    }
+    // Tree metadata.
+    const std::uint64_t s1[] = {b0};
+    const std::uint64_t c1[] = {blocks};
+    PNC_RETURN_IF_ERROR(ds.PutVaraAll<std::int32_t>(v_lref, s1, c1,
+                                                    data.lrefine()));
+    PNC_RETURN_IF_ERROR(ds.PutVaraAll<std::int32_t>(v_ntype, s1, c1,
+                                                    data.nodetype()));
+    const std::uint64_t s2[] = {b0, 0};
+    const std::uint64_t c2g[] = {blocks, FlashData::kGidEntries};
+    PNC_RETURN_IF_ERROR(ds.PutVaraAll<std::int32_t>(v_gid, s2, c2g,
+                                                    data.gid()));
+    const std::uint64_t c2d[] = {blocks, 3};
+    PNC_RETURN_IF_ERROR(ds.PutVaraAll<double>(v_coord, s2, c2d, data.coord()));
+    PNC_RETURN_IF_ERROR(ds.PutVaraAll<double>(v_bsize, s2, c2d, data.bsize()));
+    const std::uint64_t s3[] = {b0, 0, 0};
+    const std::uint64_t c3[] = {blocks, 3, 2};
+    PNC_RETURN_IF_ERROR(ds.PutVaraAll<double>(v_bnd, s3, c3, data.bnd_box()));
+  } else {
+    // Plotfiles: FLASH packs single-precision contiguous buffers first.
+    auto& clk = ds.comm().clock();
+    for (int v = 0; v < nvars; ++v) {
+      auto packed = corners ? data.PackCornerVar(v) : data.PackPlotVar(v);
+      clk.Advance(ds.comm().cost().CopyCost(packed.size() * 4));
+      PNC_RETURN_IF_ERROR(ds.PutVaraAll<float>(
+          varids[static_cast<std::size_t>(v)], start, count, packed));
+    }
+  }
+  return ds.Close();
+}
+
+// ---------------------------------------------------------- hdf5lite path
+
+pnc::Status WriteFlashHdf5lite(simmpi::Comm& comm, pfs::FileSystem& fs,
+                               const std::string& path, const FlashData& data,
+                               FileKind kind, const simmpi::Info& info) {
+  const auto& cfg = data.config();
+  const int nprocs = comm.size();
+  const auto blocks = static_cast<std::uint64_t>(cfg.blocks_per_proc);
+  const std::uint64_t tot_blocks = blocks * static_cast<std::uint64_t>(nprocs);
+  const std::uint64_t b0 = blocks * static_cast<std::uint64_t>(comm.rank());
+
+  auto fr = hdf5lite::File::Create(comm, fs, path, info);
+  if (!fr.ok()) return fr.status();
+  auto f = std::move(fr).value();
+
+  const bool corners = kind == FileKind::kPlotfileCorners;
+  const std::uint64_t fz = static_cast<std::uint64_t>(cfg.nzb) + (corners ? 1 : 0);
+  const std::uint64_t fy = static_cast<std::uint64_t>(cfg.nyb) + (corners ? 1 : 0);
+  const std::uint64_t fx = static_cast<std::uint64_t>(cfg.nxb) + (corners ? 1 : 0);
+  const std::uint64_t dims[] = {tot_blocks, fz, fy, fx};
+  const std::uint64_t start[] = {b0, 0, 0, 0};
+  const std::uint64_t count[] = {blocks, fz, fy, fx};
+
+  const int nvars = kind == FileKind::kCheckpoint ? cfg.nvar : cfg.nplot;
+  const NcType vtype =
+      kind == FileKind::kCheckpoint ? NcType::kDouble : NcType::kFloat;
+
+  // Every variable is its own dataset: collective create, hyperslab write,
+  // collective close — the per-object costs the paper measures.
+  std::vector<double> scratch;
+  for (int v = 0; v < nvars; ++v) {
+    auto dsr = f.CreateDataset(VarName(kind, v), vtype, dims);
+    if (!dsr.ok()) return dsr.status();
+    auto ds = std::move(dsr).value();
+    if (kind == FileKind::kCheckpoint) {
+      const std::uint64_t mdims[] = {blocks, cfg.guarded(cfg.nzb),
+                                     cfg.guarded(cfg.nyb),
+                                     cfg.guarded(cfg.nxb)};
+      const std::uint64_t mstart[] = {0,
+                                      static_cast<std::uint64_t>(cfg.nguard),
+                                      static_cast<std::uint64_t>(cfg.nguard),
+                                      static_cast<std::uint64_t>(cfg.nguard)};
+      data.FillUnk(v, scratch);
+      PNC_RETURN_IF_ERROR(
+          ds.Write(start, count, scratch.data(), mdims, mstart));
+    } else {
+      auto packed = corners ? data.PackCornerVar(v) : data.PackPlotVar(v);
+      comm.clock().Advance(comm.cost().CopyCost(packed.size() * 4));
+      PNC_RETURN_IF_ERROR(ds.Write(start, count, packed.data()));
+    }
+    PNC_RETURN_IF_ERROR(ds.Close());
+  }
+
+  if (kind == FileKind::kCheckpoint) {
+    auto write_meta = [&](const std::string& name, NcType t,
+                          std::span<const std::uint64_t> extra,
+                          const void* buf) -> pnc::Status {
+      std::vector<std::uint64_t> d{tot_blocks};
+      d.insert(d.end(), extra.begin(), extra.end());
+      auto dsr = f.CreateDataset(name, t, d);
+      if (!dsr.ok()) return dsr.status();
+      auto ds = std::move(dsr).value();
+      std::vector<std::uint64_t> s(d.size(), 0), c = d;
+      s[0] = b0;
+      c[0] = blocks;
+      PNC_RETURN_IF_ERROR(ds.Write(s, c, buf));
+      return ds.Close();
+    };
+    const std::uint64_t e_gid[] = {FlashData::kGidEntries};
+    const std::uint64_t e_dim[] = {3};
+    const std::uint64_t e_box[] = {3, 2};
+    PNC_RETURN_IF_ERROR(
+        write_meta("lrefine", NcType::kInt, {}, data.lrefine().data()));
+    PNC_RETURN_IF_ERROR(
+        write_meta("nodetype", NcType::kInt, {}, data.nodetype().data()));
+    PNC_RETURN_IF_ERROR(
+        write_meta("gid", NcType::kInt, e_gid, data.gid().data()));
+    PNC_RETURN_IF_ERROR(
+        write_meta("coordinates", NcType::kDouble, e_dim, data.coord().data()));
+    PNC_RETURN_IF_ERROR(
+        write_meta("blocksize", NcType::kDouble, e_dim, data.bsize().data()));
+    PNC_RETURN_IF_ERROR(
+        write_meta("bounding_box", NcType::kDouble, e_box,
+                   data.bnd_box().data()));
+  }
+  return f.Close();
+}
+
+// ---------------------------------------------------------------- restart
+
+pnc::Status RestartReadUnk(simmpi::Comm& comm, pnetcdf::Dataset& checkpoint,
+                           const FlashConfig& cfg, int var,
+                           std::vector<double>& guarded) {
+  const auto blocks = static_cast<std::uint64_t>(cfg.blocks_per_proc);
+  const std::uint64_t b0 = blocks * static_cast<std::uint64_t>(comm.rank());
+  const std::uint64_t msizes[] = {blocks, cfg.guarded(cfg.nzb),
+                                  cfg.guarded(cfg.nyb), cfg.guarded(cfg.nxb)};
+  guarded.assign(pnc::ShapeProduct(msizes), -1.0);
+
+  PNC_ASSIGN_OR_RETURN(int vid,
+                       checkpoint.VarId(VarName(FileKind::kCheckpoint, var)));
+  const std::uint64_t msub[] = {blocks, static_cast<std::uint64_t>(cfg.nzb),
+                                static_cast<std::uint64_t>(cfg.nyb),
+                                static_cast<std::uint64_t>(cfg.nxb)};
+  const std::uint64_t mstart[] = {0, static_cast<std::uint64_t>(cfg.nguard),
+                                  static_cast<std::uint64_t>(cfg.nguard),
+                                  static_cast<std::uint64_t>(cfg.nguard)};
+  auto buftype =
+      simmpi::Datatype::Subarray(msizes, msub, mstart, simmpi::DoubleType());
+  if (!buftype.ok()) return buftype.status();
+
+  const std::uint64_t start[] = {b0, 0, 0, 0};
+  const std::uint64_t count[] = {blocks, static_cast<std::uint64_t>(cfg.nzb),
+                                 static_cast<std::uint64_t>(cfg.nyb),
+                                 static_cast<std::uint64_t>(cfg.nxb)};
+  return checkpoint.GetVaraAllFlex(vid, start, count, guarded.data(), 1,
+                                   buftype.value());
+}
+
+// ------------------------------------------------------------- validation
+
+pnc::Status ValidateFlashPnetcdf(pfs::FileSystem& fs, const std::string& path,
+                                 const FlashConfig& cfg, int nprocs,
+                                 FileKind kind) {
+  auto dsr = netcdf::Dataset::Open(fs, path, /*writable=*/false);
+  if (!dsr.ok()) return dsr.status();
+  auto ds = std::move(dsr).value();
+
+  const bool corners = kind == FileKind::kPlotfileCorners;
+  const auto blocks = static_cast<std::uint64_t>(cfg.blocks_per_proc);
+  const int nvars = kind == FileKind::kCheckpoint ? cfg.nvar : cfg.nplot;
+  if (ds.nvars() < nvars) return pnc::Status(pnc::Err::kNotVar, "var count");
+
+  // Spot-check: first and last interior cell of the first and last block of
+  // every rank, for variable 0 and nvars-1.
+  for (int v : {0, nvars - 1}) {
+    PNC_ASSIGN_OR_RETURN(int vid, ds.VarId(VarName(kind, v)));
+    for (int r : {0, nprocs - 1}) {
+      for (std::uint64_t b : {std::uint64_t{0}, blocks - 1}) {
+        const std::uint64_t gb = static_cast<std::uint64_t>(r) * blocks + b;
+        const std::uint64_t idx[] = {gb, 0, 0, 0};
+        double got = 0;
+        if (kind == FileKind::kCheckpoint) {
+          PNC_RETURN_IF_ERROR(ds.GetVar1<double>(vid, idx, got));
+        } else {
+          float gf = 0;
+          PNC_RETURN_IF_ERROR(ds.GetVar1<float>(vid, idx, gf));
+          got = gf;
+        }
+        double expect;
+        if (corners) {
+          // Corner (0,0,0) averages the 8 cells around the interior origin.
+          FlashData probe(cfg, r);
+          expect = static_cast<double>(
+              probe.PackCornerVar(v)[b * static_cast<std::uint64_t>(cfg.nzb + 1) *
+                                     static_cast<std::uint64_t>(cfg.nyb + 1) *
+                                     static_cast<std::uint64_t>(cfg.nxb + 1)]);
+        } else {
+          expect = CellValue(r, v, static_cast<int>(b), 0, 0, 0);
+          if (kind != FileKind::kCheckpoint)
+            expect = static_cast<double>(static_cast<float>(expect));
+        }
+        if (got != expect)
+          return pnc::Status(pnc::Err::kInternal,
+                             "flash validation mismatch at " + VarName(kind, v));
+      }
+    }
+  }
+  return pnc::Status::Ok();
+}
+
+}  // namespace flashio

@@ -1,0 +1,118 @@
+// FLASH I/O benchmark (paper §5.2).
+//
+// Recreates the I/O pattern of the FLASH adaptive-mesh hydrodynamics code:
+// every process holds 80 AMR sub-blocks of 8x8x8 or 16x16x16 interior cells
+// with a perimeter of 4 guard cells that are excluded from the data written
+// to file. The benchmark produces three files:
+//   * a checkpoint (24 double-precision unknowns + tree metadata),
+//   * a plotfile with centered data (4 single-precision variables),
+//   * a plotfile with corner data (interpolated to cell corners,
+//     (n+1)^3 per block).
+// Each is implemented over both PnetCDF and hdf5lite, with identical data,
+// mirroring the paper's port of the original HDF5 benchmark to PnetCDF.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdf5lite/h5file.hpp"
+#include "pnetcdf/dataset.hpp"
+
+namespace flashio {
+
+struct FlashConfig {
+  int nxb = 8, nyb = 8, nzb = 8;  ///< interior cells per block per axis
+  int nguard = 4;                 ///< guard cells on every side
+  int blocks_per_proc = 80;
+  int nvar = 24;   ///< checkpoint unknowns
+  int nplot = 4;   ///< plotfile variables
+  int ndim = 3;
+
+  [[nodiscard]] std::uint64_t guarded(int n) const {
+    return static_cast<std::uint64_t>(n + 2 * nguard);
+  }
+  [[nodiscard]] std::uint64_t block_interior_elems() const {
+    return static_cast<std::uint64_t>(nxb) * static_cast<std::uint64_t>(nyb) *
+           static_cast<std::uint64_t>(nzb);
+  }
+  [[nodiscard]] std::uint64_t block_guarded_elems() const {
+    return guarded(nzb) * guarded(nyb) * guarded(nxb);
+  }
+};
+
+/// One process's share of the FLASH in-memory state: guarded block storage
+/// for the unknowns plus the AMR tree metadata that goes into a checkpoint.
+/// Unknowns are generated per variable on demand so that many-hundred-rank
+/// sweeps do not hold every variable of every rank in host memory at once.
+class FlashData {
+ public:
+  FlashData(const FlashConfig& cfg, int rank);
+
+  [[nodiscard]] const FlashConfig& config() const { return cfg_; }
+
+  /// Fill `buf` with the guarded storage of one unknown across all local
+  /// blocks: layout (blocks, nzb+2g, nyb+2g, nxb+2g), row-major; guard
+  /// cells hold the sentinel -1.0. `buf` is resized as needed.
+  void FillUnk(int var, std::vector<double>& buf) const;
+
+  /// Pack variable `var` interiors into a contiguous single-precision
+  /// buffer (what FLASH does before writing plotfiles).
+  [[nodiscard]] std::vector<float> PackPlotVar(int var) const;
+  /// Interpolate variable `var` to cell corners, (n+1)^3 per block.
+  [[nodiscard]] std::vector<float> PackCornerVar(int var) const;
+
+  // AMR tree metadata (per local block).
+  [[nodiscard]] const std::vector<std::int32_t>& lrefine() const {
+    return lrefine_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& nodetype() const {
+    return nodetype_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& gid() const { return gid_; }
+  [[nodiscard]] const std::vector<double>& coord() const { return coord_; }
+  [[nodiscard]] const std::vector<double>& bsize() const { return bsize_; }
+  [[nodiscard]] const std::vector<double>& bnd_box() const { return bnd_box_; }
+
+  static constexpr int kGidEntries = 15;  ///< 6 faces + 8 children + parent
+
+ private:
+  FlashConfig cfg_;
+  int rank_;
+  std::vector<std::int32_t> lrefine_, nodetype_, gid_;
+  std::vector<double> coord_, bsize_, bnd_box_;
+};
+
+/// Which of the three FLASH output files to produce.
+enum class FileKind { kCheckpoint, kPlotfile, kPlotfileCorners };
+
+/// Bytes a single process contributes to a file of the given kind (for
+/// bandwidth accounting).
+std::uint64_t BytesPerProc(const FlashConfig& cfg, FileKind kind);
+
+/// Write one FLASH output file through PnetCDF (collective I/O). All ranks
+/// of `comm` call this with their own `data`.
+pnc::Status WriteFlashPnetcdf(simmpi::Comm& comm, pfs::FileSystem& fs,
+                              const std::string& path, const FlashData& data,
+                              FileKind kind, const simmpi::Info& info);
+
+/// The same file through the hdf5lite baseline.
+pnc::Status WriteFlashHdf5lite(simmpi::Comm& comm, pfs::FileSystem& fs,
+                               const std::string& path, const FlashData& data,
+                               FileKind kind, const simmpi::Info& info);
+
+/// Validation helper: serially re-read a PnetCDF FLASH file and check a
+/// sample of values against what `rank`'s FlashData would have written.
+pnc::Status ValidateFlashPnetcdf(pfs::FileSystem& fs, const std::string& path,
+                                 const FlashConfig& cfg, int nprocs,
+                                 FileKind kind);
+
+/// Restart: collectively read one unknown of a checkpoint back into this
+/// rank's guarded block storage (layout as FillUnk; guard cells are NOT in
+/// the file and are left at the -1 sentinel for the halo exchange to fill,
+/// exactly how FLASH restarts). `guarded` is resized as needed.
+pnc::Status RestartReadUnk(simmpi::Comm& comm, pnetcdf::Dataset& checkpoint,
+                           const FlashConfig& cfg, int var,
+                           std::vector<double>& guarded);
+
+}  // namespace flashio

@@ -1,0 +1,146 @@
+// Conversion between in-memory C++ types and external netCDF types.
+//
+// The netCDF data access functions are typed (put_vara_double may target an
+// NC_FLOAT variable); the library converts values and byte order on the way
+// through, reporting NC_ERANGE when a value cannot be represented externally
+// (the value is still stored, cast, exactly as the reference library does).
+// Text (NC_CHAR) does not convert to or from numeric types.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <type_traits>
+
+#include "format/types.hpp"
+#include "util/status.hpp"
+#include "util/xdr.hpp"
+
+namespace ncformat {
+
+namespace detail {
+
+template <NcType E>
+struct ExternalRepr;
+template <>
+struct ExternalRepr<NcType::kByte> { using type = signed char; };
+template <>
+struct ExternalRepr<NcType::kChar> { using type = char; };
+template <>
+struct ExternalRepr<NcType::kShort> { using type = std::int16_t; };
+template <>
+struct ExternalRepr<NcType::kInt> { using type = std::int32_t; };
+template <>
+struct ExternalRepr<NcType::kFloat> { using type = float; };
+template <>
+struct ExternalRepr<NcType::kDouble> { using type = double; };
+
+/// Checked narrowing: returns false when v is outside E's range.
+template <typename E, typename T>
+bool RangeOk(T v) {
+  if constexpr (std::is_floating_point_v<E>) {
+    if constexpr (std::is_floating_point_v<T>) {
+      if (std::isnan(v) || std::isinf(v)) return true;  // propagate specials
+      return static_cast<long double>(v) >=
+                 -static_cast<long double>(std::numeric_limits<E>::max()) &&
+             static_cast<long double>(v) <=
+                 static_cast<long double>(std::numeric_limits<E>::max());
+    } else {
+      return true;  // every integer fits a float/double range (maybe rounded)
+    }
+  } else {
+    if constexpr (std::is_floating_point_v<T>) {
+      if (std::isnan(v) || std::isinf(v)) return false;
+      return v >= static_cast<T>(std::numeric_limits<E>::min()) &&
+             v <= static_cast<T>(std::numeric_limits<E>::max());
+    } else {
+      using C = std::common_type_t<long long, T>;
+      return static_cast<C>(v) >=
+                 static_cast<C>(std::numeric_limits<E>::min()) &&
+             static_cast<C>(v) <= static_cast<C>(std::numeric_limits<E>::max());
+    }
+  }
+}
+
+template <typename T, NcType E>
+pnc::Status ToExternalImpl(std::span<const T> in, std::byte* out) {
+  using Ext = typename ExternalRepr<E>::type;
+  bool range_err = false;
+  if constexpr (std::is_same_v<T, Ext>) {
+    pnc::xdr::EncodeArray<Ext>(in, out);
+  } else {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (!RangeOk<Ext>(in[i])) range_err = true;
+      Ext e = static_cast<Ext>(in[i]);
+      e = pnc::xdr::ToBig(e);
+      std::memcpy(out + i * sizeof(Ext), &e, sizeof(Ext));
+    }
+  }
+  return range_err ? pnc::Status(pnc::Err::kRange) : pnc::Status::Ok();
+}
+
+template <typename T, NcType E>
+pnc::Status FromExternalImpl(const std::byte* in, std::span<T> out) {
+  using Ext = typename ExternalRepr<E>::type;
+  bool range_err = false;
+  if constexpr (std::is_same_v<T, Ext>) {
+    pnc::xdr::DecodeArray<Ext>(in, out);
+  } else {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      Ext e;
+      std::memcpy(&e, in + i * sizeof(Ext), sizeof(Ext));
+      e = pnc::xdr::FromBig(e);
+      if (!RangeOk<T>(e)) range_err = true;
+      out[i] = static_cast<T>(e);
+    }
+  }
+  return range_err ? pnc::Status(pnc::Err::kRange) : pnc::Status::Ok();
+}
+
+}  // namespace detail
+
+/// True when memory type T may be converted to/from external type `ext`.
+/// Text and numbers never interconvert in the classic data model.
+template <typename T>
+bool ConvertibleTo(NcType ext) {
+  if constexpr (std::is_same_v<T, char>) {
+    return ext == NcType::kChar;
+  } else {
+    return ext != NcType::kChar;
+  }
+}
+
+/// Convert `in` to the external (big-endian, on-disk) representation of
+/// `ext`, writing in.size() * TypeSize(ext) bytes. Returns kRange if any
+/// value was out of range (conversion still completes).
+template <typename T>
+pnc::Status ToExternal(std::span<const T> in, NcType ext, std::byte* out) {
+  if (!ConvertibleTo<T>(ext)) return pnc::Status(pnc::Err::kBadType, "char/number");
+  switch (ext) {
+    case NcType::kByte: return detail::ToExternalImpl<T, NcType::kByte>(in, out);
+    case NcType::kChar: return detail::ToExternalImpl<T, NcType::kChar>(in, out);
+    case NcType::kShort: return detail::ToExternalImpl<T, NcType::kShort>(in, out);
+    case NcType::kInt: return detail::ToExternalImpl<T, NcType::kInt>(in, out);
+    case NcType::kFloat: return detail::ToExternalImpl<T, NcType::kFloat>(in, out);
+    case NcType::kDouble: return detail::ToExternalImpl<T, NcType::kDouble>(in, out);
+  }
+  return pnc::Status(pnc::Err::kBadType);
+}
+
+/// Convert out.size() values from the external representation of `ext`.
+template <typename T>
+pnc::Status FromExternal(const std::byte* in, NcType ext, std::span<T> out) {
+  if (!ConvertibleTo<T>(ext)) return pnc::Status(pnc::Err::kBadType, "char/number");
+  switch (ext) {
+    case NcType::kByte: return detail::FromExternalImpl<T, NcType::kByte>(in, out);
+    case NcType::kChar: return detail::FromExternalImpl<T, NcType::kChar>(in, out);
+    case NcType::kShort: return detail::FromExternalImpl<T, NcType::kShort>(in, out);
+    case NcType::kInt: return detail::FromExternalImpl<T, NcType::kInt>(in, out);
+    case NcType::kFloat: return detail::FromExternalImpl<T, NcType::kFloat>(in, out);
+    case NcType::kDouble: return detail::FromExternalImpl<T, NcType::kDouble>(in, out);
+  }
+  return pnc::Status(pnc::Err::kBadType);
+}
+
+}  // namespace ncformat

@@ -1,0 +1,48 @@
+// External (on-disk) netCDF data types.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ncformat {
+
+/// The six external types of the netCDF classic format. Numeric values are
+/// the on-disk tags from the file format specification.
+enum class NcType : std::int32_t {
+  kByte = 1,    ///< signed 8-bit
+  kChar = 2,    ///< text
+  kShort = 3,   ///< signed 16-bit, big-endian
+  kInt = 4,     ///< signed 32-bit, big-endian
+  kFloat = 5,   ///< IEEE-754 single, big-endian
+  kDouble = 6,  ///< IEEE-754 double, big-endian
+};
+
+[[nodiscard]] constexpr bool IsValidType(std::int32_t t) {
+  return t >= 1 && t <= 6;
+}
+
+[[nodiscard]] constexpr std::size_t TypeSize(NcType t) {
+  switch (t) {
+    case NcType::kByte:
+    case NcType::kChar: return 1;
+    case NcType::kShort: return 2;
+    case NcType::kInt:
+    case NcType::kFloat: return 4;
+    case NcType::kDouble: return 8;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr std::string_view TypeName(NcType t) {
+  switch (t) {
+    case NcType::kByte: return "byte";
+    case NcType::kChar: return "char";
+    case NcType::kShort: return "short";
+    case NcType::kInt: return "int";
+    case NcType::kFloat: return "float";
+    case NcType::kDouble: return "double";
+  }
+  return "?";
+}
+
+}  // namespace ncformat

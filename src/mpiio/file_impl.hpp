@@ -1,0 +1,25 @@
+// Shared state behind mpiio::File (internal header).
+#pragma once
+
+#include <optional>
+
+#include "mpiio/file.hpp"
+
+namespace mpiio {
+
+struct File::Impl {
+  Impl(simmpi::Comm c, pfs::FileSystem* filesystem, pfs::File f, unsigned m,
+       Hints h)
+      : comm(std::move(c)), fs(filesystem), file(std::move(f)), mode(m),
+        hints(h) {}
+
+  simmpi::Comm comm;
+  pfs::FileSystem* fs;
+  pfs::File file;
+  unsigned mode;
+  Hints hints;
+  FileView view;
+  bool open = true;
+};
+
+}  // namespace mpiio

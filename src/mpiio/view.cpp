@@ -1,0 +1,75 @@
+#include "mpiio/view.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpiio {
+
+FileView::FileView() : etype_(simmpi::ByteType()), filetype_(simmpi::ByteType()) {}
+
+FileView::FileView(std::uint64_t disp, simmpi::Datatype etype,
+                   simmpi::Datatype filetype)
+    : identity_(false),
+      disp_(disp),
+      etype_(std::move(etype)),
+      filetype_(std::move(filetype)) {
+  tile_size_ = filetype_.size();
+  tile_extent_ = filetype_.extent();
+  runs_ = filetype_.Flatten();
+  assert(std::is_sorted(runs_.begin(), runs_.end(),
+                        [](const pnc::Extent& a, const pnc::Extent& b) {
+                          return a.offset < b.offset;
+                        }) &&
+         "file views require monotonic filetypes (MPI-2 requirement)");
+  prefix_.reserve(runs_.size() + 1);
+  std::uint64_t acc = 0;
+  for (const auto& r : runs_) {
+    prefix_.push_back(acc);
+    acc += r.len;
+  }
+  prefix_.push_back(acc);
+  // Degenerate filetypes (zero data) are legal; MapRange of len 0 handles
+  // them, and nonzero-length accesses through them are caller errors.
+  if (identity_ || tile_size_ == 0) tile_extent_ = std::max<std::uint64_t>(tile_extent_, 1);
+}
+
+void FileView::MapRange(std::uint64_t logical_off, std::uint64_t len,
+                        std::vector<pnc::Extent>& out) const {
+  if (len == 0) return;
+  if (identity_) {
+    out.push_back({logical_off, len});
+    return;
+  }
+  assert(tile_size_ > 0 && "nonzero access through an empty view");
+
+  std::uint64_t remaining = len;
+  std::uint64_t pos = logical_off;
+  while (remaining > 0) {
+    const std::uint64_t tile = pos / tile_size_;
+    const std::uint64_t in_tile = pos % tile_size_;
+    const std::uint64_t tile_base = disp_ + tile * tile_extent_;
+
+    // Find the run containing data offset `in_tile` within the tile.
+    auto it = std::upper_bound(prefix_.begin(), prefix_.end(), in_tile);
+    auto run_idx = static_cast<std::size_t>(it - prefix_.begin()) - 1;
+    // Emit runs until the tile or the request is exhausted.
+    std::uint64_t data_off = in_tile;
+    while (remaining > 0 && run_idx < runs_.size()) {
+      const std::uint64_t within = data_off - prefix_[run_idx];
+      const std::uint64_t avail = runs_[run_idx].len - within;
+      const std::uint64_t n = std::min(avail, remaining);
+      const std::uint64_t phys = tile_base + runs_[run_idx].offset + within;
+      if (!out.empty() && out.back().end() == phys) {
+        out.back().len += n;  // coalesce across run/tile boundaries
+      } else {
+        out.push_back({phys, n});
+      }
+      remaining -= n;
+      data_off += n;
+      pos += n;
+      if (data_off == prefix_[run_idx + 1]) ++run_idx;
+    }
+  }
+}
+
+}  // namespace mpiio

@@ -1,0 +1,51 @@
+// MPI file views.
+//
+// A view = (displacement, etype, filetype) defines the bytes of a file that
+// are "visible" to a rank (MPI-2 §9.3; paper §4.2.2). The filetype tiles the
+// file starting at the displacement; the data bytes selected by successive
+// tiles form the rank's logical, linear view space. PnetCDF encodes every
+// variable access pattern (vara/vars/varm, record interleavings) as a view.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmpi/datatype.hpp"
+#include "util/bytes.hpp"
+
+namespace mpiio {
+
+class FileView {
+ public:
+  /// Identity view: the whole file as a byte stream.
+  FileView();
+  FileView(std::uint64_t disp, simmpi::Datatype etype,
+           simmpi::Datatype filetype);
+
+  /// True for the default whole-file byte view (fast path: no translation).
+  [[nodiscard]] bool identity() const { return identity_; }
+  [[nodiscard]] std::uint64_t disp() const { return disp_; }
+  [[nodiscard]] const simmpi::Datatype& etype() const { return etype_; }
+  [[nodiscard]] std::uint64_t etype_size() const { return etype_.size(); }
+  /// Data bytes per filetype tile.
+  [[nodiscard]] std::uint64_t tile_size() const { return tile_size_; }
+
+  /// Translate the logical byte range [logical_off, logical_off + len) of
+  /// view space into physical file extents, appended to `out` in logical
+  /// order. Valid filetypes have monotonically nondecreasing offsets, so the
+  /// result is sorted and hole-separated.
+  void MapRange(std::uint64_t logical_off, std::uint64_t len,
+                std::vector<pnc::Extent>& out) const;
+
+ private:
+  bool identity_ = true;
+  std::uint64_t disp_ = 0;
+  simmpi::Datatype etype_;
+  simmpi::Datatype filetype_;
+  std::uint64_t tile_size_ = 1;    ///< data bytes per tile
+  std::uint64_t tile_extent_ = 1;  ///< file bytes spanned per tile
+  std::vector<pnc::Extent> runs_;  ///< filetype runs (offset within tile)
+  std::vector<std::uint64_t> prefix_;  ///< data bytes before runs_[i]
+};
+
+}  // namespace mpiio

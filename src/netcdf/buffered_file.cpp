@@ -1,0 +1,120 @@
+#include "netcdf/buffered_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace netcdf {
+
+BufferedFile::BufferedFile(pfs::File file, simmpi::VirtualClock* clock,
+                           std::uint64_t buffer_size, double copy_ns_per_byte)
+    : file_(std::move(file)),
+      clock_(clock),
+      bufsize_(std::max<std::uint64_t>(buffer_size, 4096)),
+      copy_ns_per_byte_(copy_ns_per_byte) {
+  block_.resize(bufsize_);
+}
+
+void BufferedFile::LoadBlock(std::uint64_t block_start) {
+  Flush();
+  const double done =
+      file_.Read(block_start, pnc::ByteSpan(block_.data(), bufsize_),
+                 clock_->now());
+  clock_->AdvanceTo(done);
+  block_start_ = block_start;
+  block_valid_ = true;
+  dirty_lo_ = dirty_hi_ = 0;
+}
+
+void BufferedFile::Flush() {
+  if (!block_valid_ || dirty_lo_ == dirty_hi_) return;
+  const double done =
+      file_.Write(block_start_ + dirty_lo_,
+                  pnc::ConstByteSpan(block_.data() + dirty_lo_,
+                                     dirty_hi_ - dirty_lo_),
+                  clock_->now());
+  clock_->AdvanceTo(done);
+  dirty_lo_ = dirty_hi_ = 0;
+}
+
+void BufferedFile::ReadAt(std::uint64_t offset, pnc::ByteSpan out) {
+  // Large requests bypass the buffer but are still issued at buffer-size
+  // granularity, like the reference library's user-space I/O layer.
+  if (out.size() >= bufsize_) {
+    Flush();
+    block_valid_ = false;
+    std::size_t done_bytes = 0;
+    while (done_bytes < out.size()) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(bufsize_, out.size() - done_bytes));
+      const double done = file_.Read(offset + done_bytes,
+                                     out.subspan(done_bytes, n), clock_->now());
+      clock_->AdvanceTo(done);
+      done_bytes += n;
+    }
+    return;
+  }
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    const std::uint64_t pos = offset + produced;
+    const std::uint64_t bstart = pos / bufsize_ * bufsize_;
+    if (!block_valid_ || block_start_ != bstart) LoadBlock(bstart);
+    const std::uint64_t in_block = pos - bstart;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(bufsize_ - in_block, out.size() - produced));
+    std::memcpy(out.data() + produced, block_.data() + in_block, n);
+    clock_->Advance(copy_ns_per_byte_ * static_cast<double>(n));
+    produced += n;
+  }
+}
+
+void BufferedFile::WriteAt(std::uint64_t offset, pnc::ConstByteSpan data) {
+  if (data.size() >= bufsize_) {
+    Flush();
+    block_valid_ = false;
+    std::size_t done_bytes = 0;
+    while (done_bytes < data.size()) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(bufsize_, data.size() - done_bytes));
+      const double done = file_.Write(offset + done_bytes,
+                                      data.subspan(done_bytes, n),
+                                      clock_->now());
+      clock_->AdvanceTo(done);
+      done_bytes += n;
+    }
+    return;
+  }
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::uint64_t pos = offset + consumed;
+    const std::uint64_t bstart = pos / bufsize_ * bufsize_;
+    if (!block_valid_ || block_start_ != bstart) LoadBlock(bstart);
+    const std::uint64_t in_block = pos - bstart;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(bufsize_ - in_block, data.size() - consumed));
+    std::memcpy(block_.data() + in_block, data.data() + consumed, n);
+    clock_->Advance(copy_ns_per_byte_ * static_cast<double>(n));
+    if (dirty_lo_ == dirty_hi_) {
+      dirty_lo_ = in_block;
+      dirty_hi_ = in_block + n;
+    } else {
+      dirty_lo_ = std::min(dirty_lo_, in_block);
+      dirty_hi_ = std::max(dirty_hi_, in_block + n);
+    }
+    consumed += n;
+  }
+}
+
+std::uint64_t BufferedFile::size() { return file_.size(); }
+
+void BufferedFile::Truncate(std::uint64_t n) {
+  Flush();
+  block_valid_ = false;
+  file_.Truncate(n);
+}
+
+void BufferedFile::Sync() {
+  Flush();
+  clock_->AdvanceTo(file_.Sync(clock_->now()));
+}
+
+}  // namespace netcdf

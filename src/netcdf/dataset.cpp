@@ -1,0 +1,497 @@
+#include "netcdf/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "format/header_io.hpp"
+
+namespace netcdf {
+
+using ncformat::Attr;
+using ncformat::Header;
+using ncformat::NcType;
+
+struct Dataset::Impl {
+  Impl(pfs::FileSystem* filesystem, pfs::File f, std::string p, bool w,
+       std::uint64_t bufsize)
+      : fs(filesystem), path(std::move(p)), writable(w),
+        io(std::move(f), &clock, bufsize) {}
+
+  pfs::FileSystem* fs;
+  std::string path;
+  bool writable;
+  simmpi::VirtualClock clock;
+  BufferedFile io;
+
+  Header header;
+  bool defining = false;
+  bool fresh = false;          ///< created this session, EndDef not yet run
+  bool numrecs_dirty = false;  ///< numrecs grew in data mode
+  FillMode fill = FillMode::kNoFill;
+  std::optional<Header> pre_redef;  ///< snapshot for Abort/relayout
+};
+
+// ------------------------------------------------------------ lifecycle
+
+pnc::Result<Dataset> Dataset::Create(pfs::FileSystem& fs,
+                                     const std::string& path,
+                                     const CreateOptions& opts) {
+  auto f = fs.Create(path, /*exclusive=*/!opts.clobber);
+  if (!f.ok()) return f.status();
+  Dataset ds;
+  ds.impl_ = std::make_shared<Impl>(&fs, std::move(f).value(), path,
+                                    /*writable=*/true, opts.buffer_size);
+  ds.impl_->header.version = opts.use_cdf2 ? 2 : 1;
+  ds.impl_->defining = true;
+  ds.impl_->fresh = true;
+  return ds;
+}
+
+pnc::Result<Dataset> Dataset::Open(pfs::FileSystem& fs, const std::string& path,
+                                   bool writable, std::uint64_t buffer_size) {
+  auto f = fs.Open(path);
+  if (!f.ok()) return f.status();
+  Dataset ds;
+  ds.impl_ = std::make_shared<Impl>(&fs, std::move(f).value(), path, writable,
+                                    buffer_size);
+  auto& im = *ds.impl_;
+  auto hdr = ncformat::ReadHeader(
+      im.io.size(), [&im](std::uint64_t off, pnc::ByteSpan out) {
+        im.io.ReadAt(off, out);
+      });
+  if (!hdr.ok()) return hdr.status();
+  im.header = std::move(hdr).value();
+  return ds;
+}
+
+pnc::Status Dataset::Redef() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (im.defining) return pnc::Status(pnc::Err::kInDefine);
+  if (!im.writable) return pnc::Status(pnc::Err::kPermission);
+  im.pre_redef = im.header;
+  im.defining = true;
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::EndDef() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (!im.defining) return pnc::Status(pnc::Err::kNotInDefine);
+
+  Header old = im.pre_redef ? *im.pre_redef : Header{};
+  const bool had_data = !im.fresh;
+  PNC_RETURN_IF_ERROR(im.header.ComputeLayout());
+  if (had_data && im.pre_redef) {
+    PNC_RETURN_IF_ERROR(MoveDataForRelayout(*im.pre_redef));
+  }
+  PNC_RETURN_IF_ERROR(WriteHeader());
+  if (im.fill == FillMode::kFill) {
+    PNC_RETURN_IF_ERROR(FillNewSpace(had_data ? &old : nullptr));
+  }
+  im.defining = false;
+  im.fresh = false;
+  im.pre_redef.reset();
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::Sync() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (im.defining) return pnc::Status(pnc::Err::kInDefine);
+  if (im.numrecs_dirty) PNC_RETURN_IF_ERROR(WriteNumrecs());
+  im.io.Sync();
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::Close() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (im.defining) PNC_RETURN_IF_ERROR(EndDef());
+  if (im.numrecs_dirty) PNC_RETURN_IF_ERROR(WriteNumrecs());
+  im.io.Flush();
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::Abort() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (im.defining && im.fresh) {
+    return im.fs->Remove(im.path);
+  }
+  if (im.defining && im.pre_redef) {
+    im.header = *im.pre_redef;
+    im.pre_redef.reset();
+    im.defining = false;
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::SetFill(FillMode m) {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  impl_->fill = m;
+  return pnc::Status::Ok();
+}
+
+// ----------------------------------------------------------- define mode
+
+pnc::Status Dataset::CheckDefineMode() const {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  if (!impl_->defining) return pnc::Status(pnc::Err::kNotInDefine);
+  if (!impl_->writable) return pnc::Status(pnc::Err::kPermission);
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::CheckDataMode(bool need_write) const {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  if (impl_->defining) return pnc::Status(pnc::Err::kInDefine);
+  if (need_write && !impl_->writable)
+    return pnc::Status(pnc::Err::kPermission);
+  return pnc::Status::Ok();
+}
+
+pnc::Result<int> Dataset::DefDim(const std::string& name, std::uint64_t len) {
+  PNC_RETURN_IF_ERROR(CheckDefineMode());
+  auto& h = impl_->header;
+  if (h.FindDim(name) >= 0) return pnc::Status(pnc::Err::kNameInUse, name);
+  if (len == kUnlimited && h.unlimited_dimid() >= 0)
+    return pnc::Status(pnc::Err::kUnlimit, name);
+  if (h.dims.size() >= ncformat::kMaxDims)
+    return pnc::Status(pnc::Err::kMaxDims);
+  h.dims.push_back({name, len});
+  return static_cast<int>(h.dims.size()) - 1;
+}
+
+pnc::Result<int> Dataset::DefVar(const std::string& name, NcType type,
+                                 std::vector<std::int32_t> dimids) {
+  PNC_RETURN_IF_ERROR(CheckDefineMode());
+  auto& h = impl_->header;
+  if (h.FindVar(name) >= 0) return pnc::Status(pnc::Err::kNameInUse, name);
+  if (h.vars.size() >= ncformat::kMaxVars)
+    return pnc::Status(pnc::Err::kMaxVars);
+  if (!ncformat::IsValidType(static_cast<std::int32_t>(type)))
+    return pnc::Status(pnc::Err::kBadType, name);
+  ncformat::Var v;
+  v.name = name;
+  v.type = type;
+  v.dimids = std::move(dimids);
+  for (std::size_t i = 0; i < v.dimids.size(); ++i) {
+    const auto d = v.dimids[i];
+    if (d < 0 || static_cast<std::size_t>(d) >= h.dims.size())
+      return pnc::Status(pnc::Err::kBadDim, name);
+    if (h.dims[static_cast<std::size_t>(d)].is_unlimited() && i != 0)
+      return pnc::Status(pnc::Err::kUnlimPos, name);
+  }
+  h.vars.push_back(std::move(v));
+  return static_cast<int>(h.vars.size()) - 1;
+}
+
+pnc::Status Dataset::RenameDim(int dimid, const std::string& name) {
+  PNC_RETURN_IF_ERROR(CheckDefineMode());
+  auto& h = impl_->header;
+  if (dimid < 0 || static_cast<std::size_t>(dimid) >= h.dims.size())
+    return pnc::Status(pnc::Err::kBadDim);
+  if (h.FindDim(name) >= 0) return pnc::Status(pnc::Err::kNameInUse, name);
+  h.dims[static_cast<std::size_t>(dimid)].name = name;
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::RenameVar(int varid, const std::string& name) {
+  PNC_RETURN_IF_ERROR(CheckDefineMode());
+  auto& h = impl_->header;
+  if (varid < 0 || static_cast<std::size_t>(varid) >= h.vars.size())
+    return pnc::Status(pnc::Err::kNotVar);
+  if (h.FindVar(name) >= 0) return pnc::Status(pnc::Err::kNameInUse, name);
+  h.vars[static_cast<std::size_t>(varid)].name = name;
+  return pnc::Status::Ok();
+}
+
+// ------------------------------------------------------------ attributes
+
+namespace {
+pnc::Result<std::vector<Attr>*> AttrListOf(Header& h, int varid) {
+  if (varid == kGlobal) return &h.gatts;
+  if (varid < 0 || static_cast<std::size_t>(varid) >= h.vars.size())
+    return pnc::Status(pnc::Err::kNotVar);
+  return &h.vars[static_cast<std::size_t>(varid)].attrs;
+}
+}  // namespace
+
+pnc::Status Dataset::PutAtt(int varid, Attr att) {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (!im.writable) return pnc::Status(pnc::Err::kPermission);
+  PNC_ASSIGN_OR_RETURN(std::vector<Attr>* attrs, AttrListOf(im.header, varid));
+  const int existing =
+      [&] {
+        for (std::size_t i = 0; i < attrs->size(); ++i)
+          if ((*attrs)[i].name == att.name) return static_cast<int>(i);
+        return -1;
+      }();
+  if (!im.defining) {
+    // Data mode: only replacing an existing attribute without growing it is
+    // allowed (the header cannot expand without a relayout).
+    if (existing < 0) return pnc::Status(pnc::Err::kNotInDefine, att.name);
+    const auto& old = (*attrs)[static_cast<std::size_t>(existing)];
+    if (att.type != old.type || att.data.size() > old.data.size())
+      return pnc::Status(pnc::Err::kNotInDefine, att.name);
+    (*attrs)[static_cast<std::size_t>(existing)] = std::move(att);
+    return WriteHeader();
+  }
+  if (existing >= 0) {
+    (*attrs)[static_cast<std::size_t>(existing)] = std::move(att);
+  } else {
+    if (attrs->size() >= ncformat::kMaxAttrs)
+      return pnc::Status(pnc::Err::kMaxAtts);
+    attrs->push_back(std::move(att));
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::PutAttText(int varid, const std::string& name,
+                                std::string_view text) {
+  return PutAtt(varid, Attr::Text(name, text));
+}
+
+pnc::Result<Attr> Dataset::GetAtt(int varid, const std::string& name) const {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  PNC_ASSIGN_OR_RETURN(std::vector<Attr>* attrs,
+                       AttrListOf(impl_->header, varid));
+  for (const auto& a : *attrs)
+    if (a.name == name) return a;
+  return pnc::Status(pnc::Err::kNotAtt, name);
+}
+
+pnc::Status Dataset::DelAtt(int varid, const std::string& name) {
+  PNC_RETURN_IF_ERROR(CheckDefineMode());
+  PNC_ASSIGN_OR_RETURN(std::vector<Attr>* attrs,
+                       AttrListOf(impl_->header, varid));
+  auto it = std::find_if(attrs->begin(), attrs->end(),
+                         [&](const Attr& a) { return a.name == name; });
+  if (it == attrs->end()) return pnc::Status(pnc::Err::kNotAtt, name);
+  attrs->erase(it);
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::RenameAtt(int varid, const std::string& old_name,
+                               const std::string& new_name) {
+  PNC_RETURN_IF_ERROR(CheckDefineMode());
+  PNC_ASSIGN_OR_RETURN(std::vector<Attr>* attrs,
+                       AttrListOf(impl_->header, varid));
+  for (const auto& a : *attrs)
+    if (a.name == new_name) return pnc::Status(pnc::Err::kNameInUse, new_name);
+  for (auto& a : *attrs) {
+    if (a.name == old_name) {
+      a.name = new_name;
+      return pnc::Status::Ok();
+    }
+  }
+  return pnc::Status(pnc::Err::kNotAtt, old_name);
+}
+
+// --------------------------------------------------------------- inquiry
+
+const Header& Dataset::header() const { return impl_->header; }
+int Dataset::ndims() const { return static_cast<int>(impl_->header.dims.size()); }
+int Dataset::nvars() const { return static_cast<int>(impl_->header.vars.size()); }
+int Dataset::ngatts() const { return static_cast<int>(impl_->header.gatts.size()); }
+int Dataset::unlimdim() const { return impl_->header.unlimited_dimid(); }
+std::uint64_t Dataset::numrecs() const { return impl_->header.numrecs; }
+
+pnc::Result<int> Dataset::DimId(const std::string& name) const {
+  const int id = impl_->header.FindDim(name);
+  if (id < 0) return pnc::Status(pnc::Err::kBadDim, name);
+  return id;
+}
+
+pnc::Result<int> Dataset::VarId(const std::string& name) const {
+  const int id = impl_->header.FindVar(name);
+  if (id < 0) return pnc::Status(pnc::Err::kNotVar, name);
+  return id;
+}
+
+simmpi::VirtualClock& Dataset::clock() { return impl_->clock; }
+
+// ------------------------------------------------------------- data I/O
+
+pnc::Status Dataset::PutExternal(int varid,
+                                 std::span<const std::uint64_t> start,
+                                 std::span<const std::uint64_t> count,
+                                 std::span<const std::uint64_t> stride,
+                                 pnc::ConstByteSpan external) {
+  auto& im = *impl_;
+  auto& h = im.header;
+
+  // Record growth bookkeeping (and fill of skipped records) first.
+  if (h.IsRecordVar(varid) && !count.empty() && count[0] > 0) {
+    const std::uint64_t st = stride.empty() ? 1 : stride[0];
+    const std::uint64_t last = start[0] + (count[0] - 1) * st + 1;
+    if (last > h.numrecs) {
+      const std::uint64_t old_recs = h.numrecs;
+      h.numrecs = last;
+      im.numrecs_dirty = true;
+      if (im.fill == FillMode::kFill) {
+        for (int v = 0; v < static_cast<int>(h.vars.size()); ++v)
+          if (h.IsRecordVar(v))
+            PNC_RETURN_IF_ERROR(FillVariable(v, old_recs, last));
+      }
+    }
+  }
+
+  std::vector<pnc::Extent> regions;
+  ncformat::AccessRegions(h, varid, start, count, stride, regions);
+  std::uint64_t pos = 0;
+  for (const auto& r : regions) {
+    im.io.WriteAt(r.offset, external.subspan(pos, r.len));
+    pos += r.len;
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::GetExternal(int varid,
+                                 std::span<const std::uint64_t> start,
+                                 std::span<const std::uint64_t> count,
+                                 std::span<const std::uint64_t> stride,
+                                 pnc::ByteSpan external) {
+  auto& im = *impl_;
+  std::vector<pnc::Extent> regions;
+  ncformat::AccessRegions(im.header, varid, start, count, stride, regions);
+  std::uint64_t pos = 0;
+  for (const auto& r : regions) {
+    im.io.ReadAt(r.offset, external.subspan(pos, r.len));
+    pos += r.len;
+  }
+  return pnc::Status::Ok();
+}
+
+// --------------------------------------------------------- header output
+
+pnc::Status Dataset::WriteHeader() {
+  auto& im = *impl_;
+  std::vector<std::byte> bytes;
+  im.header.Encode(bytes);
+  im.io.WriteAt(0, bytes);
+  im.numrecs_dirty = false;
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::WriteNumrecs() {
+  auto& im = *impl_;
+  std::byte buf[4];
+  const auto v = pnc::xdr::ToBig(static_cast<std::uint32_t>(im.header.numrecs));
+  std::memcpy(buf, &v, 4);
+  im.io.WriteAt(4, pnc::ConstByteSpan(buf, 4));
+  im.numrecs_dirty = false;
+  return pnc::Status::Ok();
+}
+
+// ------------------------------------------------------------- relayout
+
+pnc::Status Dataset::MoveDataForRelayout(const Header& old_header) {
+  auto& im = *impl_;
+  const Header& nh = im.header;
+
+  // Copy helper, chunked; safe because every move is to a strictly higher
+  // offset and we process moves from the highest new offset downward.
+  auto copy_region = [&](std::uint64_t from, std::uint64_t to,
+                         std::uint64_t len) {
+    if (from == to || len == 0) return;
+    constexpr std::uint64_t kChunk = 4ULL << 20;
+    std::vector<std::byte> buf(std::min(len, kChunk));
+    std::uint64_t done = 0;
+    while (done < len) {  // back to front within the region as well
+      const std::uint64_t n = std::min(kChunk, len - done);
+      const std::uint64_t off = len - done - n;
+      im.io.ReadAt(from + off, pnc::ByteSpan(buf.data(), n));
+      im.io.WriteAt(to + off, pnc::ConstByteSpan(buf.data(), n));
+      done += n;
+    }
+  };
+
+  struct Move {
+    std::uint64_t from, to, len;
+  };
+  std::vector<Move> moves;
+
+  // Record region: relocate record-by-record if either the base offset or
+  // the internal record layout changed.
+  const std::uint64_t nrecs = old_header.numrecs;
+  for (std::size_t i = 0; i < old_header.vars.size(); ++i) {
+    const auto& ov = old_header.vars[i];
+    const int nid = nh.FindVar(ov.name);
+    if (nid < 0) continue;  // vars cannot be deleted, but be defensive
+    const auto& nv = nh.vars[static_cast<std::size_t>(nid)];
+    if (old_header.IsRecordVar(static_cast<int>(i))) {
+      for (std::uint64_t r = 0; r < nrecs; ++r) {
+        moves.push_back({ov.begin + r * old_header.recsize(),
+                         nv.begin + r * nh.recsize(), ov.vsize});
+      }
+    } else {
+      moves.push_back({ov.begin, nv.begin, ov.vsize});
+    }
+  }
+  // Highest destination first: destinations never precede their sources
+  // (the header only grows), so this order never clobbers unmoved data.
+  std::sort(moves.begin(), moves.end(),
+            [](const Move& a, const Move& b) { return a.to > b.to; });
+  for (const auto& m : moves) {
+    if (m.to < m.from)
+      return pnc::Status(pnc::Err::kInternal, "relayout moved data backwards");
+    copy_region(m.from, m.to, m.len);
+  }
+  return pnc::Status::Ok();
+}
+
+// ------------------------------------------------------------------ fill
+
+pnc::Status Dataset::FillVariable(int varid, std::uint64_t rec_from,
+                                  std::uint64_t rec_to) {
+  auto& im = *impl_;
+  const auto& h = im.header;
+  const auto& v = h.vars[static_cast<std::size_t>(varid)];
+  const std::uint64_t tsize = ncformat::TypeSize(v.type);
+
+  // One instance (whole fixed var / one record) of external fill bytes.
+  const std::uint64_t elems = h.VarInstanceElems(varid);
+  std::vector<std::byte> pattern(elems * tsize);
+  auto fill_with = [&](auto value) {
+    using T = decltype(value);
+    std::vector<T> vals(elems, value);
+    (void)ncformat::ToExternal<T>(std::span<const T>(vals), v.type,
+                                  pattern.data());
+  };
+  switch (v.type) {
+    case NcType::kByte: fill_with(kFillByte); break;
+    case NcType::kChar: fill_with(kFillChar); break;
+    case NcType::kShort: fill_with(kFillShort); break;
+    case NcType::kInt: fill_with(kFillInt); break;
+    case NcType::kFloat: fill_with(kFillFloat); break;
+    case NcType::kDouble: fill_with(kFillDouble); break;
+  }
+
+  if (h.IsRecordVar(varid)) {
+    for (std::uint64_t r = rec_from; r < rec_to; ++r)
+      im.io.WriteAt(v.begin + r * h.recsize(), pattern);
+  } else {
+    im.io.WriteAt(v.begin, pattern);
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::FillNewSpace(const Header* old_header) {
+  auto& im = *impl_;
+  const auto& h = im.header;
+  for (int v = 0; v < static_cast<int>(h.vars.size()); ++v) {
+    const bool existed =
+        old_header && old_header->FindVar(h.vars[static_cast<std::size_t>(v)].name) >= 0;
+    if (existed) continue;
+    if (h.IsRecordVar(v)) {
+      PNC_RETURN_IF_ERROR(FillVariable(v, 0, h.numrecs));
+    } else {
+      PNC_RETURN_IF_ERROR(FillVariable(v, 0, 0));
+    }
+  }
+  return pnc::Status::Ok();
+}
+
+}  // namespace netcdf

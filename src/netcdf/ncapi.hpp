@@ -1,0 +1,111 @@
+// The classic nc_* C-style interface to the serial library.
+//
+// Mirrors the Unidata netCDF-3 C API (netcdf.h) so that serial C programs
+// port mechanically: integer ncid handles, int error codes (NC_NOERR == 0),
+// size_t start/count vectors, and the typed data-access matrix. The paper's
+// §3.2 function taxonomy — dataset, define mode, attribute, inquiry, data
+// access — maps one to one.
+//
+// Environment adaptation: nc_create/nc_open take the (simulated or
+// disk-backed) file system as their first argument.
+#pragma once
+
+#include "netcdf/dataset.hpp"
+
+namespace netcdf::capi {
+
+// nc_type tags and mode flags (match netcdf.h).
+constexpr int NC_BYTE = 1;
+constexpr int NC_CHAR = 2;
+constexpr int NC_SHORT = 3;
+constexpr int NC_INT = 4;
+constexpr int NC_FLOAT = 5;
+constexpr int NC_DOUBLE = 6;
+constexpr int NC_CLOBBER = 0;
+constexpr int NC_NOCLOBBER = 0x0004;
+constexpr int NC_NOWRITE = 0;
+constexpr int NC_WRITE = 0x0001;
+constexpr int NC_64BIT_OFFSET = 0x0200;
+constexpr std::size_t NC_UNLIMITED = 0;
+constexpr int NC_GLOBAL = -1;
+constexpr int NC_NOERR = 0;
+// nc_set_fill modes.
+constexpr int NC_FILL = 0;
+constexpr int NC_NOFILL = 0x100;
+
+const char* nc_strerror(int err);
+
+// ---- dataset functions ----
+int nc_create(pfs::FileSystem& fs, const char* path, int cmode, int* ncidp);
+int nc_open(pfs::FileSystem& fs, const char* path, int omode, int* ncidp);
+int nc_redef(int ncid);
+int nc_enddef(int ncid);
+int nc_sync(int ncid);
+int nc_abort(int ncid);
+int nc_close(int ncid);
+int nc_set_fill(int ncid, int fillmode, int* old_modep);
+
+// ---- define mode functions ----
+int nc_def_dim(int ncid, const char* name, std::size_t len, int* idp);
+int nc_def_var(int ncid, const char* name, int xtype, int ndims,
+               const int* dimids, int* varidp);
+int nc_rename_dim(int ncid, int dimid, const char* name);
+int nc_rename_var(int ncid, int varid, const char* name);
+
+// ---- attribute functions ----
+int nc_put_att_text(int ncid, int varid, const char* name, std::size_t len,
+                    const char* op);
+int nc_get_att_text(int ncid, int varid, const char* name, char* ip);
+int nc_put_att_double(int ncid, int varid, const char* name, int xtype,
+                      std::size_t len, const double* op);
+int nc_get_att_double(int ncid, int varid, const char* name, double* ip);
+int nc_inq_att(int ncid, int varid, const char* name, int* xtypep,
+               std::size_t* lenp);
+int nc_del_att(int ncid, int varid, const char* name);
+int nc_rename_att(int ncid, int varid, const char* name, const char* newname);
+
+// ---- inquiry functions ----
+int nc_inq(int ncid, int* ndimsp, int* nvarsp, int* ngattsp,
+           int* unlimdimidp);
+int nc_inq_dimid(int ncid, const char* name, int* idp);
+int nc_inq_dim(int ncid, int dimid, char* name, std::size_t* lenp);
+int nc_inq_varid(int ncid, const char* name, int* varidp);
+int nc_inq_var(int ncid, int varid, char* name, int* xtypep, int* ndimsp,
+               int* dimids, int* nattsp);
+
+// ---- data access functions ----
+#define NETCDF_CAPI_DECLARE(SUFFIX, CTYPE)                                    \
+  int nc_put_var1_##SUFFIX(int ncid, int varid, const std::size_t* index,     \
+                           const CTYPE* op);                                  \
+  int nc_get_var1_##SUFFIX(int ncid, int varid, const std::size_t* index,     \
+                           CTYPE* ip);                                        \
+  int nc_put_var_##SUFFIX(int ncid, int varid, const CTYPE* op);              \
+  int nc_get_var_##SUFFIX(int ncid, int varid, CTYPE* ip);                    \
+  int nc_put_vara_##SUFFIX(int ncid, int varid, const std::size_t* start,     \
+                           const std::size_t* count, const CTYPE* op);        \
+  int nc_get_vara_##SUFFIX(int ncid, int varid, const std::size_t* start,     \
+                           const std::size_t* count, CTYPE* ip);              \
+  int nc_put_vars_##SUFFIX(int ncid, int varid, const std::size_t* start,     \
+                           const std::size_t* count,                          \
+                           const std::ptrdiff_t* stride, const CTYPE* op);    \
+  int nc_get_vars_##SUFFIX(int ncid, int varid, const std::size_t* start,     \
+                           const std::size_t* count,                          \
+                           const std::ptrdiff_t* stride, CTYPE* ip);          \
+  int nc_put_varm_##SUFFIX(int ncid, int varid, const std::size_t* start,     \
+                           const std::size_t* count,                          \
+                           const std::ptrdiff_t* stride,                      \
+                           const std::ptrdiff_t* imap, const CTYPE* op);      \
+  int nc_get_varm_##SUFFIX(int ncid, int varid, const std::size_t* start,     \
+                           const std::size_t* count,                          \
+                           const std::ptrdiff_t* stride,                      \
+                           const std::ptrdiff_t* imap, CTYPE* ip);
+
+NETCDF_CAPI_DECLARE(text, char)
+NETCDF_CAPI_DECLARE(schar, signed char)
+NETCDF_CAPI_DECLARE(short, short)
+NETCDF_CAPI_DECLARE(int, int)
+NETCDF_CAPI_DECLARE(float, float)
+NETCDF_CAPI_DECLARE(double, double)
+#undef NETCDF_CAPI_DECLARE
+
+}  // namespace netcdf::capi

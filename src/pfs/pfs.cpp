@@ -1,0 +1,313 @@
+#include "pfs/pfs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace pfs {
+
+// ---------------------------------------------------------------- MemStore
+
+void MemStore::Write(std::uint64_t offset, pnc::ConstByteSpan data) {
+  std::uint64_t pos = offset;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::uint64_t chunk_id = pos / kChunk;
+    const std::uint64_t in_chunk = pos % kChunk;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunk - in_chunk, data.size() - consumed));
+    auto& chunk = chunks_[chunk_id];
+    if (chunk.empty()) chunk.resize(kChunk);
+    std::memcpy(chunk.data() + in_chunk, data.data() + consumed, n);
+    pos += n;
+    consumed += n;
+  }
+  size_ = std::max(size_, offset + data.size());
+}
+
+void MemStore::Read(std::uint64_t offset, pnc::ByteSpan out) const {
+  std::uint64_t pos = offset;
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    const std::uint64_t chunk_id = pos / kChunk;
+    const std::uint64_t in_chunk = pos % kChunk;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunk - in_chunk, out.size() - produced));
+    auto it = chunks_.find(chunk_id);
+    if (it == chunks_.end()) {
+      std::memset(out.data() + produced, 0, n);
+    } else {
+      std::memcpy(out.data() + produced, it->second.data() + in_chunk, n);
+    }
+    pos += n;
+    produced += n;
+  }
+}
+
+void MemStore::Truncate(std::uint64_t new_size) {
+  // Drop chunks entirely beyond the new size and zero the tail of the chunk
+  // that straddles it, so re-extension reads back zeros.
+  const std::uint64_t first_dead = (new_size + kChunk - 1) / kChunk;
+  chunks_.erase(chunks_.lower_bound(first_dead), chunks_.end());
+  if (new_size % kChunk != 0) {
+    auto it = chunks_.find(new_size / kChunk);
+    if (it != chunks_.end()) {
+      std::memset(it->second.data() + new_size % kChunk, 0,
+                  static_cast<std::size_t>(kChunk - new_size % kChunk));
+    }
+  }
+  size_ = new_size;
+}
+
+// --------------------------------------------------------------- FileStore
+
+pnc::Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path,
+                                                        bool truncate) {
+  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return pnc::Status(pnc::Err::kIo, "open " + path);
+  return std::unique_ptr<FileStore>(new FileStore(fd));
+}
+
+FileStore::~FileStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileStore::Write(std::uint64_t offset, pnc::ConstByteSpan data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (n <= 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("pwrite failed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void FileStore::Read(std::uint64_t offset, pnc::ByteSpan out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("pread failed");
+    }
+    if (n == 0) {  // past EOF: holes read as zeros
+      std::memset(out.data() + done, 0, out.size() - done);
+      return;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t FileStore::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void FileStore::Truncate(std::uint64_t new_size) {
+  (void)::ftruncate(fd_, static_cast<off_t>(new_size));
+}
+
+// -------------------------------------------------------------------- File
+
+struct File::Node {
+  std::string path;
+  std::mutex mu;  ///< serializes data access on this file
+  std::mutex rmw_mu;  ///< advisory lock spanning read-modify-write sequences
+  std::unique_ptr<ByteStore> store;
+  std::uint64_t discarded_size = 0;  ///< logical size under discard_data
+};
+
+double File::Read(std::uint64_t offset, pnc::ByteSpan out, double start_ns) {
+  {
+    std::lock_guard<std::mutex> lk(node_->mu);
+    node_->store->Read(offset, out);
+  }
+  return fs_->ServeRequest(offset, out.size(), /*is_write=*/false, start_ns);
+}
+
+double File::Write(std::uint64_t offset, pnc::ConstByteSpan data,
+                   double start_ns) {
+  {
+    std::lock_guard<std::mutex> lk(node_->mu);
+    if (fs_->cfg_.discard_data) {
+      node_->discarded_size =
+          std::max(node_->discarded_size, offset + data.size());
+    } else {
+      node_->store->Write(offset, data);
+    }
+  }
+  return fs_->ServeRequest(offset, data.size(), /*is_write=*/true, start_ns);
+}
+
+std::uint64_t File::size() const {
+  std::lock_guard<std::mutex> lk(node_->mu);
+  return std::max(node_->store->size(), node_->discarded_size);
+}
+
+void File::Truncate(std::uint64_t new_size) {
+  std::lock_guard<std::mutex> lk(node_->mu);
+  node_->store->Truncate(new_size);
+}
+
+double File::Sync(double start_ns) {
+  // A sync is a zero-payload round trip to the servers.
+  return fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns);
+}
+
+std::unique_lock<std::mutex> File::LockForRmw() {
+  return std::unique_lock<std::mutex>(node_->rmw_mu);
+}
+
+const std::string& File::path() const { return node_->path; }
+
+// -------------------------------------------------------------- FileSystem
+
+FileSystem::FileSystem(Config cfg) : cfg_(cfg) {
+  server_next_free_.assign(static_cast<std::size_t>(cfg_.num_servers), 0.0);
+}
+
+FileSystem::~FileSystem() = default;
+
+pnc::Result<File> FileSystem::Create(const std::string& path, bool exclusive) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    if (exclusive) return pnc::Status(pnc::Err::kExists, path);
+    it->second->store->Truncate(0);
+    return File(this, it->second);
+  }
+  auto node = std::make_shared<File::Node>();
+  node->path = path;
+  node->store = std::make_unique<MemStore>();
+  files_[path] = node;
+  return File(this, node);
+}
+
+pnc::Result<File> FileSystem::CreateOnDisk(const std::string& path,
+                                           const std::string& disk_path) {
+  auto store = FileStore::Open(disk_path, /*truncate=*/true);
+  if (!store.ok()) return store.status();
+  std::lock_guard<std::mutex> lk(mu_);
+  auto node = std::make_shared<File::Node>();
+  node->path = path;
+  node->store = std::move(store).value();
+  files_[path] = node;
+  return File(this, node);
+}
+
+pnc::Result<File> FileSystem::AttachDisk(const std::string& path,
+                                         const std::string& disk_path) {
+  auto store = FileStore::Open(disk_path, /*truncate=*/false);
+  if (!store.ok()) return store.status();
+  std::lock_guard<std::mutex> lk(mu_);
+  auto node = std::make_shared<File::Node>();
+  node->path = path;
+  node->store = std::move(store).value();
+  files_[path] = node;
+  return File(this, node);
+}
+
+pnc::Result<File> FileSystem::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return pnc::Status(pnc::Err::kNotNc, path);
+  return File(this, it->second);
+}
+
+bool FileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return files_.count(path) > 0;
+}
+
+pnc::Status FileSystem::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (files_.erase(path) == 0) return pnc::Status(pnc::Err::kNotNc, path);
+  return pnc::Status::Ok();
+}
+
+Stats FileSystem::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void FileSystem::ResetStats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_ = Stats{};
+}
+
+void FileSystem::ResetTime() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::fill(server_next_free_.begin(), server_next_free_.end(), 0.0);
+}
+
+double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
+                                bool is_write, double start_ns) {
+  const double per_byte =
+      is_write ? cfg_.server_write_ns_per_byte : cfg_.server_read_ns_per_byte;
+
+  // Decompose [offset, offset+len) into per-server byte totals according to
+  // the round-robin stripe map; each involved server serves one event.
+  // Writes that cover only part of a stripe are charged the whole stripe
+  // when write_partial_stripe_rmw is on (block read-modify-write).
+  std::vector<std::uint64_t> bytes_per_server(
+      static_cast<std::size_t>(cfg_.num_servers), 0);
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const std::uint64_t stripe = pos / cfg_.stripe_size;
+    const auto server =
+        static_cast<std::size_t>(stripe % static_cast<std::uint64_t>(
+                                              cfg_.num_servers));
+    const std::uint64_t in_stripe = pos % cfg_.stripe_size;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(cfg_.stripe_size - in_stripe, remaining);
+    const bool partial = n < cfg_.stripe_size;
+    bytes_per_server[server] +=
+        (is_write && partial && cfg_.write_partial_stripe_rmw)
+            ? cfg_.stripe_size
+            : n;
+    pos += n;
+    remaining -= n;
+  }
+
+  // The client injects the request and streams data over its own link.
+  const double client_ns_per_byte =
+      is_write ? cfg_.client_write_ns_per_byte : cfg_.client_read_ns_per_byte;
+  const double client_done = start_ns + cfg_.client_request_ns +
+                             client_ns_per_byte * static_cast<double>(len);
+  const double arrival = start_ns + cfg_.client_request_ns;
+
+  double completion = client_done;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (is_write) {
+      stats_.bytes_written += len;
+      stats_.write_requests += 1;
+    } else {
+      stats_.bytes_read += len;
+      stats_.read_requests += 1;
+    }
+    for (std::size_t s = 0; s < bytes_per_server.size(); ++s) {
+      if (bytes_per_server[s] == 0 && len != 0) continue;
+      const double begin = std::max(arrival, server_next_free_[s]);
+      const double done = begin + cfg_.server_request_ns +
+                          per_byte * static_cast<double>(bytes_per_server[s]);
+      server_next_free_[s] = done;
+      completion = std::max(completion, done);
+      if (len == 0) break;  // zero-length request: touch one server only
+    }
+  }
+  return completion;
+}
+
+}  // namespace pfs

@@ -1,0 +1,195 @@
+// Simulated striped parallel file system (GPFS-like).
+//
+// The paper's testbeds attach compute nodes to a fixed pool of I/O server
+// nodes running GPFS (12 servers at SDSC for Figure 6, 2 at ASCI Frost for
+// Figure 7). This module reproduces that architecture: files are striped
+// round-robin across `num_servers` servers; every request is decomposed into
+// per-server service events with a fixed per-request latency plus a per-byte
+// service cost, and each server serves events FCFS along a virtual timeline.
+//
+// Two properties of this model carry the paper's results:
+//   * fixed server pool => aggregate bandwidth saturates as clients grow
+//     (Figure 6: "the number of I/O nodes (and disks) is fixed so that the
+//     dominating disk access time at I/O nodes is almost fixed");
+//   * fixed per-request latency => many small noncontiguous requests are
+//     far slower than few large contiguous ones, which is exactly what
+//     data sieving and two-phase collective I/O exist to fix.
+//
+// Bytes are really stored (in sparse memory chunks or a backing POSIX file),
+// so correctness tests read back real data; only *time* is simulated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace pfs {
+
+/// Cluster configuration. Defaults approximate the SDSC Blue Horizon GPFS
+/// deployment used for Figure 6 (see bench/platforms.hpp for presets).
+struct Config {
+  int num_servers = 12;
+  std::uint64_t stripe_size = 256 * 1024;
+
+  // Client side: one compute node's effective data path to the I/O system.
+  // Writes are slower than reads for a single client (write protocol,
+  // token/consistency management in GPFS-class file systems).
+  double client_read_ns_per_byte = 4.0;    ///< ~250 MB/s per client, reads
+  double client_write_ns_per_byte = 10.0;  ///< ~100 MB/s per client, writes
+  double client_request_ns = 30'000.0;     ///< per-request client software cost
+
+  // Server side: per-server service rates (reads benefit from GPFS
+  // read-ahead and caching; writes pay for disk commit).
+  double server_read_ns_per_byte = 16.0;   ///< ~62 MB/s per server
+  double server_write_ns_per_byte = 40.0;  ///< ~25 MB/s per server
+  double server_request_ns = 800'000.0;    ///< per (request, server) overhead
+
+  /// Partial-stripe writes cost a full stripe at the server (block-based
+  /// file systems read-modify-write whole blocks). This is why collective
+  /// I/O implementations align their file domains to stripe boundaries.
+  bool write_partial_stripe_rmw = true;
+
+  /// Benchmark mode: account for writes (size, stats, virtual time) but do
+  /// not store the bytes. Reads then return zeros. Correctness runs (tests,
+  /// examples) keep this off; large-scale sweeps turn it on so a simulated
+  /// multi-gigabyte file costs no host memory.
+  bool discard_data = false;
+};
+
+/// Aggregate traffic counters, useful for tests and the hints example.
+struct Stats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+};
+
+/// Where a file's bytes actually live.
+class ByteStore {
+ public:
+  virtual ~ByteStore() = default;
+  virtual void Write(std::uint64_t offset, pnc::ConstByteSpan data) = 0;
+  /// Reads beyond EOF / in holes yield zero bytes.
+  virtual void Read(std::uint64_t offset, pnc::ByteSpan out) const = 0;
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+  virtual void Truncate(std::uint64_t new_size) = 0;
+};
+
+/// Sparse in-memory store (default). Allocates 4 MiB chunks on first write,
+/// so a mostly-hole 1 GB benchmark file does not cost 1 GB of RAM.
+class MemStore final : public ByteStore {
+ public:
+  void Write(std::uint64_t offset, pnc::ConstByteSpan data) override;
+  void Read(std::uint64_t offset, pnc::ByteSpan out) const override;
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+  void Truncate(std::uint64_t new_size) override;
+
+ private:
+  static constexpr std::uint64_t kChunk = 4ULL << 20;
+  std::map<std::uint64_t, std::vector<std::byte>> chunks_;
+  std::uint64_t size_ = 0;
+};
+
+/// POSIX-file-backed store, used by examples that want a real artifact on
+/// disk. Timing still goes through the simulated cluster model.
+class FileStore final : public ByteStore {
+ public:
+  static pnc::Result<std::unique_ptr<FileStore>> Open(const std::string& path,
+                                                      bool truncate);
+  ~FileStore() override;
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+
+  void Write(std::uint64_t offset, pnc::ConstByteSpan data) override;
+  void Read(std::uint64_t offset, pnc::ByteSpan out) const override;
+  [[nodiscard]] std::uint64_t size() const override;
+  void Truncate(std::uint64_t new_size) override;
+
+ private:
+  explicit FileStore(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+class FileSystem;
+
+/// An open file handle. Thread-safe: concurrent rank threads may access the
+/// same handle (data is mutex-protected; timing goes through the server
+/// timelines).
+class File {
+ public:
+  /// Perform a contiguous read/write issued at virtual time `start_ns`;
+  /// returns the virtual completion time. Bytes are moved for real.
+  double Read(std::uint64_t offset, pnc::ByteSpan out, double start_ns);
+  double Write(std::uint64_t offset, pnc::ConstByteSpan data, double start_ns);
+
+  [[nodiscard]] std::uint64_t size() const;
+  void Truncate(std::uint64_t new_size);
+  /// Flush: charges one request round-trip per server.
+  double Sync(double start_ns);
+
+  /// Whole-file advisory lock for read-modify-write sequences (the fcntl
+  /// byte-range lock ROMIO takes around data-sieving writes). Concurrent
+  /// independent RMW windows from different clients would otherwise lose
+  /// updates.
+  [[nodiscard]] std::unique_lock<std::mutex> LockForRmw();
+
+  [[nodiscard]] const std::string& path() const;
+
+ private:
+  friend class FileSystem;
+  struct Node;
+  File(FileSystem* fs, std::shared_ptr<Node> node) : fs_(fs), node_(std::move(node)) {}
+  FileSystem* fs_;
+  std::shared_ptr<Node> node_;
+};
+
+/// The cluster: a namespace of files plus the shared server timelines.
+class FileSystem {
+ public:
+  explicit FileSystem(Config cfg = Config{});
+  ~FileSystem();
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  /// Create a file (in-memory store). With `exclusive`, fails if it exists;
+  /// otherwise truncates any existing file.
+  pnc::Result<File> Create(const std::string& path, bool exclusive);
+  /// Create a file whose bytes live in a real POSIX file at `disk_path`.
+  pnc::Result<File> CreateOnDisk(const std::string& path,
+                                 const std::string& disk_path);
+  /// Attach an existing POSIX file (not truncated) under `path`, so real
+  /// netCDF files on the host can be read/modified through the library.
+  pnc::Result<File> AttachDisk(const std::string& path,
+                               const std::string& disk_path);
+  pnc::Result<File> Open(const std::string& path);
+  [[nodiscard]] bool Exists(const std::string& path) const;
+  pnc::Status Remove(const std::string& path);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] Stats stats() const;
+  void ResetStats();
+  /// Reset server timelines to idle (used between benchmark repetitions).
+  void ResetTime();
+
+ private:
+  friend class File;
+
+  /// Advance the per-server timelines for one contiguous request and return
+  /// its completion time.
+  double ServeRequest(std::uint64_t offset, std::uint64_t len, bool is_write,
+                      double start_ns);
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<File::Node>> files_;
+  std::vector<double> server_next_free_;
+  Stats stats_;
+};
+
+}  // namespace pfs

@@ -1,0 +1,772 @@
+#include "pnetcdf/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pnetcdf {
+
+using ncformat::Attr;
+using ncformat::Header;
+using ncformat::NcType;
+
+struct Dataset::Impl {
+  Impl(simmpi::Comm c, pfs::FileSystem* filesystem, mpiio::File f,
+       std::string p, bool w, simmpi::Info i)
+      : comm(std::move(c)), fs(filesystem), file(std::move(f)),
+        path(std::move(p)), writable(w), info(std::move(i)) {}
+
+  simmpi::Comm comm;
+  pfs::FileSystem* fs;
+  mpiio::File file;
+  std::string path;
+  bool writable;
+  simmpi::Info info;
+
+  Header header;
+  bool defining = false;
+  bool fresh = false;
+  bool indep = false;  ///< independent data mode active
+  std::optional<Header> pre_redef;
+  std::uint64_t header_align = 0;  ///< nc_header_align_size hint
+};
+
+namespace {
+
+std::vector<std::byte> EncodeHeader(const Header& h) {
+  std::vector<std::byte> bytes;
+  h.Encode(bytes);
+  return bytes;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- lifecycle
+
+pnc::Result<Dataset> Dataset::Create(simmpi::Comm comm, pfs::FileSystem& fs,
+                                     const std::string& path,
+                                     const simmpi::Info& info,
+                                     const CreateOptions& opts) {
+  unsigned mode = mpiio::kCreate | mpiio::kRdWr;
+  if (!opts.clobber) mode |= mpiio::kExcl;
+  auto f = mpiio::File::Open(comm, fs, path, mode, info);
+  if (!f.ok()) return f.status();
+
+  Dataset ds;
+  ds.impl_ = std::make_shared<Impl>(std::move(comm), &fs, std::move(f).value(),
+                                    path, /*writable=*/true, info);
+  auto& im = *ds.impl_;
+  im.header.version = opts.use_cdf2 ? 2 : 1;
+  im.defining = true;
+  im.fresh = true;
+  // PnetCDF-level hint: align the start of the data section, leaving space
+  // for the header to grow without relocating data (§4.2.2: PnetCDF hints
+  // are interpreted by the library, the rest pass through to MPI-IO).
+  im.header_align =
+      static_cast<std::uint64_t>(im.info.GetInt("nc_header_align_size", 0));
+  return ds;
+}
+
+pnc::Result<Dataset> Dataset::Open(simmpi::Comm comm, pfs::FileSystem& fs,
+                                   const std::string& path, bool writable,
+                                   const simmpi::Info& info) {
+  unsigned mode = writable ? mpiio::kRdWr : mpiio::kRdOnly;
+  auto f = mpiio::File::Open(comm, fs, path, mode, info);
+  if (!f.ok()) return f.status();
+
+  Dataset ds;
+  ds.impl_ = std::make_shared<Impl>(std::move(comm), &fs, std::move(f).value(),
+                                    path, writable, info);
+  auto& im = *ds.impl_;
+
+  // §4.2.1: the root process fetches the file header and broadcasts it; all
+  // processes then hold an identical local copy until close.
+  int err = 0;
+  std::vector<std::byte> bytes;
+  if (im.comm.rank() == 0) {
+    const std::uint64_t fsize = im.file.GetSize().ok()
+                                    ? im.file.GetSize().value()
+                                    : 0;
+    std::uint64_t try_size = 8 * 1024;
+    for (;;) {
+      const std::uint64_t n = std::min(try_size, std::max<std::uint64_t>(fsize, 4));
+      bytes.assign(n, std::byte{0});
+      pnc::Status rs =
+          im.file.ReadAt(0, bytes.data(), n, simmpi::ByteType());
+      if (!rs.ok()) {
+        err = rs.raw();
+        break;
+      }
+      auto hdr = Header::Decode(bytes);
+      if (hdr.ok()) {
+        im.header = std::move(hdr).value();
+        bytes = EncodeHeader(im.header);
+        break;
+      }
+      if (hdr.status().code() != pnc::Err::kTrunc || n >= fsize) {
+        err = hdr.status().raw();
+        break;
+      }
+      try_size *= 4;
+    }
+  }
+  im.comm.BcastValue(err, 0);
+  if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), path);
+  im.comm.Bcast(bytes, 0);
+  if (im.comm.rank() != 0) {
+    auto hdr = Header::Decode(bytes);
+    if (!hdr.ok()) return hdr.status();
+    im.header = std::move(hdr).value();
+  }
+  im.header_align =
+      static_cast<std::uint64_t>(im.info.GetInt("nc_header_align_size", 0));
+  return ds;
+}
+
+pnc::Status Dataset::Redef() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (im.defining) return pnc::Status(pnc::Err::kInDefine);
+  if (!im.writable) return pnc::Status(pnc::Err::kPermission);
+  if (im.indep) return pnc::Status(pnc::Err::kInIndep);
+  im.pre_redef = im.header;
+  im.defining = true;
+  im.comm.Barrier();
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::WriteHeaderCollective() {
+  auto& im = *impl_;
+  auto bytes = EncodeHeader(im.header);
+  im.file.ClearView();
+  if (im.comm.rank() == 0) {
+    PNC_RETURN_IF_ERROR(
+        im.file.WriteAt(0, bytes.data(), bytes.size(), simmpi::ByteType()));
+  }
+  im.comm.Barrier();
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::EndDef() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (!im.defining) return pnc::Status(pnc::Err::kNotInDefine);
+
+  // Keep the data section where it is if the new header still fits in front
+  // of it; also honor the header alignment hint.
+  std::uint64_t min_begin = im.header_align;
+  if (im.pre_redef) {
+    const std::uint64_t new_size = im.header.EncodedSize();
+    if (new_size <= im.pre_redef->data_begin())
+      min_begin = std::max(min_begin, im.pre_redef->data_begin());
+  }
+  pnc::Status lst = im.header.ComputeLayout(min_begin);
+  PNC_RETURN_IF_ERROR(CollectiveCheck(lst, true));
+
+  // §4.2.1: all define mode functions are collective and require identical
+  // arguments on every process; verify before committing anything to disk.
+  auto bytes = EncodeHeader(im.header);
+  if (!im.comm.AllAgree(bytes))
+    return pnc::Status(pnc::Err::kMultiDefine, "EndDef header mismatch");
+
+  if (im.pre_redef && !im.fresh) {
+    PNC_RETURN_IF_ERROR(RelayoutParallel(*im.pre_redef));
+  }
+  PNC_RETURN_IF_ERROR(WriteHeaderCollective());
+  im.defining = false;
+  im.fresh = false;
+  im.pre_redef.reset();
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::Sync() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (im.defining) return pnc::Status(pnc::Err::kInDefine);
+  PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));
+  return im.file.Sync();
+}
+
+pnc::Status Dataset::Close() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (im.defining) PNC_RETURN_IF_ERROR(EndDef());
+  PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));
+  return im.file.Close();
+}
+
+pnc::Status Dataset::Abort() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (im.defining && im.fresh) {
+    PNC_RETURN_IF_ERROR(im.file.Close());
+    if (im.comm.rank() == 0) {
+      PNC_RETURN_IF_ERROR(im.fs->Remove(im.path));
+    }
+    im.comm.Barrier();
+    return pnc::Status::Ok();
+  }
+  if (im.defining && im.pre_redef) {
+    im.header = *im.pre_redef;
+    im.pre_redef.reset();
+    im.defining = false;
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::BeginIndepData() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (im.defining) return pnc::Status(pnc::Err::kInDefine);
+  if (im.indep) return pnc::Status(pnc::Err::kInIndep);
+  im.comm.Barrier();
+  im.indep = true;
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::EndIndepData() {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (!im.indep) return pnc::Status(pnc::Err::kNotIndep);
+  im.indep = false;
+  // Record counts may have diverged across ranks during independent writes;
+  // converge on the maximum and persist it.
+  PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));
+  return pnc::Status::Ok();
+}
+
+// ----------------------------------------------------------- define mode
+// Define mode functions keep the serial syntax and semantics (§4.1); they
+// mutate only the local header copy. Cross-process argument consistency is
+// verified wholesale at EndDef (AllAgree on the encoded header), which is
+// where the library pays its one synchronization for the whole definition
+// phase (§4.3).
+
+namespace {
+pnc::Status CheckDefine(const Dataset::Impl& im) {
+  if (!im.defining) return pnc::Status(pnc::Err::kNotInDefine);
+  if (!im.writable) return pnc::Status(pnc::Err::kPermission);
+  return pnc::Status::Ok();
+}
+}  // namespace
+
+pnc::Result<int> Dataset::DefDim(const std::string& name, std::uint64_t len) {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  PNC_RETURN_IF_ERROR(CheckDefine(im));
+  auto& h = im.header;
+  if (h.FindDim(name) >= 0) return pnc::Status(pnc::Err::kNameInUse, name);
+  if (len == kUnlimited && h.unlimited_dimid() >= 0)
+    return pnc::Status(pnc::Err::kUnlimit, name);
+  if (h.dims.size() >= ncformat::kMaxDims)
+    return pnc::Status(pnc::Err::kMaxDims);
+  h.dims.push_back({name, len});
+  return static_cast<int>(h.dims.size()) - 1;
+}
+
+pnc::Result<int> Dataset::DefVar(const std::string& name, NcType type,
+                                 std::vector<std::int32_t> dimids) {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  PNC_RETURN_IF_ERROR(CheckDefine(im));
+  auto& h = im.header;
+  if (h.FindVar(name) >= 0) return pnc::Status(pnc::Err::kNameInUse, name);
+  if (h.vars.size() >= ncformat::kMaxVars)
+    return pnc::Status(pnc::Err::kMaxVars);
+  if (!ncformat::IsValidType(static_cast<std::int32_t>(type)))
+    return pnc::Status(pnc::Err::kBadType, name);
+  ncformat::Var v;
+  v.name = name;
+  v.type = type;
+  v.dimids = std::move(dimids);
+  for (std::size_t i = 0; i < v.dimids.size(); ++i) {
+    const auto d = v.dimids[i];
+    if (d < 0 || static_cast<std::size_t>(d) >= h.dims.size())
+      return pnc::Status(pnc::Err::kBadDim, name);
+    if (h.dims[static_cast<std::size_t>(d)].is_unlimited() && i != 0)
+      return pnc::Status(pnc::Err::kUnlimPos, name);
+  }
+  h.vars.push_back(std::move(v));
+  return static_cast<int>(h.vars.size()) - 1;
+}
+
+pnc::Status Dataset::RenameDim(int dimid, const std::string& name) {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  PNC_RETURN_IF_ERROR(CheckDefine(*impl_));
+  auto& h = impl_->header;
+  if (dimid < 0 || static_cast<std::size_t>(dimid) >= h.dims.size())
+    return pnc::Status(pnc::Err::kBadDim);
+  if (h.FindDim(name) >= 0) return pnc::Status(pnc::Err::kNameInUse, name);
+  h.dims[static_cast<std::size_t>(dimid)].name = name;
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::RenameVar(int varid, const std::string& name) {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  PNC_RETURN_IF_ERROR(CheckDefine(*impl_));
+  auto& h = impl_->header;
+  if (varid < 0 || static_cast<std::size_t>(varid) >= h.vars.size())
+    return pnc::Status(pnc::Err::kNotVar);
+  if (h.FindVar(name) >= 0) return pnc::Status(pnc::Err::kNameInUse, name);
+  h.vars[static_cast<std::size_t>(varid)].name = name;
+  return pnc::Status::Ok();
+}
+
+// ------------------------------------------------------------ attributes
+
+namespace {
+pnc::Result<std::vector<Attr>*> AttrListOf(Header& h, int varid) {
+  if (varid == kGlobal) return &h.gatts;
+  if (varid < 0 || static_cast<std::size_t>(varid) >= h.vars.size())
+    return pnc::Status(pnc::Err::kNotVar);
+  return &h.vars[static_cast<std::size_t>(varid)].attrs;
+}
+}  // namespace
+
+pnc::Status Dataset::PutAtt(int varid, Attr att) {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  auto& im = *impl_;
+  if (!im.writable) return pnc::Status(pnc::Err::kPermission);
+  PNC_ASSIGN_OR_RETURN(std::vector<Attr>* attrs, AttrListOf(im.header, varid));
+  int existing = -1;
+  for (std::size_t i = 0; i < attrs->size(); ++i)
+    if ((*attrs)[i].name == att.name) existing = static_cast<int>(i);
+  if (!im.defining) {
+    // Data mode: in-place replacement only; the change is collective and the
+    // root rewrites the (same-size) header.
+    if (existing < 0) return pnc::Status(pnc::Err::kNotInDefine, att.name);
+    const auto& old = (*attrs)[static_cast<std::size_t>(existing)];
+    if (att.type != old.type || att.data.size() > old.data.size())
+      return pnc::Status(pnc::Err::kNotInDefine, att.name);
+    (*attrs)[static_cast<std::size_t>(existing)] = std::move(att);
+    return WriteHeaderCollective();
+  }
+  if (existing >= 0) {
+    (*attrs)[static_cast<std::size_t>(existing)] = std::move(att);
+  } else {
+    if (attrs->size() >= ncformat::kMaxAttrs)
+      return pnc::Status(pnc::Err::kMaxAtts);
+    attrs->push_back(std::move(att));
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::PutAttText(int varid, const std::string& name,
+                                std::string_view text) {
+  return PutAtt(varid, Attr::Text(name, text));
+}
+
+pnc::Result<Attr> Dataset::GetAtt(int varid, const std::string& name) const {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  PNC_ASSIGN_OR_RETURN(std::vector<Attr>* attrs,
+                       AttrListOf(impl_->header, varid));
+  for (const auto& a : *attrs)
+    if (a.name == name) return a;
+  return pnc::Status(pnc::Err::kNotAtt, name);
+}
+
+pnc::Status Dataset::DelAtt(int varid, const std::string& name) {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  PNC_RETURN_IF_ERROR(CheckDefine(*impl_));
+  PNC_ASSIGN_OR_RETURN(std::vector<Attr>* attrs,
+                       AttrListOf(impl_->header, varid));
+  auto it = std::find_if(attrs->begin(), attrs->end(),
+                         [&](const Attr& a) { return a.name == name; });
+  if (it == attrs->end()) return pnc::Status(pnc::Err::kNotAtt, name);
+  attrs->erase(it);
+  return pnc::Status::Ok();
+}
+
+// --------------------------------------------------------------- inquiry
+// All inquiry works on the local header copy: "All header information can be
+// accessed directly in local memory" (§4.3) — no communication here.
+
+const Header& Dataset::header() const { return impl_->header; }
+int Dataset::ndims() const { return static_cast<int>(impl_->header.dims.size()); }
+int Dataset::nvars() const { return static_cast<int>(impl_->header.vars.size()); }
+int Dataset::ngatts() const { return static_cast<int>(impl_->header.gatts.size()); }
+int Dataset::unlimdim() const { return impl_->header.unlimited_dimid(); }
+std::uint64_t Dataset::numrecs() const { return impl_->header.numrecs; }
+
+pnc::Result<int> Dataset::DimId(const std::string& name) const {
+  const int id = impl_->header.FindDim(name);
+  if (id < 0) return pnc::Status(pnc::Err::kBadDim, name);
+  return id;
+}
+
+pnc::Result<int> Dataset::VarId(const std::string& name) const {
+  const int id = impl_->header.FindVar(name);
+  if (id < 0) return pnc::Status(pnc::Err::kNotVar, name);
+  return id;
+}
+
+simmpi::Comm& Dataset::comm() { return impl_->comm; }
+const mpiio::Hints& Dataset::hints() const { return impl_->file.hints(); }
+
+// ------------------------------------------------------------- data mode
+
+pnc::Status Dataset::CheckDataMode(bool need_write, bool collective) const {
+  if (!impl_) return pnc::Status(pnc::Err::kBadId);
+  const auto& im = *impl_;
+  if (im.defining) return pnc::Status(pnc::Err::kInDefine);
+  if (need_write && !im.writable) return pnc::Status(pnc::Err::kPermission);
+  if (collective && im.indep) return pnc::Status(pnc::Err::kInIndep);
+  if (!collective && !im.indep) return pnc::Status(pnc::Err::kNotIndep);
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::CollectiveCheck(pnc::Status st, bool collective) {
+  if (!collective) return st;
+  const bool all_ok = impl_->comm.AllreduceAnd(st.ok());
+  if (all_ok) return pnc::Status::Ok();
+  return st.ok() ? pnc::Status(pnc::Err::kMultiDefine,
+                               "a peer process failed validation")
+                 : st;
+}
+
+pnc::Status Dataset::MoveExternal(int varid,
+                                  std::span<const std::uint64_t> start,
+                                  std::span<const std::uint64_t> count,
+                                  std::span<const std::uint64_t> stride,
+                                  pnc::ByteSpan ext, bool is_write,
+                                  bool collective) {
+  auto& im = *impl_;
+
+  // §4.2.2: represent the access pattern as an MPI file view constructed
+  // from the variable metadata and the start/count/stride arguments. The
+  // regions come out sorted, so the hindexed filetype is monotonic as MPI
+  // requires.
+  std::vector<pnc::Extent> regions;
+  ncformat::AccessRegions(im.header, varid, start, count, stride, regions);
+  std::vector<std::uint64_t> lens, offs;
+  lens.reserve(regions.size());
+  offs.reserve(regions.size());
+  for (const auto& r : regions) {
+    offs.push_back(r.offset);
+    lens.push_back(r.len);
+  }
+  auto filetype = simmpi::Datatype::Hindexed(lens, offs, simmpi::ByteType());
+
+  pnc::Status io;
+  if (collective) {
+    PNC_RETURN_IF_ERROR(im.file.SetView(0, simmpi::ByteType(), filetype));
+    io = is_write ? im.file.WriteAtAll(0, ext.data(), ext.size(),
+                                       simmpi::ByteType())
+                  : im.file.ReadAtAll(0, ext.data(), ext.size(),
+                                      simmpi::ByteType());
+  } else {
+    PNC_RETURN_IF_ERROR(im.file.SetViewLocal(0, simmpi::ByteType(), filetype));
+    io = is_write
+             ? im.file.WriteAt(0, ext.data(), ext.size(), simmpi::ByteType())
+             : im.file.ReadAt(0, ext.data(), ext.size(), simmpi::ByteType());
+  }
+  im.file.ClearView();
+  PNC_RETURN_IF_ERROR(io);
+
+  // Record growth: converge numrecs across ranks for collective access;
+  // independent writers converge later (EndIndepData / Sync / Close). Every
+  // rank of a collective takes this path even with a zero-sized count, so
+  // the embedded allreduce stays aligned.
+  if (is_write && im.header.IsRecordVar(varid)) {
+    std::uint64_t last = 0;
+    if (!count.empty() && count[0] > 0) {
+      const std::uint64_t st0 = stride.empty() ? 1 : stride[0];
+      last = start[0] + (count[0] - 1) * st0 + 1;
+    }
+    PNC_RETURN_IF_ERROR(
+        SyncNumrecs(std::max(im.header.numrecs, last), collective));
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status Dataset::SyncNumrecs(std::uint64_t local_numrecs, bool collective) {
+  auto& im = *impl_;
+  if (!collective) {
+    im.header.numrecs = std::max(im.header.numrecs, local_numrecs);
+    return pnc::Status::Ok();
+  }
+  const std::uint64_t global = im.comm.AllreduceMax(local_numrecs);
+  // `changed` can differ across ranks (a rank that grew the records locally
+  // already holds the new count), so agree on it before the guarded
+  // collective section below.
+  const bool changed = im.comm.AllreduceMax<std::uint8_t>(
+                           global != im.header.numrecs ? 1 : 0) != 0;
+  im.header.numrecs = global;
+  if (changed && im.writable) {
+    im.file.ClearView();
+    if (im.comm.rank() == 0) {
+      std::byte buf[4];
+      const auto v =
+          pnc::xdr::ToBig(static_cast<std::uint32_t>(im.header.numrecs));
+      std::memcpy(buf, &v, 4);
+      PNC_RETURN_IF_ERROR(im.file.WriteAt(4, buf, 4, simmpi::ByteType()));
+    }
+    im.comm.Barrier();
+  }
+  return pnc::Status::Ok();
+}
+
+// --------------------------------------------------------------- flexible
+
+pnc::Status Dataset::FlexPut(int varid, std::span<const std::uint64_t> start,
+                             std::span<const std::uint64_t> count,
+                             std::span<const std::uint64_t> stride,
+                             const void* buf, std::uint64_t bufcount,
+                             const simmpi::Datatype& buftype, bool collective) {
+  PNC_RETURN_IF_ERROR(CheckDataMode(/*need_write=*/true, collective));
+  const std::uint64_t nelems = ncformat::AccessElems(count);
+  pnc::Status vst = pnc::Status::Ok();
+  if (buftype.count_elems() * bufcount != nelems)
+    vst = pnc::Status(pnc::Err::kTypeMismatch, "flexible put");
+  PNC_RETURN_IF_ERROR(CollectiveCheck(vst, collective));
+
+  // Pack the (possibly noncontiguous) user memory described by the MPI
+  // datatype into element order, then hand off to the typed engine.
+  const std::uint64_t bytes = bufcount * buftype.size();
+  std::vector<std::byte> packed(bytes);
+  buftype.Pack(static_cast<const std::byte*>(buf), bufcount, packed.data());
+  impl_->comm.clock().Advance(impl_->comm.cost().CopyCost(bytes));
+
+  switch (buftype.prim()) {
+    case simmpi::Prim::kByte:
+    case simmpi::Prim::kSChar:
+      return TypedPut<signed char>(
+          varid, start, count, stride, {},
+          {reinterpret_cast<const signed char*>(packed.data()), nelems},
+          collective);
+    case simmpi::Prim::kChar:
+      return TypedPut<char>(
+          varid, start, count, stride, {},
+          {reinterpret_cast<const char*>(packed.data()), nelems}, collective);
+    case simmpi::Prim::kShort:
+      return TypedPut<short>(
+          varid, start, count, stride, {},
+          {reinterpret_cast<const short*>(packed.data()), nelems}, collective);
+    case simmpi::Prim::kInt:
+      return TypedPut<int>(
+          varid, start, count, stride, {},
+          {reinterpret_cast<const int*>(packed.data()), nelems}, collective);
+    case simmpi::Prim::kLongLong:
+      return TypedPut<long long>(
+          varid, start, count, stride, {},
+          {reinterpret_cast<const long long*>(packed.data()), nelems},
+          collective);
+    case simmpi::Prim::kFloat:
+      return TypedPut<float>(
+          varid, start, count, stride, {},
+          {reinterpret_cast<const float*>(packed.data()), nelems}, collective);
+    case simmpi::Prim::kDouble:
+      return TypedPut<double>(
+          varid, start, count, stride, {},
+          {reinterpret_cast<const double*>(packed.data()), nelems}, collective);
+  }
+  return pnc::Status(pnc::Err::kBadType);
+}
+
+pnc::Status Dataset::FlexGet(int varid, std::span<const std::uint64_t> start,
+                             std::span<const std::uint64_t> count,
+                             std::span<const std::uint64_t> stride, void* buf,
+                             std::uint64_t bufcount,
+                             const simmpi::Datatype& buftype, bool collective) {
+  PNC_RETURN_IF_ERROR(CheckDataMode(/*need_write=*/false, collective));
+  const std::uint64_t nelems = ncformat::AccessElems(count);
+  pnc::Status vst = pnc::Status::Ok();
+  if (buftype.count_elems() * bufcount != nelems)
+    vst = pnc::Status(pnc::Err::kTypeMismatch, "flexible get");
+  PNC_RETURN_IF_ERROR(CollectiveCheck(vst, collective));
+
+  const std::uint64_t bytes = bufcount * buftype.size();
+  std::vector<std::byte> packed(bytes);
+  pnc::Status st;
+  switch (buftype.prim()) {
+    case simmpi::Prim::kByte:
+    case simmpi::Prim::kSChar:
+      st = TypedGet<signed char>(
+          varid, start, count, stride, {},
+          {reinterpret_cast<signed char*>(packed.data()), nelems}, collective);
+      break;
+    case simmpi::Prim::kChar:
+      st = TypedGet<char>(varid, start, count, stride, {},
+                          {reinterpret_cast<char*>(packed.data()), nelems},
+                          collective);
+      break;
+    case simmpi::Prim::kShort:
+      st = TypedGet<short>(varid, start, count, stride, {},
+                           {reinterpret_cast<short*>(packed.data()), nelems},
+                           collective);
+      break;
+    case simmpi::Prim::kInt:
+      st = TypedGet<int>(varid, start, count, stride, {},
+                         {reinterpret_cast<int*>(packed.data()), nelems},
+                         collective);
+      break;
+    case simmpi::Prim::kLongLong:
+      st = TypedGet<long long>(
+          varid, start, count, stride, {},
+          {reinterpret_cast<long long*>(packed.data()), nelems}, collective);
+      break;
+    case simmpi::Prim::kFloat:
+      st = TypedGet<float>(varid, start, count, stride, {},
+                           {reinterpret_cast<float*>(packed.data()), nelems},
+                           collective);
+      break;
+    case simmpi::Prim::kDouble:
+      st = TypedGet<double>(varid, start, count, stride, {},
+                            {reinterpret_cast<double*>(packed.data()), nelems},
+                            collective);
+      break;
+  }
+  if (!st.ok() && st.code() != pnc::Err::kRange) return st;
+  buftype.Unpack(packed.data(), bufcount, static_cast<std::byte*>(buf));
+  impl_->comm.clock().Advance(impl_->comm.cost().CopyCost(bytes));
+  return st;
+}
+
+// ---------------------------------------------------------- batch access
+
+pnc::Status Dataset::BatchAccess(std::span<BatchItem> items, bool is_write) {
+  PNC_RETURN_IF_ERROR(CheckDataMode(is_write, /*collective=*/true));
+  auto& im = *impl_;
+  auto& clk = im.comm.clock();
+
+  // Flatten every item into (file extent, source pointer) pieces, then sort
+  // by file offset: the combined access becomes one monotonic file view —
+  // "more contiguous and larger transfers" out of many small requests.
+  struct Piece {
+    pnc::Extent ext;
+    std::byte* data;
+  };
+  std::vector<Piece> pieces;
+  std::uint64_t total = 0;
+  pnc::Status vst = pnc::Status::Ok();
+  std::uint64_t max_recs = im.header.numrecs;
+  for (const auto& item : items) {
+    pnc::Status st = ncformat::ValidateAccess(
+        im.header, item.varid, item.start, item.count, {},
+        is_write ? ncformat::AccessKind::kWrite : ncformat::AccessKind::kRead);
+    if (!st.ok()) {
+      vst = st;
+      break;
+    }
+    std::vector<pnc::Extent> regions;
+    ncformat::AccessRegions(im.header, item.varid, item.start, item.count, {},
+                            regions);
+    std::uint64_t pos = 0;
+    for (const auto& r : regions) {
+      pieces.push_back({r, item.ext.data() + pos});
+      pos += r.len;
+      total += r.len;
+    }
+    if (pos != item.ext.size()) {
+      vst = pnc::Status(pnc::Err::kTypeMismatch, "batch item size");
+      break;
+    }
+    if (is_write && im.header.IsRecordVar(item.varid) && !item.count.empty() &&
+        item.count[0] > 0) {
+      max_recs = std::max(max_recs, item.start[0] + item.count[0]);
+    }
+  }
+  PNC_RETURN_IF_ERROR(CollectiveCheck(vst, true));
+
+  std::stable_sort(pieces.begin(), pieces.end(),
+                   [](const Piece& a, const Piece& b) {
+                     return a.ext.offset < b.ext.offset;
+                   });
+
+  // Combined filetype + staging buffer in file order.
+  std::vector<std::uint64_t> lens, offs;
+  lens.reserve(pieces.size());
+  offs.reserve(pieces.size());
+  std::vector<std::byte> staging(total);
+  std::uint64_t pos = 0;
+  for (const auto& p : pieces) {
+    offs.push_back(p.ext.offset);
+    lens.push_back(p.ext.len);
+    if (is_write) std::memcpy(staging.data() + pos, p.data, p.ext.len);
+    pos += p.ext.len;
+  }
+  if (is_write && total > 0) clk.Advance(im.comm.cost().CopyCost(total));
+  auto filetype = simmpi::Datatype::Hindexed(lens, offs, simmpi::ByteType());
+
+  PNC_RETURN_IF_ERROR(im.file.SetView(0, simmpi::ByteType(), filetype));
+  pnc::Status io =
+      is_write ? im.file.WriteAtAll(0, staging.data(), staging.size(),
+                                    simmpi::ByteType())
+               : im.file.ReadAtAll(0, staging.data(), staging.size(),
+                                   simmpi::ByteType());
+  im.file.ClearView();
+  PNC_RETURN_IF_ERROR(io);
+
+  if (!is_write) {
+    pos = 0;
+    for (const auto& p : pieces) {
+      std::memcpy(p.data, staging.data() + pos, p.ext.len);
+      pos += p.ext.len;
+    }
+    if (total > 0) clk.Advance(im.comm.cost().CopyCost(total));
+  } else {
+    PNC_RETURN_IF_ERROR(SyncNumrecs(max_recs, /*collective=*/true));
+  }
+  return pnc::Status::Ok();
+}
+
+// ------------------------------------------------------------- relayout
+
+pnc::Status Dataset::RelayoutParallel(const Header& old_header) {
+  auto& im = *impl_;
+  const Header& nh = im.header;
+  const int p = im.comm.size();
+  const int r = im.comm.rank();
+
+  struct Move {
+    std::uint64_t from, to, len;
+  };
+  std::vector<Move> moves;
+  const std::uint64_t nrecs = old_header.numrecs;
+  for (std::size_t i = 0; i < old_header.vars.size(); ++i) {
+    const auto& ov = old_header.vars[i];
+    const int nid = nh.FindVar(ov.name);
+    if (nid < 0) continue;
+    const auto& nv = nh.vars[static_cast<std::size_t>(nid)];
+    if (old_header.IsRecordVar(static_cast<int>(i))) {
+      for (std::uint64_t rec = 0; rec < nrecs; ++rec)
+        moves.push_back({ov.begin + rec * old_header.recsize(),
+                         nv.begin + rec * nh.recsize(), ov.vsize});
+    } else {
+      moves.push_back({ov.begin, nv.begin, ov.vsize});
+    }
+  }
+  // Destinations strictly grow, so moving the highest destination first is
+  // clobber-free; within a chunk each rank moves a disjoint slice, and a
+  // barrier between chunks orders cross-chunk dependences. This is the
+  // "moving the existing data to the extended area is performed in parallel"
+  // of §4.3.
+  std::sort(moves.begin(), moves.end(),
+            [](const Move& a, const Move& b) { return a.to > b.to; });
+
+  im.file.ClearView();
+  std::vector<std::byte> buf;
+  for (const auto& m : moves) {
+    if (m.to == m.from || m.len == 0) {
+      im.comm.Barrier();
+      continue;
+    }
+    if (m.to < m.from)
+      return pnc::Status(pnc::Err::kInternal, "relayout moved data backwards");
+    const std::uint64_t per = (m.len + static_cast<std::uint64_t>(p) - 1) /
+                              static_cast<std::uint64_t>(p);
+    const std::uint64_t lo = std::min(m.len, per * static_cast<std::uint64_t>(r));
+    const std::uint64_t hi = std::min(m.len, lo + per);
+    if (hi > lo) {
+      buf.resize(hi - lo);
+      PNC_RETURN_IF_ERROR(
+          im.file.ReadAt(m.from + lo, buf.data(), hi - lo, simmpi::ByteType()));
+      PNC_RETURN_IF_ERROR(
+          im.file.WriteAt(m.to + lo, buf.data(), hi - lo, simmpi::ByteType()));
+    }
+    im.comm.Barrier();
+  }
+  return pnc::Status::Ok();
+}
+
+}  // namespace pnetcdf
+

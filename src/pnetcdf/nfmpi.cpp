@@ -1,0 +1,126 @@
+#include "pnetcdf/nfmpi.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pnetcdf::fapi {
+
+namespace {
+
+/// Reverse a Fortran-ordered vector into C order.
+std::vector<MPI_Offset> Reverse(const MPI_Offset* p, int n) {
+  std::vector<MPI_Offset> v(p, p + n);
+  std::reverse(v.begin(), v.end());
+  return v;
+}
+
+/// Fortran 1-based starts become C 0-based.
+std::vector<MPI_Offset> ReverseStart(const MPI_Offset* p, int n) {
+  auto v = Reverse(p, n);
+  for (auto& x : v) x -= 1;
+  return v;
+}
+
+int VarNdims(int ncid, int varid) {
+  int nd = 0;
+  if (capi::ncmpi_inq_var(ncid, varid, nullptr, nullptr, &nd, nullptr,
+                          nullptr) != capi::NC_NOERR)
+    return -1;
+  return nd;
+}
+
+}  // namespace
+
+int nfmpi_create(simmpi::Comm comm, pfs::FileSystem& fs, const char* path,
+                 int cmode, const simmpi::Info& info, int& ncid) {
+  return capi::ncmpi_create(std::move(comm), fs, path, cmode, info, &ncid);
+}
+int nfmpi_open(simmpi::Comm comm, pfs::FileSystem& fs, const char* path,
+               int omode, const simmpi::Info& info, int& ncid) {
+  return capi::ncmpi_open(std::move(comm), fs, path, omode, info, &ncid);
+}
+int nfmpi_redef(int ncid) { return capi::ncmpi_redef(ncid); }
+int nfmpi_enddef(int ncid) { return capi::ncmpi_enddef(ncid); }
+int nfmpi_sync(int ncid) { return capi::ncmpi_sync(ncid); }
+int nfmpi_close(int ncid) { return capi::ncmpi_close(ncid); }
+int nfmpi_begin_indep_data(int ncid) {
+  return capi::ncmpi_begin_indep_data(ncid);
+}
+int nfmpi_end_indep_data(int ncid) { return capi::ncmpi_end_indep_data(ncid); }
+
+int nfmpi_def_dim(int ncid, const char* name, MPI_Offset len, int& dimid) {
+  return capi::ncmpi_def_dim(ncid, name, len, &dimid);
+}
+
+int nfmpi_def_var(int ncid, const char* name, int xtype, int ndims,
+                  const int* dimids, int& varid) {
+  // Fortran: fastest-varying dimension first. The classic format stores the
+  // most significant (slowest) dimension first, so reverse.
+  std::vector<int> c_order(dimids, dimids + ndims);
+  std::reverse(c_order.begin(), c_order.end());
+  return capi::ncmpi_def_var(ncid, name, xtype, ndims, c_order.data(), &varid);
+}
+
+int nfmpi_put_att_text(int ncid, int varid, const char* name, MPI_Offset len,
+                       const char* text) {
+  return capi::ncmpi_put_att_text(ncid, varid, name, len, text);
+}
+int nfmpi_get_att_text(int ncid, int varid, const char* name, char* text) {
+  return capi::ncmpi_get_att_text(ncid, varid, name, text);
+}
+
+int nfmpi_inq_varid(int ncid, const char* name, int& varid) {
+  return capi::ncmpi_inq_varid(ncid, name, &varid);
+}
+int nfmpi_inq_dimlen(int ncid, int dimid, MPI_Offset& len) {
+  return capi::ncmpi_inq_dimlen(ncid, dimid, &len);
+}
+
+#define PNETCDF_FAPI_DEFINE(SUFFIX, CSUFFIX, CTYPE)                           \
+  int nfmpi_put_vara_##SUFFIX##_all(int ncid, int varid,                      \
+                                    const MPI_Offset* start,                  \
+                                    const MPI_Offset* count,                  \
+                                    const CTYPE* op) {                        \
+    const int nd = VarNdims(ncid, varid);                                     \
+    if (nd < 0) return static_cast<int>(pnc::Err::kNotVar);                   \
+    auto st = ReverseStart(start, nd);                                        \
+    auto ct = Reverse(count, nd);                                             \
+    return capi::ncmpi_put_vara_##CSUFFIX##_all(ncid, varid, st.data(),       \
+                                                ct.data(), op);               \
+  }                                                                           \
+  int nfmpi_get_vara_##SUFFIX##_all(int ncid, int varid,                      \
+                                    const MPI_Offset* start,                  \
+                                    const MPI_Offset* count, CTYPE* ip) {     \
+    const int nd = VarNdims(ncid, varid);                                     \
+    if (nd < 0) return static_cast<int>(pnc::Err::kNotVar);                   \
+    auto st = ReverseStart(start, nd);                                        \
+    auto ct = Reverse(count, nd);                                             \
+    return capi::ncmpi_get_vara_##CSUFFIX##_all(ncid, varid, st.data(),       \
+                                                ct.data(), ip);               \
+  }                                                                           \
+  int nfmpi_put_vara_##SUFFIX(int ncid, int varid, const MPI_Offset* start,   \
+                              const MPI_Offset* count, const CTYPE* op) {     \
+    const int nd = VarNdims(ncid, varid);                                     \
+    if (nd < 0) return static_cast<int>(pnc::Err::kNotVar);                   \
+    auto st = ReverseStart(start, nd);                                        \
+    auto ct = Reverse(count, nd);                                             \
+    return capi::ncmpi_put_vara_##CSUFFIX(ncid, varid, st.data(), ct.data(),  \
+                                          op);                                \
+  }                                                                           \
+  int nfmpi_get_vara_##SUFFIX(int ncid, int varid, const MPI_Offset* start,   \
+                              const MPI_Offset* count, CTYPE* ip) {           \
+    const int nd = VarNdims(ncid, varid);                                     \
+    if (nd < 0) return static_cast<int>(pnc::Err::kNotVar);                   \
+    auto st = ReverseStart(start, nd);                                        \
+    auto ct = Reverse(count, nd);                                             \
+    return capi::ncmpi_get_vara_##CSUFFIX(ncid, varid, st.data(), ct.data(),  \
+                                          ip);                                \
+  }
+
+PNETCDF_FAPI_DEFINE(text, text, char)
+PNETCDF_FAPI_DEFINE(int, int, int)
+PNETCDF_FAPI_DEFINE(real, float, float)
+PNETCDF_FAPI_DEFINE(double, double, double)
+#undef PNETCDF_FAPI_DEFINE
+
+}  // namespace pnetcdf::fapi

@@ -1,0 +1,87 @@
+// The nfmpi_* Fortran-flavor interface (paper §4: "prefixing ... the Fortran
+// function calls with nfmpi_").
+//
+// What makes the Fortran binding more than a rename:
+//  * indices are 1-based (start vectors count from 1, as in the real
+//    nfmpi_put_vara_* functions);
+//  * dimension orders are reversed: a Fortran caller declares A(nx, ny, nz)
+//    column-major, which is the same memory as a C array [nz][ny][nx], so
+//    every shape/start/count/stride vector is flipped before reaching the
+//    common core — exactly what the production PnetCDF Fortran binding does;
+//  * functions return the integer status (NF_NOERR == 0) and write results
+//    through reference parameters.
+//
+// C++ host code can use this to port Fortran-structured applications (like
+// the original FLASH I/O kernel) line by line.
+#pragma once
+
+#include "pnetcdf/ncmpi.hpp"
+
+namespace pnetcdf::fapi {
+
+using MPI_Offset = capi::MPI_Offset;
+
+constexpr int NF_NOERR = 0;
+constexpr int NF_BYTE = capi::NC_BYTE;
+constexpr int NF_CHAR = capi::NC_CHAR;
+constexpr int NF_SHORT = capi::NC_SHORT;
+constexpr int NF_INT = capi::NC_INT;
+constexpr int NF_FLOAT = capi::NC_FLOAT;
+constexpr int NF_REAL = capi::NC_FLOAT;
+constexpr int NF_DOUBLE = capi::NC_DOUBLE;
+constexpr int NF_CLOBBER = capi::NC_CLOBBER;
+constexpr int NF_NOCLOBBER = capi::NC_NOCLOBBER;
+constexpr int NF_NOWRITE = capi::NC_NOWRITE;
+constexpr int NF_WRITE = capi::NC_WRITE;
+constexpr int NF_64BIT_OFFSET = capi::NC_64BIT_OFFSET;
+constexpr MPI_Offset NF_UNLIMITED = capi::NC_UNLIMITED;
+constexpr int NF_GLOBAL = capi::NC_GLOBAL;
+
+// ---- dataset functions ----
+int nfmpi_create(simmpi::Comm comm, pfs::FileSystem& fs, const char* path,
+                 int cmode, const simmpi::Info& info, int& ncid);
+int nfmpi_open(simmpi::Comm comm, pfs::FileSystem& fs, const char* path,
+               int omode, const simmpi::Info& info, int& ncid);
+int nfmpi_redef(int ncid);
+int nfmpi_enddef(int ncid);
+int nfmpi_sync(int ncid);
+int nfmpi_close(int ncid);
+int nfmpi_begin_indep_data(int ncid);
+int nfmpi_end_indep_data(int ncid);
+
+// ---- define mode ----
+int nfmpi_def_dim(int ncid, const char* name, MPI_Offset len, int& dimid);
+/// `dimids` in Fortran order: dimids(1) is the fastest-varying dimension;
+/// the unlimited dimension, if used, is dimids(ndims).
+int nfmpi_def_var(int ncid, const char* name, int xtype, int ndims,
+                  const int* dimids, int& varid);
+
+// ---- attributes (text + double shown; others via the C API) ----
+int nfmpi_put_att_text(int ncid, int varid, const char* name, MPI_Offset len,
+                       const char* text);
+int nfmpi_get_att_text(int ncid, int varid, const char* name, char* text);
+
+// ---- inquiry ----
+int nfmpi_inq_varid(int ncid, const char* name, int& varid);
+int nfmpi_inq_dimlen(int ncid, int dimid, MPI_Offset& len);
+
+// ---- data access (1-based starts, Fortran-ordered vectors) ----
+#define PNETCDF_FAPI_DECLARE(SUFFIX, CTYPE)                                   \
+  int nfmpi_put_vara_##SUFFIX##_all(int ncid, int varid,                      \
+                                    const MPI_Offset* start,                  \
+                                    const MPI_Offset* count, const CTYPE* op);\
+  int nfmpi_get_vara_##SUFFIX##_all(int ncid, int varid,                      \
+                                    const MPI_Offset* start,                  \
+                                    const MPI_Offset* count, CTYPE* ip);      \
+  int nfmpi_put_vara_##SUFFIX(int ncid, int varid, const MPI_Offset* start,   \
+                              const MPI_Offset* count, const CTYPE* op);      \
+  int nfmpi_get_vara_##SUFFIX(int ncid, int varid, const MPI_Offset* start,   \
+                              const MPI_Offset* count, CTYPE* ip);
+
+PNETCDF_FAPI_DECLARE(text, char)
+PNETCDF_FAPI_DECLARE(int, int)
+PNETCDF_FAPI_DECLARE(real, float)
+PNETCDF_FAPI_DECLARE(double, double)
+#undef PNETCDF_FAPI_DECLARE
+
+}  // namespace pnetcdf::fapi

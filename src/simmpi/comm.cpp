@@ -1,0 +1,334 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace simmpi {
+
+namespace detail {
+
+SharedState::SharedState(int world_size, CostModel cm) : cost(cm) {
+  mailboxes.reserve(world_size);
+  for (int i = 0; i < world_size; ++i)
+    mailboxes.push_back(std::make_unique<Mailbox>());
+  clocks.resize(world_size);
+}
+
+Comm MakeComm(std::shared_ptr<SharedState> state, std::vector<int> members,
+              int rank) {
+  return Comm(std::move(state), /*ctx=*/0, std::move(members), rank);
+}
+
+}  // namespace detail
+
+namespace {
+// Internal collective tags live in negative tag space so they can never
+// collide with user point-to-point traffic (user tags must be >= 0).
+constexpr int kTagBcast = -10;
+constexpr int kTagReduce = -11;
+constexpr int kTagGather = -12;
+constexpr int kTagScatter = -13;
+constexpr int kTagAlltoall = -14;
+constexpr int kTagAgree = -15;
+constexpr int kTagBarrierBase = -100;  ///< barrier phase k uses -100 - k
+}  // namespace
+
+void Comm::Send(int dst, int tag, pnc::ConstByteSpan data) {
+  assert(tag >= 0 && "user tags must be non-negative");
+  SendInternal(dst, tag, data);
+}
+
+void Comm::SendInternal(int dst, int tag, pnc::ConstByteSpan data) {
+  assert(dst >= 0 && dst < size());
+  auto& clk = clock();
+  clk.Advance(state_->cost.sw_overhead_ns);
+  detail::Message msg;
+  msg.world_src = rank_;  // communicator-rank of the sender within ctx_
+  msg.ctx = ctx_;
+  msg.tag = tag;
+  msg.arrive_time = clk.now() + state_->cost.MessageCost(data.size());
+  msg.data.assign(data.begin(), data.end());
+
+  auto& box = *state_->mailboxes[members_[dst]];
+  {
+    std::lock_guard<std::mutex> lk(box.m);
+    box.q.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src,
+                                  int* actual_tag) {
+  auto& box = *state_->mailboxes[world_rank_];
+  std::unique_lock<std::mutex> lk(box.m);
+  detail::Message msg;
+  auto matches = [&](const detail::Message& m) {
+    return m.ctx == ctx_ && (src == kAnySource || m.world_src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  };
+  box.cv.wait(lk, [&] {
+    return std::any_of(box.q.begin(), box.q.end(), matches);
+  });
+  auto it = std::find_if(box.q.begin(), box.q.end(), matches);
+  msg = std::move(*it);
+  box.q.erase(it);
+  lk.unlock();
+
+  auto& clk = clock();
+  clk.AdvanceTo(msg.arrive_time);
+  clk.Advance(state_->cost.sw_overhead_ns);
+  if (actual_src) *actual_src = msg.world_src;
+  if (actual_tag) *actual_tag = msg.tag;
+  return std::move(msg.data);
+}
+
+std::vector<std::byte> Comm::RecvInternal(int src, int tag) {
+  return Recv(src, tag, nullptr, nullptr);
+}
+
+void Comm::Barrier() {
+  const int p = size();
+  if (p == 1) return;
+  // Dissemination barrier: log2(P) rounds of ring-distance exchanges. Clock
+  // synchronization falls out of message arrival times.
+  int phase = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++phase) {
+    SendInternal((rank_ + dist) % p, kTagBarrierBase - phase, {});
+    (void)RecvInternal((rank_ - dist + p) % p, kTagBarrierBase - phase);
+  }
+}
+
+void Comm::Bcast(pnc::ByteSpan buf, int root) {
+  const int p = size();
+  if (p == 1) return;
+  const int r = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (r & mask) {
+      auto data = RecvInternal((r - mask + root) % p, kTagBcast);
+      assert(data.size() == buf.size());
+      std::memcpy(buf.data(), data.data(), buf.size());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (r + mask < p)
+      SendInternal((r + mask + root) % p, kTagBcast,
+                   pnc::ConstByteSpan(buf.data(), buf.size()));
+    mask >>= 1;
+  }
+}
+
+void Comm::Bcast(std::vector<std::byte>& buf, int root) {
+  const int p = size();
+  if (p == 1) return;
+  const int r = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (r & mask) {
+      buf = RecvInternal((r - mask + root) % p, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (r + mask < p) SendInternal((r + mask + root) % p, kTagBcast, buf);
+    mask >>= 1;
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::Gather(pnc::ConstByteSpan mine,
+                                                 int root) {
+  const int p = size();
+  std::vector<std::vector<std::byte>> result;
+  if (rank_ == root) {
+    result.resize(p);
+    result[root].assign(mine.begin(), mine.end());
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      result[r] = RecvInternal(r, kTagGather);
+    }
+  } else {
+    SendInternal(root, kTagGather, mine);
+  }
+  return result;
+}
+
+std::vector<std::vector<std::byte>> Comm::Allgather(pnc::ConstByteSpan mine) {
+  const int p = size();
+  auto gathered = Gather(mine, 0);
+  // Root frames all pieces into one buffer and broadcasts it.
+  std::vector<std::byte> frame;
+  if (rank_ == 0) {
+    std::uint64_t total = 8;
+    for (const auto& g : gathered) total += 8 + g.size();
+    frame.reserve(total);
+    auto put_u64 = [&frame](std::uint64_t v) {
+      auto* b = reinterpret_cast<const std::byte*>(&v);
+      frame.insert(frame.end(), b, b + 8);
+    };
+    put_u64(static_cast<std::uint64_t>(p));
+    for (const auto& g : gathered) {
+      put_u64(g.size());
+      frame.insert(frame.end(), g.begin(), g.end());
+    }
+  }
+  Bcast(frame, 0);
+
+  std::vector<std::vector<std::byte>> result(p);
+  std::size_t pos = 0;
+  auto get_u64 = [&frame, &pos]() {
+    std::uint64_t v;
+    std::memcpy(&v, frame.data() + pos, 8);
+    pos += 8;
+    return v;
+  };
+  const auto count = get_u64();
+  assert(count == static_cast<std::uint64_t>(p));
+  (void)count;
+  for (int r = 0; r < p; ++r) {
+    const auto len = get_u64();
+    result[r].assign(frame.begin() + static_cast<std::ptrdiff_t>(pos),
+                     frame.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return result;
+}
+
+std::vector<std::byte> Comm::Scatter(
+    std::vector<std::vector<std::byte>> pieces, int root) {
+  const int p = size();
+  if (rank_ == root) {
+    assert(static_cast<int>(pieces.size()) == p);
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      SendInternal(r, kTagScatter, pieces[r]);
+    }
+    return std::move(pieces[root]);
+  }
+  return RecvInternal(root, kTagScatter);
+}
+
+std::vector<std::vector<std::byte>> Comm::Alltoall(
+    std::vector<std::vector<std::byte>> send) {
+  const int p = size();
+  assert(static_cast<int>(send.size()) == p);
+  std::vector<std::vector<std::byte>> result(p);
+  result[rank_] = std::move(send[rank_]);
+  // Ring-offset pairwise exchange; buffered sends make this deadlock-free.
+  for (int i = 1; i < p; ++i) {
+    const int dst = (rank_ + i) % p;
+    const int src = (rank_ - i + p) % p;
+    SendInternal(dst, kTagAlltoall, send[dst]);
+    result[src] = RecvInternal(src, kTagAlltoall);
+  }
+  return result;
+}
+
+void Comm::Reduce(pnc::ByteSpan inout, const ReduceFn& fn, int root) {
+  const int p = size();
+  if (p == 1) return;
+  const int r = (rank_ - root + p) % p;
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (r & mask) {
+      SendInternal((r - mask + root) % p, kTagReduce,
+                   pnc::ConstByteSpan(inout.data(), inout.size()));
+      break;
+    }
+    const int src_rel = r + mask;
+    if (src_rel < p) {
+      auto d = RecvInternal((src_rel + root) % p, kTagReduce);
+      assert(d.size() == inout.size());
+      fn(inout, d);
+    }
+  }
+}
+
+void Comm::Allreduce(pnc::ByteSpan inout, const ReduceFn& fn) {
+  Reduce(inout, fn, 0);
+  Bcast(inout, 0);
+}
+
+bool Comm::AllAgree(pnc::ConstByteSpan bytes) {
+  auto gathered = Gather(bytes, 0);
+  std::uint8_t same = 1;
+  if (rank_ == 0) {
+    for (const auto& g : gathered) {
+      if (g.size() != bytes.size() ||
+          !std::equal(g.begin(), g.end(), bytes.begin())) {
+        same = 0;
+        break;
+      }
+    }
+  }
+  BcastValue(same, 0);
+  return same != 0;
+}
+
+Comm Comm::Dup() {
+  int new_ctx = 0;
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> lk(state_->ctx_mutex);
+    new_ctx = state_->next_ctx++;
+  }
+  BcastValue(new_ctx, 0);
+  return Comm(state_, new_ctx, members_, rank_);
+}
+
+Comm Comm::Split(int color, int key) {
+  struct Entry {
+    int color, key, old_rank;
+  };
+  Entry mine{color, key, rank_};
+  auto gathered = Allgather(pnc::ConstByteSpan(
+      reinterpret_cast<const std::byte*>(&mine), sizeof(Entry)));
+
+  std::vector<Entry> all;
+  all.reserve(gathered.size());
+  for (const auto& g : gathered) {
+    Entry e;
+    std::memcpy(&e, g.data(), sizeof(Entry));
+    all.push_back(e);
+  }
+  // Members of my color, ordered by (key, old rank) as MPI_Comm_split does.
+  std::vector<Entry> group;
+  for (const auto& e : all)
+    if (e.color == color) group.push_back(e);
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.old_rank < b.old_rank;
+  });
+
+  // Rank 0 of the parent allocates one context per distinct color, in sorted
+  // color order, so every group lands on a consistent fresh context.
+  std::vector<int> colors;
+  for (const auto& e : all) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  int ctx_base = 0;
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> lk(state_->ctx_mutex);
+    ctx_base = state_->next_ctx;
+    state_->next_ctx += static_cast<int>(colors.size());
+  }
+  BcastValue(ctx_base, 0);
+  const auto color_idx = static_cast<int>(
+      std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+
+  std::vector<int> new_members;
+  int new_rank = 0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    new_members.push_back(members_[group[i].old_rank]);
+    if (group[i].old_rank == rank_) new_rank = static_cast<int>(i);
+  }
+  return Comm(state_, ctx_base + color_idx, std::move(new_members), new_rank);
+}
+
+void Comm::SyncClocksToMax() {
+  const double t = AllreduceMax(clock().now());
+  clock().AdvanceTo(t);
+}
+
+}  // namespace simmpi

@@ -1,0 +1,182 @@
+// Thread-backed MPI communicator subset.
+//
+// Ranks are std::threads inside one process (see runtime.hpp). The message-
+// passing semantics follow MPI: buffered point-to-point sends with
+// (source, tag, context) matching, and collectives implemented over
+// point-to-point with the classic binomial-tree / dissemination algorithms so
+// that virtual-time costs accumulate the way a real MPI library's would.
+//
+// Every rank carries a VirtualClock; message delivery advances the receiver
+// to the message arrival time, which is how blocking collectives synchronize
+// virtual clocks exactly where real ranks would block.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "simmpi/clock.hpp"
+#include "util/bytes.hpp"
+
+namespace simmpi {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+class Comm;
+
+namespace detail {
+
+struct Message {
+  int world_src = 0;
+  int ctx = 0;
+  int tag = 0;
+  double arrive_time = 0.0;  ///< virtual time at which the payload is available
+  std::vector<std::byte> data;
+};
+
+struct Mailbox {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Message> q;
+};
+
+/// State shared by all ranks of a Runtime instance.
+struct SharedState {
+  explicit SharedState(int world_size, CostModel cm);
+
+  CostModel cost;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;  ///< indexed by world rank
+  std::vector<VirtualClock> clocks;                 ///< indexed by world rank
+  std::mutex ctx_mutex;
+  int next_ctx = 1;  ///< context 0 is the world communicator
+};
+
+Comm MakeComm(std::shared_ptr<SharedState> state, std::vector<int> members,
+              int rank);
+
+}  // namespace detail
+
+/// Reduction combiner: fold `incoming` into `accum` (equal-length buffers).
+using ReduceFn =
+    std::function<void(pnc::ByteSpan accum, pnc::ConstByteSpan incoming)>;
+
+/// An MPI_Comm-alike. Copyable; copies alias the same communication context
+/// (as MPI handles do). Collective calls must be made by every member.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+
+  [[nodiscard]] VirtualClock& clock() { return state_->clocks[world_rank_]; }
+  [[nodiscard]] const CostModel& cost() const { return state_->cost; }
+
+  // --- point to point ---
+  void Send(int dst, int tag, pnc::ConstByteSpan data);
+  /// Blocking receive; returns payload. `actual_src`/`actual_tag` report the
+  /// matched envelope when wildcards were used.
+  std::vector<std::byte> Recv(int src, int tag, int* actual_src = nullptr,
+                              int* actual_tag = nullptr);
+
+  // --- collectives ---
+  void Barrier();
+  /// Byte-buffer broadcast; non-root buffers are resized to fit.
+  void Bcast(std::vector<std::byte>& buf, int root);
+  /// In-place fixed-size broadcast.
+  void Bcast(pnc::ByteSpan buf, int root);
+
+  /// Gather variable-size blobs; result valid (size()==P) only at root.
+  std::vector<std::vector<std::byte>> Gather(pnc::ConstByteSpan mine, int root);
+  /// Allgather of variable-size blobs (valid everywhere).
+  std::vector<std::vector<std::byte>> Allgather(pnc::ConstByteSpan mine);
+  /// Scatter variable-size blobs from root; returns this rank's piece.
+  std::vector<std::byte> Scatter(std::vector<std::vector<std::byte>> pieces,
+                                 int root);
+  /// Personalized all-to-all of variable-size blobs. send[i] goes to rank i;
+  /// result[j] is what rank j sent to this rank.
+  std::vector<std::vector<std::byte>> Alltoall(
+      std::vector<std::vector<std::byte>> send);
+
+  /// Binomial-tree reduction of a byte buffer; result valid at root.
+  void Reduce(pnc::ByteSpan inout, const ReduceFn& fn, int root);
+  void Allreduce(pnc::ByteSpan inout, const ReduceFn& fn);
+
+  // --- typed conveniences ---
+  template <typename T>
+  void BcastValue(T& v, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bcast(pnc::ByteSpan(reinterpret_cast<std::byte*>(&v), sizeof(T)), root);
+  }
+
+  template <typename T>
+  T AllreduceMax(T v) {
+    return AllreduceWith(v, [](T a, T b) { return a > b ? a : b; });
+  }
+  template <typename T>
+  T AllreduceMin(T v) {
+    return AllreduceWith(v, [](T a, T b) { return a < b ? a : b; });
+  }
+  template <typename T>
+  T AllreduceSum(T v) {
+    return AllreduceWith(v, [](T a, T b) { return a + b; });
+  }
+  bool AllreduceAnd(bool v) {
+    return AllreduceWith<std::uint8_t>(v ? 1 : 0, [](std::uint8_t a,
+                                                     std::uint8_t b) {
+             return static_cast<std::uint8_t>(a & b);
+           }) != 0;
+  }
+
+  /// True on every rank iff all ranks passed bitwise-identical bytes.
+  /// Used by PnetCDF's collective define-mode consistency checks.
+  bool AllAgree(pnc::ConstByteSpan bytes);
+
+  // --- communicator management ---
+  Comm Dup();
+  Comm Split(int color, int key);
+
+  /// Synchronize all member clocks to the maximum (used at collective I/O
+  /// boundaries where the slowest rank gates completion).
+  void SyncClocksToMax();
+
+ private:
+  friend Comm detail::MakeComm(std::shared_ptr<detail::SharedState>,
+                               std::vector<int>, int);
+  Comm(std::shared_ptr<detail::SharedState> state, int ctx,
+       std::vector<int> members, int rank)
+      : state_(std::move(state)),
+        ctx_(ctx),
+        members_(std::move(members)),
+        rank_(rank),
+        world_rank_(members_[rank_]) {}
+
+  template <typename T, typename F>
+  T AllreduceWith(T v, F op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Allreduce(pnc::ByteSpan(reinterpret_cast<std::byte*>(&v), sizeof(T)),
+              [&op](pnc::ByteSpan a, pnc::ConstByteSpan b) {
+                T x, y;
+                std::memcpy(&x, a.data(), sizeof(T));
+                std::memcpy(&y, b.data(), sizeof(T));
+                x = op(x, y);
+                std::memcpy(a.data(), &x, sizeof(T));
+              });
+    return v;
+  }
+
+  void SendInternal(int dst, int tag, pnc::ConstByteSpan data);
+  std::vector<std::byte> RecvInternal(int src, int tag);
+
+  std::shared_ptr<detail::SharedState> state_;
+  int ctx_;
+  std::vector<int> members_;  ///< members_[r] = world rank of communicator rank r
+  int rank_;
+  int world_rank_;
+};
+
+}  // namespace simmpi

@@ -1,0 +1,228 @@
+#include "simmpi/datatype.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace simmpi {
+
+std::string_view PrimName(Prim p) {
+  switch (p) {
+    case Prim::kByte: return "byte";
+    case Prim::kChar: return "char";
+    case Prim::kSChar: return "schar";
+    case Prim::kShort: return "short";
+    case Prim::kInt: return "int";
+    case Prim::kLongLong: return "longlong";
+    case Prim::kFloat: return "float";
+    case Prim::kDouble: return "double";
+  }
+  return "?";
+}
+
+struct Datatype::Node {
+  Prim prim = Prim::kByte;
+  std::uint64_t size = 0;    ///< data bytes
+  std::uint64_t extent = 0;  ///< span bytes
+  std::vector<pnc::Extent> runs;
+};
+
+namespace {
+
+/// Append `nelems` consecutive instances of `base` starting at byte offset
+/// `byte_off` to `runs`. When the base is one contiguous run the whole block
+/// collapses to a single extent.
+void AppendBaseBlock(std::vector<pnc::Extent>& runs, std::uint64_t byte_off,
+                     std::uint64_t nelems, std::uint64_t base_size,
+                     std::uint64_t base_extent,
+                     const std::vector<pnc::Extent>& base_runs) {
+  if (nelems == 0) return;
+  const bool contig = base_runs.size() == 1 && base_runs[0].offset == 0 &&
+                      base_runs[0].len == base_extent;
+  if (contig) {
+    runs.push_back({byte_off, nelems * base_size});
+    return;
+  }
+  for (std::uint64_t i = 0; i < nelems; ++i) {
+    for (const auto& r : base_runs) {
+      runs.push_back({byte_off + i * base_extent + r.offset, r.len});
+    }
+  }
+}
+
+std::shared_ptr<const Datatype::Node> MakeNode(Prim prim, std::uint64_t size,
+                                               std::uint64_t extent,
+                                               std::vector<pnc::Extent> runs) {
+  // Merge runs that are adjacent in definition order. Definition order is
+  // preserved (not sorted): MPI pack/unpack order follows the type map as
+  // defined, which matters for mapped (varm/imap) memory layouts.
+  pnc::CoalesceExtents(runs);
+  auto n = std::make_shared<Datatype::Node>();
+  n->prim = prim;
+  n->size = size;
+  n->extent = extent;
+  n->runs = std::move(runs);
+  return n;
+}
+
+}  // namespace
+
+Datatype::Datatype() : Datatype(Primitive(Prim::kByte)) {}
+
+Datatype Datatype::Primitive(Prim p) {
+  const std::uint64_t sz = PrimSize(p);
+  return Datatype(MakeNode(p, sz, sz, {{0, sz}}));
+}
+
+Datatype Datatype::Contiguous(std::uint64_t count, const Datatype& base) {
+  const auto& b = *base.node_;
+  std::vector<pnc::Extent> runs;
+  AppendBaseBlock(runs, 0, count, b.size, b.extent, b.runs);
+  return Datatype(MakeNode(b.prim, count * b.size, count * b.extent,
+                           std::move(runs)));
+}
+
+Datatype Datatype::Vector(std::uint64_t count, std::uint64_t blocklen,
+                          std::uint64_t stride, const Datatype& base) {
+  return Hvector(count, blocklen, stride * base.node_->extent, base);
+}
+
+Datatype Datatype::Hvector(std::uint64_t count, std::uint64_t blocklen,
+                           std::uint64_t stride_bytes, const Datatype& base) {
+  const auto& b = *base.node_;
+  std::vector<pnc::Extent> runs;
+  runs.reserve(count);
+  std::uint64_t extent = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t off = i * stride_bytes;
+    AppendBaseBlock(runs, off, blocklen, b.size, b.extent, b.runs);
+    extent = std::max(extent, off + blocklen * b.extent);
+  }
+  return Datatype(
+      MakeNode(b.prim, count * blocklen * b.size, extent, std::move(runs)));
+}
+
+Datatype Datatype::Indexed(std::span<const std::uint64_t> blocklens,
+                           std::span<const std::uint64_t> displs,
+                           const Datatype& base) {
+  std::vector<std::uint64_t> displ_bytes(displs.size());
+  for (std::size_t i = 0; i < displs.size(); ++i)
+    displ_bytes[i] = displs[i] * base.node_->extent;
+  return Hindexed(blocklens, displ_bytes, base);
+}
+
+Datatype Datatype::Hindexed(std::span<const std::uint64_t> blocklens_elems,
+                            std::span<const std::uint64_t> displs_bytes,
+                            const Datatype& base) {
+  const auto& b = *base.node_;
+  std::vector<pnc::Extent> runs;
+  runs.reserve(blocklens_elems.size());
+  std::uint64_t size = 0;
+  std::uint64_t extent = 0;
+  for (std::size_t i = 0; i < blocklens_elems.size(); ++i) {
+    AppendBaseBlock(runs, displs_bytes[i], blocklens_elems[i], b.size, b.extent,
+                    b.runs);
+    size += blocklens_elems[i] * b.size;
+    extent = std::max(extent, displs_bytes[i] + blocklens_elems[i] * b.extent);
+  }
+  return Datatype(MakeNode(b.prim, size, extent, std::move(runs)));
+}
+
+pnc::Result<Datatype> Datatype::Subarray(
+    std::span<const std::uint64_t> sizes,
+    std::span<const std::uint64_t> subsizes,
+    std::span<const std::uint64_t> starts, const Datatype& base) {
+  const std::size_t ndims = sizes.size();
+  if (subsizes.size() != ndims || starts.size() != ndims || ndims == 0)
+    return pnc::Status(pnc::Err::kInvalidArg, "subarray rank mismatch");
+  for (std::size_t d = 0; d < ndims; ++d) {
+    if (starts[d] + subsizes[d] > sizes[d])
+      return pnc::Status(pnc::Err::kInvalidArg, "subarray exceeds bounds");
+  }
+  const auto& b = *base.node_;
+
+  // Row-major strides of the full array, in elements of `base`.
+  std::vector<std::uint64_t> stride(ndims, 1);
+  for (std::size_t d = ndims - 1; d > 0; --d)
+    stride[d - 1] = stride[d] * sizes[d];
+
+  std::vector<pnc::Extent> runs;
+  std::uint64_t nrows = 1;
+  for (std::size_t d = 0; d + 1 < ndims; ++d) nrows *= subsizes[d];
+  runs.reserve(nrows);
+
+  // Odometer over the outer (all but last) dimensions; the innermost
+  // dimension contributes one contiguous row of subsizes[ndims-1] elements.
+  std::vector<std::uint64_t> idx(ndims, 0);
+  const std::uint64_t row_elems = subsizes[ndims - 1];
+  if (row_elems > 0) {
+    for (std::uint64_t r = 0; r < nrows; ++r) {
+      std::uint64_t elem_off = starts[ndims - 1];
+      for (std::size_t d = 0; d + 1 < ndims; ++d)
+        elem_off += (starts[d] + idx[d]) * stride[d];
+      AppendBaseBlock(runs, elem_off * b.extent, row_elems, b.size, b.extent,
+                      b.runs);
+      // Advance odometer.
+      for (std::size_t d = ndims - 1; d-- > 0;) {
+        if (++idx[d] < subsizes[d]) break;
+        idx[d] = 0;
+      }
+    }
+  }
+
+  std::uint64_t total = pnc::ShapeProduct(sizes);
+  std::uint64_t sub_total = pnc::ShapeProduct(subsizes);
+  return Datatype(MakeNode(b.prim, sub_total * b.size, total * b.extent,
+                           std::move(runs)));
+}
+
+std::uint64_t Datatype::size() const { return node_->size; }
+std::uint64_t Datatype::extent() const { return node_->extent; }
+Prim Datatype::prim() const { return node_->prim; }
+
+std::uint64_t Datatype::count_elems() const {
+  return node_->size / PrimSize(node_->prim);
+}
+
+bool Datatype::is_contiguous() const {
+  return node_->runs.size() == 1 && node_->runs[0].offset == 0 &&
+         node_->runs[0].len == node_->size;
+}
+
+const std::vector<pnc::Extent>& Datatype::Flatten() const {
+  return node_->runs;
+}
+
+void Datatype::Pack(const std::byte* base, std::uint64_t count,
+                    std::byte* out) const {
+  std::uint64_t w = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t inst = i * node_->extent;
+    for (const auto& r : node_->runs) {
+      std::memcpy(out + w, base + inst + r.offset, r.len);
+      w += r.len;
+    }
+  }
+}
+
+void Datatype::Unpack(const std::byte* in, std::uint64_t count,
+                      std::byte* base) const {
+  std::uint64_t rpos = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t inst = i * node_->extent;
+    for (const auto& r : node_->runs) {
+      std::memcpy(base + inst + r.offset, in + rpos, r.len);
+      rpos += r.len;
+    }
+  }
+}
+
+Datatype ByteType() { return Datatype::Primitive(Prim::kByte); }
+Datatype CharType() { return Datatype::Primitive(Prim::kChar); }
+Datatype ScharType() { return Datatype::Primitive(Prim::kSChar); }
+Datatype ShortType() { return Datatype::Primitive(Prim::kShort); }
+Datatype IntType() { return Datatype::Primitive(Prim::kInt); }
+Datatype LongLongType() { return Datatype::Primitive(Prim::kLongLong); }
+Datatype FloatType() { return Datatype::Primitive(Prim::kFloat); }
+Datatype DoubleType() { return Datatype::Primitive(Prim::kDouble); }
+
+}  // namespace simmpi

@@ -1,0 +1,136 @@
+// MPI derived datatypes (the subset PnetCDF needs).
+//
+// A Datatype is an immutable description of a typed memory or file layout:
+// primitives plus the contiguous / vector / hvector / indexed / hindexed /
+// struct-free subarray constructors. Types flatten to sorted (offset,len)
+// byte runs; flattening is what both the flexible PnetCDF API (noncontiguous
+// memory) and MPI-IO file views (noncontiguous file regions) consume.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace simmpi {
+
+/// Primitive element kinds. These matter for reductions and for PnetCDF's
+/// type conversion between memory and external (file) representations.
+enum class Prim : std::uint8_t {
+  kByte,    // opaque byte (MPI_BYTE)
+  kChar,    // text
+  kSChar,   // signed 8-bit
+  kShort,   // int16
+  kInt,     // int32
+  kLongLong,// int64
+  kFloat,
+  kDouble,
+};
+
+[[nodiscard]] constexpr std::size_t PrimSize(Prim p) {
+  switch (p) {
+    case Prim::kByte:
+    case Prim::kChar:
+    case Prim::kSChar: return 1;
+    case Prim::kShort: return 2;
+    case Prim::kInt:
+    case Prim::kFloat: return 4;
+    case Prim::kLongLong:
+    case Prim::kDouble: return 8;
+  }
+  return 0;
+}
+
+[[nodiscard]] std::string_view PrimName(Prim p);
+
+/// Immutable datatype handle. Cheap to copy (shared immutable state).
+class Datatype {
+ public:
+  Datatype();  ///< default-constructs MPI_BYTE
+
+  // --- constructors mirroring the MPI type factory calls ---
+  static Datatype Primitive(Prim p);
+  static Datatype Contiguous(std::uint64_t count, const Datatype& base);
+  /// stride measured in elements of `base` (MPI_Type_vector).
+  static Datatype Vector(std::uint64_t count, std::uint64_t blocklen,
+                         std::uint64_t stride, const Datatype& base);
+  /// stride measured in bytes (MPI_Type_create_hvector).
+  static Datatype Hvector(std::uint64_t count, std::uint64_t blocklen,
+                          std::uint64_t stride_bytes, const Datatype& base);
+  /// displacements in elements of `base` (MPI_Type_indexed).
+  static Datatype Indexed(std::span<const std::uint64_t> blocklens,
+                          std::span<const std::uint64_t> displs,
+                          const Datatype& base);
+  /// displacements in bytes (MPI_Type_create_hindexed).
+  static Datatype Hindexed(std::span<const std::uint64_t> blocklens_elems,
+                           std::span<const std::uint64_t> displs_bytes,
+                           const Datatype& base);
+  /// C-order subarray (MPI_Type_create_subarray with MPI_ORDER_C).
+  static pnc::Result<Datatype> Subarray(std::span<const std::uint64_t> sizes,
+                                        std::span<const std::uint64_t> subsizes,
+                                        std::span<const std::uint64_t> starts,
+                                        const Datatype& base);
+
+  /// Number of data bytes the type describes (sum of run lengths).
+  [[nodiscard]] std::uint64_t size() const;
+  /// Span from the first to one past the last byte touched; replication of
+  /// the type (count > 1) tiles at this granularity.
+  [[nodiscard]] std::uint64_t extent() const;
+  /// Number of primitive elements.
+  [[nodiscard]] std::uint64_t count_elems() const;
+  /// Leaf primitive kind (types in this subset are homogeneous).
+  [[nodiscard]] Prim prim() const;
+  /// True when the type is one contiguous run starting at offset 0.
+  [[nodiscard]] bool is_contiguous() const;
+
+  /// Flattened byte runs relative to the type origin, sorted by offset,
+  /// adjacent runs coalesced. Computed once and cached.
+  [[nodiscard]] const std::vector<pnc::Extent>& Flatten() const;
+
+  /// Gather the bytes this type selects from `base` into `out` (out.size()
+  /// must be >= count * size()). Replicates the type `count` times at
+  /// extent() spacing, exactly like MPI packing a (buf, count, type) triple.
+  void Pack(const std::byte* base, std::uint64_t count, std::byte* out) const;
+  /// Inverse of Pack.
+  void Unpack(const std::byte* in, std::uint64_t count, std::byte* base) const;
+
+  friend bool operator==(const Datatype& a, const Datatype& b) {
+    return a.node_ == b.node_;
+  }
+
+  /// Implementation node; public only so internal factories can build it.
+  struct Node;
+
+ private:
+  explicit Datatype(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+// Convenience named types mirroring the MPI predefined handles.
+Datatype ByteType();
+Datatype CharType();
+Datatype ScharType();
+Datatype ShortType();
+Datatype IntType();
+Datatype LongLongType();
+Datatype FloatType();
+Datatype DoubleType();
+
+/// Map a C++ arithmetic type to the corresponding primitive Datatype.
+template <typename T>
+Datatype TypeOf() {
+  if constexpr (std::is_same_v<T, char>) return CharType();
+  else if constexpr (std::is_same_v<T, signed char>) return ScharType();
+  else if constexpr (std::is_same_v<T, short>) return ShortType();
+  else if constexpr (std::is_same_v<T, int>) return IntType();
+  else if constexpr (std::is_same_v<T, long long>) return LongLongType();
+  else if constexpr (std::is_same_v<T, float>) return FloatType();
+  else if constexpr (std::is_same_v<T, double>) return DoubleType();
+  else return ByteType();
+}
+
+}  // namespace simmpi

@@ -1,0 +1,65 @@
+// MPI_Info-alike: an ordered set of string key/value hints.
+//
+// PnetCDF forwards most hints straight down to the MPI-IO layer (paper §4.1);
+// PnetCDF-level hints are interpreted by the library itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace simmpi {
+
+class Info {
+ public:
+  Info() = default;
+
+  void Set(std::string key, std::string value) {
+    kv_[std::move(key)] = std::move(value);
+  }
+
+  [[nodiscard]] std::optional<std::string> Get(const std::string& key) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Parse an integer-valued hint, falling back to `def` when absent or
+  /// malformed (MPI implementations ignore hints they cannot parse).
+  [[nodiscard]] std::int64_t GetInt(const std::string& key,
+                                    std::int64_t def) const {
+    auto v = Get(key);
+    if (!v) return def;
+    try {
+      return std::stoll(*v);
+    } catch (...) {
+      return def;
+    }
+  }
+
+  /// Boolean hints use ROMIO's "enable"/"disable"/"automatic" convention.
+  [[nodiscard]] bool GetFlag(const std::string& key, bool def) const {
+    auto v = Get(key);
+    if (!v) return def;
+    if (*v == "enable" || *v == "true" || *v == "1") return true;
+    if (*v == "disable" || *v == "false" || *v == "0") return false;
+    return def;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return kv_;
+  }
+  [[nodiscard]] bool empty() const { return kv_.empty(); }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// The MPI_INFO_NULL equivalent.
+inline const Info& NullInfo() {
+  static const Info kNull;
+  return kNull;
+}
+
+}  // namespace simmpi

@@ -1,0 +1,26 @@
+// SPMD launcher: runs an MPI-style program body on N thread-backed ranks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simmpi/clock.hpp"
+#include "simmpi/comm.hpp"
+
+namespace simmpi {
+
+struct RunResult {
+  /// Per-rank virtual completion times (ns).
+  std::vector<double> rank_times_ns;
+  /// max over ranks — the virtual makespan of the program.
+  double max_time_ns = 0.0;
+};
+
+/// Launch `nprocs` ranks, each executing `body(world_comm)` on its own
+/// thread, and join them. Exceptions thrown by any rank are re-thrown in the
+/// caller after all ranks have been joined. Each call creates a fresh world
+/// (fresh mailboxes and clocks); state does not leak between runs.
+RunResult Run(int nprocs, const std::function<void(Comm&)>& body,
+              const CostModel& cost = CostModel{});
+
+}  // namespace simmpi

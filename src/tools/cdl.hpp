@@ -1,0 +1,32 @@
+// CDL (Common Data form Language) tools: the ncdump / ncgen pair.
+//
+// The netCDF ecosystem's interchange text form: `DumpCdl` renders a dataset
+// as CDL (what `ncdump` prints), `GenerateFromCdl` parses CDL and writes the
+// dataset it describes (what `ncgen -o` builds). Together they give the
+// round-trip property  generate(dump(f)) == f  that the tests rely on, and
+// the bin/ncdump, bin/ncgen executables make the library's files inspectable
+// outside any program.
+//
+// Supported CDL subset: the classic data model — dimensions (incl.
+// UNLIMITED), the six external types (byte, char, short, int, float,
+// double), per-variable and global attributes, and an optional data section
+// with typed constants (suffixes b/s/f as in ncdump output) and quoted
+// strings for char data.
+#pragma once
+
+#include <string>
+
+#include "netcdf/dataset.hpp"
+
+namespace nctools {
+
+/// Render `ds` as CDL under the given dataset name. With `with_data`, a
+/// data: section listing every variable's values is included.
+pnc::Result<std::string> DumpCdl(netcdf::Dataset& ds, const std::string& name,
+                                 bool with_data);
+
+/// Parse CDL text and create `path` in `fs` accordingly (schema + data).
+pnc::Status GenerateFromCdl(pfs::FileSystem& fs, const std::string& path,
+                            std::string_view cdl);
+
+}  // namespace nctools

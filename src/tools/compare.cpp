@@ -1,0 +1,187 @@
+#include "tools/compare.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace nctools {
+
+using ncformat::Attr;
+using ncformat::NcType;
+
+namespace {
+
+std::string Fmt(const char* what, const std::string& name,
+                const std::string& detail) {
+  std::ostringstream os;
+  os << what << " '" << name << "': " << detail;
+  return os.str();
+}
+
+void CompareAttrLists(const std::vector<Attr>& a, const std::vector<Attr>& b,
+                      const std::string& owner, DiffResult& out) {
+  for (const auto& aa : a) {
+    const Attr* bb = nullptr;
+    for (const auto& cand : b)
+      if (cand.name == aa.name) bb = &cand;
+    if (!bb) {
+      out.Note(Fmt("attribute", owner + ":" + aa.name,
+                   "missing from second file"));
+      continue;
+    }
+    if (bb->type != aa.type) {
+      out.Note(Fmt("attribute", owner + ":" + aa.name, "type differs"));
+    } else if (bb->data != aa.data) {
+      out.Note(Fmt("attribute", owner + ":" + aa.name, "value differs"));
+    }
+  }
+  for (const auto& bb : b) {
+    bool found = false;
+    for (const auto& aa : a) found = found || aa.name == bb.name;
+    if (!found)
+      out.Note(Fmt("attribute", owner + ":" + bb.name,
+                   "missing from first file"));
+  }
+}
+
+pnc::Status CompareVarData(netcdf::Dataset& a, netcdf::Dataset& b, int va,
+                           int vb, const DiffOptions& opts, DiffResult& out) {
+  const auto& v = a.header().vars[static_cast<std::size_t>(va)];
+  const std::uint64_t n = pnc::ShapeProduct(a.header().VarShape(va));
+  if (n == 0) return pnc::Status::Ok();
+
+  if (v.type == NcType::kChar) {
+    std::vector<char> da(n), db(n);
+    PNC_RETURN_IF_ERROR(a.GetVar<char>(va, da));
+    PNC_RETURN_IF_ERROR(b.GetVar<char>(vb, db));
+    if (da != db) out.Note(Fmt("variable", v.name, "text data differs"));
+    return pnc::Status::Ok();
+  }
+  std::vector<double> da(n), db(n);
+  PNC_RETURN_IF_ERROR(a.GetVar<double>(va, da));
+  PNC_RETURN_IF_ERROR(b.GetVar<double>(vb, db));
+  std::uint64_t mismatches = 0;
+  std::uint64_t first = 0;
+  double worst = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double diff = std::abs(da[i] - db[i]);
+    const bool same = (da[i] == db[i]) || diff <= opts.tolerance ||
+                      (std::isnan(da[i]) && std::isnan(db[i]));
+    if (!same) {
+      if (mismatches == 0) first = i;
+      worst = std::max(worst, diff);
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) {
+    std::ostringstream os;
+    os << mismatches << " of " << n << " values differ (first at linear index "
+       << first << ", max |delta| " << worst << ")";
+    out.Note(Fmt("variable", v.name, os.str()));
+  }
+  return pnc::Status::Ok();
+}
+
+}  // namespace
+
+pnc::Result<DiffResult> CompareDatasets(netcdf::Dataset& a,
+                                        netcdf::Dataset& b,
+                                        const DiffOptions& opts) {
+  DiffResult out;
+  const auto& ha = a.header();
+  const auto& hb = b.header();
+
+  for (const auto& d : ha.dims) {
+    const int id = hb.FindDim(d.name);
+    if (id < 0) {
+      out.Note(Fmt("dimension", d.name, "missing from second file"));
+    } else {
+      const auto& e = hb.dims[static_cast<std::size_t>(id)];
+      const std::uint64_t la = d.is_unlimited() ? ha.numrecs : d.len;
+      const std::uint64_t lb = e.is_unlimited() ? hb.numrecs : e.len;
+      if (d.is_unlimited() != e.is_unlimited())
+        out.Note(Fmt("dimension", d.name, "UNLIMITED-ness differs"));
+      else if (la != lb)
+        out.Note(Fmt("dimension", d.name,
+                     std::to_string(la) + " vs " + std::to_string(lb)));
+    }
+  }
+  for (const auto& d : hb.dims)
+    if (ha.FindDim(d.name) < 0)
+      out.Note(Fmt("dimension", d.name, "missing from first file"));
+
+  CompareAttrLists(ha.gatts, hb.gatts, "", out);
+
+  for (std::size_t i = 0; i < ha.vars.size(); ++i) {
+    const auto& v = ha.vars[i];
+    const int id = hb.FindVar(v.name);
+    if (id < 0) {
+      out.Note(Fmt("variable", v.name, "missing from second file"));
+      continue;
+    }
+    const auto& w = hb.vars[static_cast<std::size_t>(id)];
+    if (v.type != w.type) {
+      out.Note(Fmt("variable", v.name, "type differs"));
+      continue;
+    }
+    // Shapes compare by dimension name + current length.
+    const auto sa = ha.VarShape(static_cast<int>(i));
+    const auto sb = hb.VarShape(id);
+    if (sa != sb) {
+      out.Note(Fmt("variable", v.name, "shape differs"));
+      continue;
+    }
+    CompareAttrLists(v.attrs, w.attrs, v.name, out);
+    if (opts.compare_data) {
+      PNC_RETURN_IF_ERROR(
+          CompareVarData(a, b, static_cast<int>(i), id, opts, out));
+    }
+  }
+  for (const auto& w : hb.vars)
+    if (ha.FindVar(w.name) < 0)
+      out.Note(Fmt("variable", w.name, "missing from first file"));
+
+  return out;
+}
+
+pnc::Status CopyDataset(pfs::FileSystem& fs, const std::string& src,
+                        const std::string& dst, const CopyOptions& opts) {
+  PNC_ASSIGN_OR_RETURN(netcdf::Dataset in,
+                       netcdf::Dataset::Open(fs, src, /*writable=*/false));
+  netcdf::CreateOptions copts;
+  copts.use_cdf2 = opts.use_cdf2;
+  PNC_ASSIGN_OR_RETURN(netcdf::Dataset out,
+                       netcdf::Dataset::Create(fs, dst, copts));
+
+  const auto& h = in.header();
+  for (const auto& d : h.dims) {
+    PNC_RETURN_IF_ERROR(out.DefDim(d.name, d.len).status());
+  }
+  for (const auto& a : h.gatts) {
+    PNC_RETURN_IF_ERROR(out.PutAtt(netcdf::kGlobal, a));
+  }
+  for (const auto& v : h.vars) {
+    PNC_ASSIGN_OR_RETURN(int vid, out.DefVar(v.name, v.type, v.dimids));
+    for (const auto& a : v.attrs) {
+      PNC_RETURN_IF_ERROR(out.PutAtt(vid, a));
+    }
+  }
+  PNC_RETURN_IF_ERROR(out.EndDef());
+
+  for (int vid = 0; vid < in.nvars(); ++vid) {
+    const auto& v = h.vars[static_cast<std::size_t>(vid)];
+    const std::uint64_t n = pnc::ShapeProduct(h.VarShape(vid));
+    if (n == 0) continue;
+    if (v.type == NcType::kChar) {
+      std::vector<char> data(n);
+      PNC_RETURN_IF_ERROR(in.GetVar<char>(vid, data));
+      PNC_RETURN_IF_ERROR(out.PutVar<char>(vid, data));
+    } else {
+      std::vector<double> data(n);
+      PNC_RETURN_IF_ERROR(in.GetVar<double>(vid, data));
+      PNC_RETURN_IF_ERROR(out.PutVar<double>(vid, data));
+    }
+  }
+  return out.Close();
+}
+
+}  // namespace nctools

@@ -1,0 +1,40 @@
+// Dataset comparison and copying — the ncmpidiff / nccopy ecosystem tools.
+#pragma once
+
+#include <string>
+
+#include "netcdf/dataset.hpp"
+
+namespace nctools {
+
+struct DiffOptions {
+  double tolerance = 0.0;  ///< absolute tolerance for floating-point data
+  bool compare_data = true;
+};
+
+struct DiffResult {
+  bool equal = true;
+  std::vector<std::string> differences;  ///< human-readable, one per finding
+
+  void Note(std::string what) {
+    equal = false;
+    differences.push_back(std::move(what));
+  }
+};
+
+/// Compare two datasets: dimensions, variables, attributes, and (optionally)
+/// every data value. Mirrors what ncmpidiff/nccmp report.
+pnc::Result<DiffResult> CompareDatasets(netcdf::Dataset& a,
+                                        netcdf::Dataset& b,
+                                        const DiffOptions& opts = {});
+
+struct CopyOptions {
+  bool use_cdf2 = true;  ///< output format version
+};
+
+/// Copy a dataset, re-encoding it (optionally across CDF versions), like
+/// `nccopy`. Schema, attributes, and all data are preserved.
+pnc::Status CopyDataset(pfs::FileSystem& fs, const std::string& src,
+                        const std::string& dst, const CopyOptions& opts = {});
+
+}  // namespace nctools

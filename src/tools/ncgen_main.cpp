@@ -1,0 +1,49 @@
+// ncgen — build a netCDF file (classic format) from a CDL description.
+//
+// Usage: ncgen -o out.nc in.cdl
+//
+// The inverse of ncdump: `ncgen -o copy.nc <(ncdump f.nc)` reproduces f.nc.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "tools/cdl.hpp"
+
+int main(int argc, char** argv) {
+  const char* out = nullptr;
+  const char* in = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      in = argv[i];
+    }
+  }
+  if (!out || !in) {
+    std::fprintf(stderr, "usage: ncgen -o out.nc in.cdl\n");
+    return 2;
+  }
+
+  std::ifstream f(in);
+  if (!f) {
+    std::fprintf(stderr, "ncgen: cannot read %s\n", in);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+
+  pfs::FileSystem fs;
+  auto target = fs.CreateOnDisk(out, out);
+  if (!target.ok()) {
+    std::fprintf(stderr, "ncgen: cannot create %s: %s\n", out,
+                 target.status().message().c_str());
+    return 1;
+  }
+  auto st = nctools::GenerateFromCdl(fs, out, ss.str());
+  if (!st.ok()) {
+    std::fprintf(stderr, "ncgen: %s\n", st.message().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "tools/subset.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nctools {
+
+using ncformat::NcType;
+
+pnc::Status ExtractSubset(pfs::FileSystem& fs, const std::string& src,
+                          const std::string& dst, const SubsetOptions& opts) {
+  PNC_ASSIGN_OR_RETURN(netcdf::Dataset in,
+                       netcdf::Dataset::Open(fs, src, /*writable=*/false));
+  const auto& h = in.header();
+
+  // Resolve the per-dimension index windows.
+  struct Window {
+    std::uint64_t start = 0, count = 0;
+  };
+  std::vector<Window> window(h.dims.size());
+  for (std::size_t d = 0; d < h.dims.size(); ++d) {
+    const auto& dim = h.dims[d];
+    window[d] = {0, dim.is_unlimited() ? h.numrecs : dim.len};
+  }
+  for (const auto& r : opts.ranges) {
+    const int d = h.FindDim(r.dim);
+    if (d < 0) return pnc::Status(pnc::Err::kBadDim, r.dim);
+    const std::uint64_t limit = window[static_cast<std::size_t>(d)].count;
+    if (r.min > r.max || r.max >= limit)
+      return pnc::Status(pnc::Err::kInvalidCoords, r.dim);
+    window[static_cast<std::size_t>(d)] = {r.min, r.max - r.min + 1};
+  }
+
+  // Which variables survive?
+  std::vector<int> keep;
+  if (opts.variables.empty()) {
+    for (int v = 0; v < in.nvars(); ++v) keep.push_back(v);
+  } else {
+    for (const auto& name : opts.variables) {
+      PNC_ASSIGN_OR_RETURN(int v, in.VarId(name));
+      keep.push_back(v);
+    }
+  }
+
+  PNC_ASSIGN_OR_RETURN(netcdf::Dataset out, netcdf::Dataset::Create(fs, dst));
+  // Define trimmed dimensions (all of them: keeps ids simple and matches
+  // NCO's default of retaining the dimension list).
+  for (std::size_t d = 0; d < h.dims.size(); ++d) {
+    const auto len =
+        h.dims[d].is_unlimited() ? ncformat::kUnlimitedLen : window[d].count;
+    PNC_RETURN_IF_ERROR(out.DefDim(h.dims[d].name, len).status());
+  }
+  for (const auto& a : h.gatts) PNC_RETURN_IF_ERROR(out.PutAtt(netcdf::kGlobal, a));
+  std::map<int, int> new_id;
+  for (int v : keep) {
+    const auto& var = h.vars[static_cast<std::size_t>(v)];
+    PNC_ASSIGN_OR_RETURN(int nv, out.DefVar(var.name, var.type, var.dimids));
+    for (const auto& a : var.attrs) PNC_RETURN_IF_ERROR(out.PutAtt(nv, a));
+    new_id[v] = nv;
+  }
+  PNC_RETURN_IF_ERROR(out.EndDef());
+
+  // Copy the selected hyperslab of each kept variable.
+  for (int v : keep) {
+    const auto& var = h.vars[static_cast<std::size_t>(v)];
+    std::vector<std::uint64_t> start, count, zero;
+    std::uint64_t n = 1;
+    for (auto d : var.dimids) {
+      start.push_back(window[static_cast<std::size_t>(d)].start);
+      count.push_back(window[static_cast<std::size_t>(d)].count);
+      zero.push_back(0);
+      n *= count.back();
+    }
+    if (n == 0) continue;
+    if (var.type == NcType::kChar) {
+      std::vector<char> data(n);
+      PNC_RETURN_IF_ERROR(in.GetVara<char>(v, start, count, data));
+      PNC_RETURN_IF_ERROR(out.PutVara<char>(new_id[v], zero, count, data));
+    } else {
+      std::vector<double> data(n);
+      PNC_RETURN_IF_ERROR(in.GetVara<double>(v, start, count, data));
+      PNC_RETURN_IF_ERROR(out.PutVara<double>(new_id[v], zero, count, data));
+    }
+  }
+  return out.Close();
+}
+
+}  // namespace nctools

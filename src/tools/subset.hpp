@@ -1,0 +1,32 @@
+// ncks-style dataset subsetting (paper §4.3: features netCDF itself lacks
+// "can all be achieved by external software such as netCDF Operators").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netcdf/dataset.hpp"
+
+namespace nctools {
+
+struct SubsetOptions {
+  /// Variables to keep (empty = all). Dimension and attribute metadata of
+  /// kept variables is always preserved.
+  std::vector<std::string> variables;
+
+  /// Inclusive index range on a dimension, NCO's -d dim,min,max.
+  struct DimRange {
+    std::string dim;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+  };
+  std::vector<DimRange> ranges;
+};
+
+/// Extract a subset of `src` into `dst`: selected variables, with every
+/// constrained dimension trimmed to its range (the unlimited dimension stays
+/// unlimited with the selected records). Global attributes are copied.
+pnc::Status ExtractSubset(pfs::FileSystem& fs, const std::string& src,
+                          const std::string& dst, const SubsetOptions& opts);
+
+}  // namespace nctools

@@ -1,0 +1,48 @@
+// Small byte/array helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace pnc {
+
+using ByteSpan = std::span<std::byte>;
+using ConstByteSpan = std::span<const std::byte>;
+
+/// A contiguous run of bytes in a file: [offset, offset+len).
+struct Extent {
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+
+  [[nodiscard]] std::uint64_t end() const { return offset + len; }
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+/// Product of a shape vector (number of elements in an N-D array).
+inline std::uint64_t ShapeProduct(std::span<const std::uint64_t> shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::uint64_t{1},
+                         [](std::uint64_t a, std::uint64_t b) { return a * b; });
+}
+
+/// Coalesce adjacent extents in an offset-sorted run list in place.
+inline void CoalesceExtents(std::vector<Extent>& runs) {
+  if (runs.empty()) return;
+  std::size_t w = 0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].offset == runs[w].end()) {
+      runs[w].len += runs[i].len;
+    } else {
+      runs[++w] = runs[i];
+    }
+  }
+  runs.resize(w + 1);
+}
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+}  // namespace pnc

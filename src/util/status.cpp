@@ -1,0 +1,60 @@
+#include "util/status.hpp"
+
+namespace pnc {
+
+std::string_view StrError(Err e) {
+  switch (e) {
+    case Err::kNoErr: return "No error";
+    case Err::kBadId: return "Not a valid ID";
+    case Err::kTooManyFiles: return "Too many netCDF files open";
+    case Err::kExists: return "File exists && NC_NOCLOBBER";
+    case Err::kInvalidArg: return "Invalid argument";
+    case Err::kPermission: return "Write to read only";
+    case Err::kNotInDefine: return "Operation not allowed in data mode";
+    case Err::kInDefine: return "Operation not allowed in define mode";
+    case Err::kInvalidCoords: return "Index exceeds dimension bound";
+    case Err::kMaxDims: return "NC_MAX_DIMS exceeded";
+    case Err::kNameInUse: return "String match to name in use";
+    case Err::kNotAtt: return "Attribute not found";
+    case Err::kMaxAtts: return "NC_MAX_ATTRS exceeded";
+    case Err::kBadType: return "Not a netCDF data type";
+    case Err::kBadDim: return "Invalid dimension id or name";
+    case Err::kUnlimPos: return "NC_UNLIMITED in the wrong index";
+    case Err::kMaxVars: return "NC_MAX_VARS exceeded";
+    case Err::kNotVar: return "Variable not found";
+    case Err::kGlobal: return "Action prohibited on NC_GLOBAL varid";
+    case Err::kNotNc: return "Not a netCDF file";
+    case Err::kStrictNc3: return "In Fortran, string too short";
+    case Err::kMaxName: return "NC_MAX_NAME exceeded";
+    case Err::kUnlimit: return "NC_UNLIMITED size already in use";
+    case Err::kEdge: return "Start+count exceeds dimension bound";
+    case Err::kStride: return "Illegal stride";
+    case Err::kBadName: return "Attribute or variable name contains illegal characters";
+    case Err::kRange: return "Numeric conversion not representable";
+    case Err::kNoMem: return "Memory allocation (malloc) failure";
+    case Err::kVarSize: return "One or more variable sizes violate format constraints";
+    case Err::kDimSize: return "Invalid dimension size";
+    case Err::kTrunc: return "File likely truncated or possibly corrupted";
+    case Err::kMultiDefine: return "Inconsistent metadata arguments across processes";
+    case Err::kNotIndep: return "Operation not allowed: not in independent data mode";
+    case Err::kInIndep: return "Operation not allowed in independent data mode";
+    case Err::kFileSync: return "File sync failure";
+    case Err::kNullBuf: return "Null data buffer";
+    case Err::kTypeMismatch: return "Memory datatype does not match request size";
+    case Err::kIo: return "I/O error on underlying storage";
+    case Err::kMpi: return "simmpi runtime failure";
+    case Err::kInternal: return "Internal library invariant violated";
+  }
+  return "Unknown error";
+}
+
+std::string Status::message() const {
+  std::string m(StrError(err_));
+  if (!context_.empty()) {
+    m += ": ";
+    m += context_;
+  }
+  return m;
+}
+
+}  // namespace pnc

@@ -1,0 +1,127 @@
+// Error handling for the PnetCDF reproduction.
+//
+// The netCDF C interface reports errors as negative integer codes; we keep
+// that convention (the codes below mirror the classic netcdf.h values where
+// applicable) but wrap them in a small Status/Expected layer so C++ callers
+// never have to thread raw ints through their code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace pnc {
+
+/// Error codes. Values match the classic netCDF C library where a
+/// counterpart exists; simulator-specific codes live below -1000.
+enum class Err : int {
+  kNoErr = 0,
+  kBadId = -33,          ///< Not a valid dataset id
+  kTooManyFiles = -34,   ///< Too many open files
+  kExists = -35,         ///< File exists and NC_NOCLOBBER given
+  kInvalidArg = -36,     ///< Invalid argument
+  kPermission = -37,     ///< Write to read-only file
+  kNotInDefine = -38,    ///< Operation not allowed in data mode
+  kInDefine = -39,       ///< Operation not allowed in define mode
+  kInvalidCoords = -40,  ///< Index exceeds dimension bound
+  kMaxDims = -41,        ///< Too many dimensions
+  kNameInUse = -42,      ///< Name already in use
+  kNotAtt = -43,         ///< Attribute not found
+  kMaxAtts = -44,        ///< Too many attributes
+  kBadType = -45,        ///< Not a valid data type
+  kBadDim = -46,         ///< Invalid dimension id or name
+  kUnlimPos = -47,       ///< Unlimited dim must be most significant
+  kMaxVars = -48,        ///< Too many variables
+  kNotVar = -49,         ///< Variable not found
+  kGlobal = -50,         ///< Action prohibited on global attributes
+  kNotNc = -51,          ///< Not a netCDF file
+  kStrictNc3 = -52,      ///< Operation not allowed in classic model
+  kMaxName = -53,        ///< Name too long
+  kUnlimit = -54,        ///< Unlimited dimension used twice
+  kEdge = -57,           ///< Start+count exceeds dimension bound
+  kStride = -58,         ///< Illegal stride
+  kBadName = -59,        ///< Name contains illegal characters
+  kRange = -60,          ///< Value out of range for external type
+  kNoMem = -61,          ///< Out of memory
+  kVarSize = -62,        ///< Variable size exceeds format limit
+  kDimSize = -63,        ///< Dimension size exceeds format limit
+  kTrunc = -64,          ///< File likely truncated
+
+  // Parallel (PnetCDF) specific, mirroring pnetcdf.h conventions.
+  kMultiDefine = -250,     ///< Inconsistent define calls across ranks
+  kNotIndep = -251,        ///< Not in independent data mode
+  kInIndep = -252,         ///< Collective call while in independent mode
+  kFileSync = -253,        ///< File sync failure
+  kNullBuf = -254,         ///< Null data buffer
+  kTypeMismatch = -255,    ///< Memory datatype size mismatch
+
+  // Substrate-specific (no classic counterpart).
+  kIo = -1001,        ///< Underlying storage error
+  kMpi = -1002,       ///< simmpi failure
+  kInternal = -1003,  ///< Invariant violation inside the library
+};
+
+/// Human-readable message for an error code (mirrors nc_strerror).
+std::string_view StrError(Err e);
+
+/// A success-or-error result with optional context message.
+class Status {
+ public:
+  Status() : err_(Err::kNoErr) {}
+  explicit Status(Err e, std::string context = {})
+      : err_(e), context_(std::move(context)) {}
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return err_ == Err::kNoErr; }
+  [[nodiscard]] Err code() const { return err_; }
+  [[nodiscard]] int raw() const { return static_cast<int>(err_); }
+  [[nodiscard]] std::string message() const;
+
+  explicit operator bool() const { return ok(); }
+
+ private:
+  Err err_;
+  std::string context_;
+};
+
+/// Expected-style value-or-Status. Minimal on purpose; the library predates
+/// std::expected availability in this toolchain.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT implicit by design
+  Result(Status s) : v_(std::move(s)) {}     // NOLINT implicit by design
+  Result(Err e) : v_(Status(e)) {}           // NOLINT implicit by design
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T& value() & { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace pnc
+
+/// Propagate a non-ok Status from the current function.
+#define PNC_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::pnc::Status _pnc_st = (expr);              \
+    if (!_pnc_st.ok()) return _pnc_st;           \
+  } while (0)
+
+#define PNC_CONCAT_INNER(a, b) a##b
+#define PNC_CONCAT(a, b) PNC_CONCAT_INNER(a, b)
+
+/// Assign from a Result<T> or propagate its Status.
+#define PNC_ASSIGN_OR_RETURN(lhs, expr)                    \
+  auto PNC_CONCAT(_pnc_res_, __LINE__) = (expr);           \
+  if (!PNC_CONCAT(_pnc_res_, __LINE__).ok())               \
+    return PNC_CONCAT(_pnc_res_, __LINE__).status();       \
+  lhs = std::move(PNC_CONCAT(_pnc_res_, __LINE__)).value()

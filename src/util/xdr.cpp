@@ -1,0 +1,40 @@
+#include "util/xdr.hpp"
+
+namespace pnc::xdr {
+
+void Encoder::PutName(std::string_view s) {
+  PutU32(static_cast<std::uint32_t>(s.size()));
+  auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out_.insert(out_.end(), p, p + s.size());
+  PadTo4();
+}
+
+void Encoder::PadTo4() {
+  while (out_.size() % 4 != 0) out_.push_back(std::byte{0});
+}
+
+Status Decoder::GetBytes(std::span<std::byte> out) {
+  if (remaining() < out.size()) return Status(Err::kTrunc, "decode bytes");
+  std::memcpy(out.data(), in_.data() + pos_, out.size());
+  pos_ += out.size();
+  return Status::Ok();
+}
+
+Status Decoder::GetName(std::string& s) {
+  std::uint32_t len = 0;
+  PNC_RETURN_IF_ERROR(GetU32(len));
+  if (remaining() < len) return Status(Err::kTrunc, "decode name");
+  s.assign(reinterpret_cast<const char*>(in_.data() + pos_), len);
+  pos_ += len;
+  return SkipPadTo4();
+}
+
+Status Decoder::SkipPadTo4() {
+  while (pos_ % 4 != 0) {
+    if (remaining() == 0) return Status(Err::kTrunc, "decode padding");
+    ++pos_;
+  }
+  return Status::Ok();
+}
+
+}  // namespace pnc::xdr

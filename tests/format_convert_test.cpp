@@ -1,0 +1,153 @@
+// Tests for memory<->external type conversion: identity paths, widening and
+// narrowing conversions, NC_ERANGE semantics, and the char/number wall.
+#include "format/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ncformat {
+namespace {
+
+template <typename T>
+std::vector<T> RoundTrip(const std::vector<T>& in, NcType ext,
+                         pnc::Status* to_status = nullptr,
+                         pnc::Status* from_status = nullptr) {
+  std::vector<std::byte> wire(in.size() * TypeSize(ext));
+  auto s1 = ToExternal<T>(std::span<const T>(in), ext, wire.data());
+  std::vector<T> out(in.size());
+  auto s2 = FromExternal<T>(wire.data(), ext, std::span<T>(out));
+  if (to_status) *to_status = s1;
+  if (from_status) *from_status = s2;
+  return out;
+}
+
+TEST(Identity, AllTypes) {
+  EXPECT_EQ(RoundTrip<double>({1.5, -2.25, 0.0}, NcType::kDouble),
+            (std::vector<double>{1.5, -2.25, 0.0}));
+  EXPECT_EQ(RoundTrip<float>({3.5f, -1e30f}, NcType::kFloat),
+            (std::vector<float>{3.5f, -1e30f}));
+  EXPECT_EQ(RoundTrip<std::int32_t>({1, -2, 2147483647}, NcType::kInt),
+            (std::vector<std::int32_t>{1, -2, 2147483647}));
+  EXPECT_EQ(RoundTrip<std::int16_t>({-32768, 32767}, NcType::kShort),
+            (std::vector<std::int16_t>{-32768, 32767}));
+  EXPECT_EQ(RoundTrip<signed char>({-127, 100}, NcType::kByte),
+            (std::vector<signed char>{-127, 100}));
+  EXPECT_EQ(RoundTrip<char>({'h', 'i'}, NcType::kChar),
+            (std::vector<char>{'h', 'i'}));
+}
+
+TEST(Widening, IntToDoubleExact) {
+  EXPECT_EQ(RoundTrip<std::int32_t>({123456789, -42}, NcType::kDouble),
+            (std::vector<std::int32_t>{123456789, -42}));
+}
+
+TEST(Widening, ShortToFloatExact) {
+  EXPECT_EQ(RoundTrip<std::int16_t>({-12345, 31000}, NcType::kFloat),
+            (std::vector<std::int16_t>{-12345, 31000}));
+}
+
+TEST(Narrowing, DoubleToShortInRange) {
+  pnc::Status to, from;
+  auto out = RoundTrip<double>({100.0, -200.0}, NcType::kShort, &to, &from);
+  EXPECT_TRUE(to.ok());
+  EXPECT_EQ(out, (std::vector<double>{100.0, -200.0}));
+}
+
+TEST(Narrowing, TruncatesFraction) {
+  std::vector<std::byte> wire(4);
+  const double v = 3.75;
+  ASSERT_TRUE(ToExternal<double>({&v, 1}, NcType::kInt, wire.data()).ok());
+  std::int32_t back;
+  ASSERT_TRUE(
+      FromExternal<std::int32_t>(wire.data(), NcType::kInt, {&back, 1}).ok());
+  EXPECT_EQ(back, 3);
+}
+
+TEST(Range, OverflowReportedButConversionCompletes) {
+  const std::vector<double> vals{1e10, 5.0};
+  std::vector<std::byte> wire(vals.size() * 2);
+  auto s = ToExternal<double>(std::span<const double>(vals), NcType::kShort,
+                              wire.data());
+  EXPECT_EQ(s.code(), pnc::Err::kRange);
+  // Second value still converted correctly.
+  std::vector<std::int16_t> back(2);
+  ASSERT_TRUE(FromExternal<std::int16_t>(wire.data(), NcType::kShort,
+                                         std::span<std::int16_t>(back))
+                  .ok());
+  EXPECT_EQ(back[1], 5);
+}
+
+TEST(Range, NanToIntegerIsRangeError) {
+  const double v = std::nan("");
+  std::vector<std::byte> wire(4);
+  EXPECT_EQ(ToExternal<double>({&v, 1}, NcType::kInt, wire.data()).code(),
+            pnc::Err::kRange);
+}
+
+TEST(Range, NanToFloatPropagates) {
+  const double v = std::nan("");
+  std::vector<std::byte> wire(4);
+  EXPECT_TRUE(ToExternal<double>({&v, 1}, NcType::kFloat, wire.data()).ok());
+  float back;
+  ASSERT_TRUE(FromExternal<float>(wire.data(), NcType::kFloat, {&back, 1}).ok());
+  EXPECT_TRUE(std::isnan(back));
+}
+
+TEST(Range, ReadSideOverflowReported) {
+  // A large int stored externally, read back as signed char.
+  const std::int32_t v = 100000;
+  std::vector<std::byte> wire(4);
+  ASSERT_TRUE(ToExternal<std::int32_t>({&v, 1}, NcType::kInt, wire.data()).ok());
+  signed char back;
+  EXPECT_EQ(
+      FromExternal<signed char>(wire.data(), NcType::kInt, {&back, 1}).code(),
+      pnc::Err::kRange);
+}
+
+TEST(CharWall, NumericToCharRejected) {
+  const std::int32_t v = 65;
+  std::vector<std::byte> wire(4);
+  EXPECT_EQ(ToExternal<std::int32_t>({&v, 1}, NcType::kChar, wire.data()).code(),
+            pnc::Err::kBadType);
+  std::int32_t back;
+  EXPECT_EQ(
+      FromExternal<std::int32_t>(wire.data(), NcType::kChar, {&back, 1}).code(),
+      pnc::Err::kBadType);
+}
+
+TEST(CharWall, CharToNumericRejected) {
+  const char c = 'x';
+  std::vector<std::byte> wire(8);
+  EXPECT_EQ(ToExternal<char>({&c, 1}, NcType::kDouble, wire.data()).code(),
+            pnc::Err::kBadType);
+}
+
+TEST(Wire, ExternalBytesAreBigEndian) {
+  const std::int32_t v = 0x01020304;
+  std::vector<std::byte> wire(4);
+  ASSERT_TRUE(ToExternal<std::int32_t>({&v, 1}, NcType::kInt, wire.data()).ok());
+  EXPECT_EQ(wire[0], std::byte{0x01});
+  EXPECT_EQ(wire[3], std::byte{0x04});
+  // And via a converting path too.
+  const double d = 1.0;
+  std::vector<std::byte> w2(4);
+  ASSERT_TRUE(ToExternal<double>({&d, 1}, NcType::kFloat, w2.data()).ok());
+  EXPECT_EQ(w2[0], std::byte{0x3F});  // 1.0f = 0x3F800000
+  EXPECT_EQ(w2[1], std::byte{0x80});
+}
+
+TEST(LongLong, RoundTripThroughDouble) {
+  EXPECT_EQ(RoundTrip<long long>({1LL << 40, -5}, NcType::kDouble),
+            (std::vector<long long>{1LL << 40, -5}));
+}
+
+TEST(LongLong, OverflowIntoIntReported) {
+  const long long v = 1LL << 40;
+  std::vector<std::byte> wire(4);
+  EXPECT_EQ(ToExternal<long long>({&v, 1}, NcType::kInt, wire.data()).code(),
+            pnc::Err::kRange);
+}
+
+}  // namespace
+}  // namespace ncformat

@@ -1,0 +1,134 @@
+// Spec conformance: byte-for-byte golden files against the netCDF classic
+// format specification. These bytes are hand-derived from the CDF-1 grammar
+// (they are what the reference Unidata library produces), so any drift in
+// the encoder breaks interoperability with the real world and fails here.
+#include <gtest/gtest.h>
+
+#include "netcdf/dataset.hpp"
+
+namespace {
+
+using ncformat::NcType;
+
+std::vector<std::byte> FileBytes(pfs::FileSystem& fs, const std::string& path) {
+  auto f = fs.Open(path).value();
+  std::vector<std::byte> all(f.size());
+  f.Read(0, all, 0.0);
+  return all;
+}
+
+std::vector<std::byte> B(std::initializer_list<int> xs) {
+  std::vector<std::byte> v;
+  for (int x : xs) v.push_back(static_cast<std::byte>(x));
+  return v;
+}
+
+// netcdf g { dimensions: x = 2 ; variables: int a(x) ; data: a = 258, -2 ; }
+// CDF-1 grammar walkthrough:
+//   magic 'C' 'D' 'F' \x01
+//   numrecs      = 0
+//   dim_list     = NC_DIMENSION(10), nelems 1, name "x" (len 1 + pad 3), size 2
+//   gatt_list    = ABSENT (0, 0)
+//   var_list     = NC_VARIABLE(11), nelems 1,
+//                  name "a", nelems 1, dimid 0,
+//                  vatt_list ABSENT (0, 0),
+//                  nc_type NC_INT(4), vsize 8, begin = header size
+//   data         = 258, -2 as big-endian int32
+TEST(GoldenBytes, MinimalCdf1File) {
+  pfs::FileSystem fs;
+  netcdf::CreateOptions opts;
+  opts.use_cdf2 = false;
+  auto ds = netcdf::Dataset::Create(fs, "g.nc", opts).value();
+  const int x = ds.DefDim("x", 2).value();
+  const int a = ds.DefVar("a", NcType::kInt, {x}).value();
+  ASSERT_TRUE(ds.EndDef().ok());
+  const std::vector<std::int32_t> vals{258, -2};
+  ASSERT_TRUE(ds.PutVar<std::int32_t>(a, vals).ok());
+  ASSERT_TRUE(ds.Close().ok());
+
+  // Header size: 4 magic + 4 numrecs + (8 tag/count + 8 name + 4 len) dims
+  // + 8 gatts + (8 tag/count + 8 name + 4 ndims + 4 dimid + 8 vatts +
+  // 4 type + 4 vsize + 4 begin) vars = 80; begin = 80.
+  const auto expected = B({
+      'C', 'D', 'F', 1,          // magic
+      0, 0, 0, 0,                // numrecs
+      0, 0, 0, 10,               // NC_DIMENSION
+      0, 0, 0, 1,                // 1 dim
+      0, 0, 0, 1, 'x', 0, 0, 0,  // name "x" padded
+      0, 0, 0, 2,                // dim size 2
+      0, 0, 0, 0, 0, 0, 0, 0,    // gatt_list ABSENT
+      0, 0, 0, 11,               // NC_VARIABLE
+      0, 0, 0, 1,                // 1 var
+      0, 0, 0, 1, 'a', 0, 0, 0,  // name "a" padded
+      0, 0, 0, 1,                // ndims = 1
+      0, 0, 0, 0,                // dimid 0
+      0, 0, 0, 0, 0, 0, 0, 0,    // vatt_list ABSENT
+      0, 0, 0, 4,                // NC_INT
+      0, 0, 0, 8,                // vsize
+      0, 0, 0, 80,               // begin
+      // data: 258 = 0x00000102, -2 = 0xFFFFFFFE
+      0, 0, 1, 2,
+      0xFF, 0xFF, 0xFF, 0xFE,
+  });
+  EXPECT_EQ(FileBytes(fs, "g.nc"), expected);
+}
+
+// A record variable file: the numrecs word updates and records follow the
+// header with the single-record-variable packing rule.
+TEST(GoldenBytes, RecordVariableCdf1File) {
+  pfs::FileSystem fs;
+  netcdf::CreateOptions opts;
+  opts.use_cdf2 = false;
+  auto ds = netcdf::Dataset::Create(fs, "r.nc", opts).value();
+  const int t = ds.DefDim("t", netcdf::kUnlimited).value();
+  const int v = ds.DefVar("s", NcType::kShort, {t}).value();
+  ASSERT_TRUE(ds.EndDef().ok());
+  const std::vector<std::int16_t> vals{-1, 2, 3};
+  const std::uint64_t st[] = {0};
+  const std::uint64_t ct[] = {3};
+  ASSERT_TRUE(ds.PutVara<std::int16_t>(v, st, ct, vals).ok());
+  ASSERT_TRUE(ds.Close().ok());
+
+  // Header layout as above: 80 bytes, so the records begin at 80.
+  // Sole short record variable: vsize field padded to 4, but records pack
+  // at 2 bytes each (the format's special rule).
+  const auto expected = B({
+      'C', 'D', 'F', 1,
+      0, 0, 0, 3,                // numrecs = 3
+      0, 0, 0, 10, 0, 0, 0, 1,
+      0, 0, 0, 1, 't', 0, 0, 0,
+      0, 0, 0, 0,                // UNLIMITED marker (length 0)
+      0, 0, 0, 0, 0, 0, 0, 0,    // gatts ABSENT
+      0, 0, 0, 11, 0, 0, 0, 1,
+      0, 0, 0, 1, 's', 0, 0, 0,
+      0, 0, 0, 1,                // ndims
+      0, 0, 0, 0,                // dimid 0 (the record dim)
+      0, 0, 0, 0, 0, 0, 0, 0,    // vatts ABSENT
+      0, 0, 0, 3,                // NC_SHORT
+      0, 0, 0, 4,                // vsize (2 rounded up to 4)
+      0, 0, 0, 80,               // begin
+      // records: -1, 2, 3 as big-endian int16, tightly packed
+      0xFF, 0xFF, 0, 2, 0, 3,
+  });
+  EXPECT_EQ(FileBytes(fs, "r.nc"), expected);
+}
+
+// CDF-2 differs only in the version byte and the 64-bit begin field.
+TEST(GoldenBytes, Cdf2BeginIs64Bit) {
+  pfs::FileSystem fs;
+  auto ds = netcdf::Dataset::Create(fs, "v2.nc").value();  // CDF-2 default
+  const int x = ds.DefDim("x", 1).value();
+  const int a = ds.DefVar("a", NcType::kByte, {x}).value();
+  ASSERT_TRUE(ds.EndDef().ok());
+  const std::vector<signed char> one{42};
+  ASSERT_TRUE(ds.PutVar<signed char>(a, one).ok());
+  ASSERT_TRUE(ds.Close().ok());
+  auto bytes = FileBytes(fs, "v2.nc");
+  EXPECT_EQ(bytes[3], std::byte{2});  // version 2
+  // Header = 80 + 4 (wider begin) = 84; begin encoded as 8 bytes at 76.
+  const std::size_t begin_field = 76;  // offset of the begin field
+  EXPECT_EQ(bytes[begin_field + 7], std::byte{84});
+  EXPECT_EQ(bytes[84], std::byte{42});  // the data byte
+}
+
+}  // namespace

@@ -1,0 +1,296 @@
+// Tests for the netCDF classic header: grammar golden bytes, round trips,
+// layout rules (Figure 1), validation, and randomized property checks.
+#include "format/header.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ncformat {
+namespace {
+
+Header SampleHeader() {
+  Header h;
+  h.version = 2;
+  h.dims = {{"time", kUnlimitedLen}, {"level", 4}, {"lat", 8}, {"lon", 10}};
+  h.gatts.push_back(Attr::Text("title", "sample dataset"));
+  const double range[] = {-100.0, 100.0};
+  h.gatts.push_back(
+      Attr::Numeric<double>("valid_range", NcType::kDouble, range));
+
+  Var fixed;
+  fixed.name = "elevation";
+  fixed.type = NcType::kFloat;
+  fixed.dimids = {2, 3};
+  fixed.attrs.push_back(Attr::Text("units", "m"));
+  h.vars.push_back(fixed);
+
+  Var rec1;
+  rec1.name = "tt";
+  rec1.type = NcType::kDouble;
+  rec1.dimids = {0, 1, 2, 3};
+  h.vars.push_back(rec1);
+
+  Var rec2;
+  rec2.name = "count";
+  rec2.type = NcType::kShort;
+  rec2.dimids = {0, 2};
+  h.vars.push_back(rec2);
+  return h;
+}
+
+TEST(HeaderCodec, MagicBytes) {
+  Header h;
+  h.version = 1;
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  std::vector<std::byte> bytes;
+  h.Encode(bytes);
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes[0], std::byte{'C'});
+  EXPECT_EQ(bytes[1], std::byte{'D'});
+  EXPECT_EQ(bytes[2], std::byte{'F'});
+  EXPECT_EQ(bytes[3], std::byte{1});
+}
+
+TEST(HeaderCodec, EmptyHeaderRoundTrip) {
+  Header h;
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  std::vector<std::byte> bytes;
+  h.Encode(bytes);
+  auto back = Header::Decode(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), h);
+}
+
+TEST(HeaderCodec, FullRoundTrip) {
+  Header h = SampleHeader();
+  h.numrecs = 13;
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  std::vector<std::byte> bytes;
+  h.Encode(bytes);
+  EXPECT_EQ(bytes.size(), h.EncodedSize());
+  auto back = Header::Decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back.value(), h);
+  EXPECT_EQ(back.value().numrecs, 13u);
+  EXPECT_EQ(back.value().recsize(), h.recsize());
+  EXPECT_EQ(back.value().data_begin(), h.data_begin());
+}
+
+TEST(HeaderCodec, Cdf1RoundTrip) {
+  Header h = SampleHeader();
+  h.version = 1;
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  std::vector<std::byte> bytes;
+  h.Encode(bytes);
+  auto back = Header::Decode(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().version, 1);
+  EXPECT_EQ(back.value(), h);
+}
+
+TEST(HeaderCodec, RejectsGarbage) {
+  std::vector<std::byte> junk(64, std::byte{0x5A});
+  EXPECT_FALSE(Header::Decode(junk).ok());
+}
+
+TEST(HeaderCodec, ReportsTruncation) {
+  Header h = SampleHeader();
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  std::vector<std::byte> bytes;
+  h.Encode(bytes);
+  auto r = Header::Decode(pnc::ConstByteSpan(bytes.data(), bytes.size() / 2));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), pnc::Err::kTrunc);
+}
+
+TEST(Layout, FixedVarsContiguousInOrder) {
+  Header h;
+  h.dims = {{"x", 10}, {"y", 3}};
+  h.vars.resize(3);
+  h.vars[0] = {"a", {0}, {}, NcType::kInt, 0, 0};       // 40 bytes
+  h.vars[1] = {"b", {1}, {}, NcType::kShort, 0, 0};     // 6 -> padded 8
+  h.vars[2] = {"c", {0, 1}, {}, NcType::kDouble, 0, 0}; // 240
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  EXPECT_EQ(h.vars[0].begin, h.data_begin());
+  EXPECT_EQ(h.vars[0].vsize, 40u);
+  EXPECT_EQ(h.vars[1].begin, h.vars[0].begin + 40);
+  EXPECT_EQ(h.vars[1].vsize, 8u);  // 6 rounded up to 4-byte boundary
+  EXPECT_EQ(h.vars[2].begin, h.vars[1].begin + 8);
+}
+
+TEST(Layout, RecordVarsInterleaved) {
+  Header h;
+  h.dims = {{"t", kUnlimitedLen}, {"x", 5}};
+  h.vars.resize(3);
+  h.vars[0] = {"fixed", {1}, {}, NcType::kInt, 0, 0};
+  h.vars[1] = {"r1", {0, 1}, {}, NcType::kFloat, 0, 0};  // 20 per record
+  h.vars[2] = {"r2", {0}, {}, NcType::kDouble, 0, 0};    // 8 per record
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  EXPECT_EQ(h.vars[1].begin, h.vars[0].begin + h.vars[0].vsize);
+  EXPECT_EQ(h.vars[2].begin, h.vars[1].begin + 20);
+  EXPECT_EQ(h.recsize(), 28u);
+}
+
+TEST(Layout, SingleRecordVarHasNoInterRecordPadding) {
+  Header h;
+  h.dims = {{"t", kUnlimitedLen}, {"x", 3}};
+  h.vars.resize(1);
+  h.vars[0] = {"r", {0, 1}, {}, NcType::kShort, 0, 0};  // 6 bytes per record
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  EXPECT_EQ(h.vars[0].vsize, 8u);   // vsize field is padded
+  EXPECT_EQ(h.recsize(), 6u);       // but records pack tightly
+}
+
+TEST(Layout, ScalarVariable) {
+  Header h;
+  h.vars.resize(1);
+  h.vars[0] = {"s", {}, {}, NcType::kDouble, 0, 0};
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  EXPECT_EQ(h.vars[0].vsize, 8u);
+  EXPECT_EQ(h.FileSize(), h.data_begin() + 8);
+}
+
+TEST(Layout, MinDataBeginReservesHeaderSpace) {
+  Header h = SampleHeader();
+  ASSERT_TRUE(h.ComputeLayout(4096).ok());
+  EXPECT_EQ(h.data_begin(), 4096u);
+  EXPECT_GE(h.vars[0].begin, 4096u);
+}
+
+TEST(Layout, Cdf1OffsetOverflowDetected) {
+  Header h;
+  h.version = 1;
+  h.dims = {{"x", 600ull << 20}};  // 600M ints = 2.4 GB
+  h.vars.resize(2);
+  h.vars[0] = {"a", {0}, {}, NcType::kInt, 0, 0};
+  h.vars[1] = {"b", {0}, {}, NcType::kInt, 0, 0};
+  EXPECT_EQ(h.ComputeLayout().code(), pnc::Err::kVarSize);
+  h.version = 2;
+  EXPECT_TRUE(h.ComputeLayout().ok());
+}
+
+TEST(Layout, FileSizeWithRecords) {
+  Header h;
+  h.dims = {{"t", kUnlimitedLen}, {"x", 5}};
+  h.vars.resize(2);
+  h.vars[0] = {"r1", {0, 1}, {}, NcType::kFloat, 0, 0};
+  h.vars[1] = {"r2", {0, 1}, {}, NcType::kFloat, 0, 0};
+  h.numrecs = 7;
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  EXPECT_EQ(h.FileSize(), h.data_begin() + 7 * h.recsize());
+}
+
+TEST(Validate, RejectsBadNames) {
+  Header h;
+  h.dims = {{"", 3}};
+  EXPECT_EQ(h.Validate().code(), pnc::Err::kBadName);
+  h.dims = {{"/slash", 3}};
+  EXPECT_EQ(h.Validate().code(), pnc::Err::kBadName);
+  h.dims = {{" space", 3}};
+  EXPECT_EQ(h.Validate().code(), pnc::Err::kBadName);
+  h.dims = {{"_ok_name", 3}};
+  EXPECT_TRUE(h.Validate().ok());
+}
+
+TEST(Validate, RejectsDuplicates) {
+  Header h;
+  h.dims = {{"x", 1}, {"x", 2}};
+  EXPECT_EQ(h.Validate().code(), pnc::Err::kNameInUse);
+}
+
+TEST(Validate, RejectsTwoUnlimitedDims) {
+  Header h;
+  h.dims = {{"t", kUnlimitedLen}, {"u", kUnlimitedLen}};
+  EXPECT_EQ(h.Validate().code(), pnc::Err::kUnlimit);
+}
+
+TEST(Validate, UnlimitedMustBeMostSignificant) {
+  Header h;
+  h.dims = {{"t", kUnlimitedLen}, {"x", 4}};
+  h.vars.resize(1);
+  h.vars[0] = {"v", {1, 0}, {}, NcType::kInt, 0, 0};
+  EXPECT_EQ(h.Validate().code(), pnc::Err::kUnlimPos);
+}
+
+TEST(Validate, RejectsBadDimIds) {
+  Header h;
+  h.dims = {{"x", 4}};
+  h.vars.resize(1);
+  h.vars[0] = {"v", {1}, {}, NcType::kInt, 0, 0};
+  EXPECT_EQ(h.Validate().code(), pnc::Err::kBadDim);
+}
+
+TEST(Attrs, TextHelperRoundTrip) {
+  auto a = Attr::Text("history", "created by test");
+  EXPECT_EQ(a.type, NcType::kChar);
+  EXPECT_EQ(a.nelems(), 15u);
+  EXPECT_EQ(a.AsText(), "created by test");
+}
+
+TEST(VarQueries, ShapeAndInstanceElems) {
+  Header h = SampleHeader();
+  h.numrecs = 6;
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  const int tt = h.FindVar("tt");
+  ASSERT_GE(tt, 0);
+  EXPECT_TRUE(h.IsRecordVar(tt));
+  EXPECT_EQ(h.VarShape(tt), (std::vector<std::uint64_t>{6, 4, 8, 10}));
+  EXPECT_EQ(h.VarInstanceElems(tt), 4u * 8 * 10);
+  const int elev = h.FindVar("elevation");
+  EXPECT_FALSE(h.IsRecordVar(elev));
+  EXPECT_EQ(h.VarShape(elev), (std::vector<std::uint64_t>{8, 10}));
+}
+
+// Property test: random headers encode/decode to equality.
+class HeaderFuzzP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeaderFuzzP, RandomHeaderRoundTrip) {
+  pnc::SplitMix64 rng(GetParam());
+  Header h;
+  h.version = rng.Below(2) ? 2 : 1;
+  const auto ndims = 1 + rng.Below(6);
+  const bool unlimited = rng.Below(2) == 1;
+  for (std::uint64_t d = 0; d < ndims; ++d) {
+    h.dims.push_back({"dim" + std::to_string(d),
+                      (unlimited && d == 0) ? kUnlimitedLen : 1 + rng.Below(16)});
+  }
+  const auto ngatts = rng.Below(4);
+  for (std::uint64_t a = 0; a < ngatts; ++a) {
+    if (rng.Below(2)) {
+      h.gatts.push_back(Attr::Text("gatt" + std::to_string(a), "v"));
+    } else {
+      std::vector<std::int32_t> vals(1 + rng.Below(5));
+      for (auto& v : vals) v = static_cast<std::int32_t>(rng.Next());
+      h.gatts.push_back(Attr::Numeric<std::int32_t>(
+          "gatt" + std::to_string(a), NcType::kInt, vals));
+    }
+  }
+  const auto nvars = rng.Below(6);
+  for (std::uint64_t v = 0; v < nvars; ++v) {
+    Var var;
+    var.name = "var" + std::to_string(v);
+    var.type = static_cast<NcType>(1 + rng.Below(6));
+    const auto vd = rng.Below(ndims + 1);
+    std::vector<std::int32_t> pool;
+    for (std::uint64_t d = (unlimited && rng.Below(2) == 0) ? 1 : 0;
+         d < ndims && pool.size() < vd; ++d)
+      pool.push_back(static_cast<std::int32_t>(d));
+    var.dimids = pool;
+    h.vars.push_back(var);
+  }
+  h.numrecs = rng.Below(10);
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  std::vector<std::byte> bytes;
+  h.Encode(bytes);
+  EXPECT_EQ(bytes.size(), h.EncodedSize());
+  auto back = Header::Decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back.value(), h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeaderFuzzP,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace ncformat

@@ -1,0 +1,212 @@
+// Tests for access validation and the access-region generator: the mapping
+// from (start, count, stride) to file byte extents, including record
+// variable interleaving (Figure 1 of the paper).
+#include "format/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncformat {
+namespace {
+
+Header Make3D() {
+  Header h;
+  h.dims = {{"z", 4}, {"y", 3}, {"x", 5}};
+  h.vars.resize(1);
+  h.vars[0] = {"tt", {0, 1, 2}, {}, NcType::kDouble, 0, 0};
+  EXPECT_TRUE(h.ComputeLayout().ok());
+  return h;
+}
+
+Header MakeRec() {
+  Header h;
+  h.dims = {{"t", kUnlimitedLen}, {"x", 5}};
+  h.vars.resize(2);
+  h.vars[0] = {"a", {0, 1}, {}, NcType::kInt, 0, 0};     // 20 B/record
+  h.vars[1] = {"b", {0}, {}, NcType::kDouble, 0, 0};     // 8 B/record
+  h.numrecs = 4;
+  EXPECT_TRUE(h.ComputeLayout().ok());
+  return h;
+}
+
+std::vector<pnc::Extent> Regions(const Header& h, int varid,
+                                 std::vector<std::uint64_t> start,
+                                 std::vector<std::uint64_t> count,
+                                 std::vector<std::uint64_t> stride = {}) {
+  std::vector<pnc::Extent> out;
+  AccessRegions(h, varid, start, count, stride, out);
+  return out;
+}
+
+TEST(Validate, RankMismatch) {
+  Header h = Make3D();
+  const std::uint64_t s2[] = {0, 0};
+  const std::uint64_t c2[] = {1, 1};
+  EXPECT_EQ(ValidateAccess(h, 0, s2, c2, {}, AccessKind::kRead).code(),
+            pnc::Err::kInvalidArg);
+}
+
+TEST(Validate, StartBeyondBound) {
+  Header h = Make3D();
+  const std::uint64_t s[] = {4, 0, 0};
+  const std::uint64_t c[] = {1, 1, 1};
+  EXPECT_EQ(ValidateAccess(h, 0, s, c, {}, AccessKind::kRead).code(),
+            pnc::Err::kInvalidCoords);
+}
+
+TEST(Validate, EdgeOverrun) {
+  Header h = Make3D();
+  const std::uint64_t s[] = {2, 0, 0};
+  const std::uint64_t c[] = {3, 1, 1};
+  EXPECT_EQ(ValidateAccess(h, 0, s, c, {}, AccessKind::kRead).code(),
+            pnc::Err::kEdge);
+}
+
+TEST(Validate, StrideOverrunAndZero) {
+  Header h = Make3D();
+  const std::uint64_t s[] = {0, 0, 0};
+  const std::uint64_t c[] = {2, 1, 1};
+  const std::uint64_t bad[] = {4, 1, 1};  // 0 + 1*4 = 4 > 3 max index
+  EXPECT_EQ(ValidateAccess(h, 0, s, c, bad, AccessKind::kRead).code(),
+            pnc::Err::kEdge);
+  const std::uint64_t zero[] = {1, 1, 0};
+  EXPECT_EQ(ValidateAccess(h, 0, s, c, zero, AccessKind::kRead).code(),
+            pnc::Err::kStride);
+}
+
+TEST(Validate, RecordWritesMayGrow) {
+  Header h = MakeRec();
+  const std::uint64_t s[] = {10, 0};
+  const std::uint64_t c[] = {5, 5};
+  EXPECT_TRUE(ValidateAccess(h, 0, s, c, {}, AccessKind::kWrite).ok());
+  EXPECT_EQ(ValidateAccess(h, 0, s, c, {}, AccessKind::kRead).code(),
+            pnc::Err::kInvalidCoords);
+}
+
+TEST(Validate, BadVarid) {
+  Header h = Make3D();
+  EXPECT_EQ(ValidateAccess(h, 7, {}, {}, {}, AccessKind::kRead).code(),
+            pnc::Err::kNotVar);
+}
+
+TEST(Regions, WholeArrayIsOneExtent) {
+  Header h = Make3D();
+  auto r = Regions(h, 0, {0, 0, 0}, {4, 3, 5});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].offset, h.vars[0].begin);
+  EXPECT_EQ(r[0].len, 4u * 3 * 5 * 8);
+}
+
+TEST(Regions, SingleElement) {
+  Header h = Make3D();
+  auto r = Regions(h, 0, {1, 2, 3}, {1, 1, 1});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].offset, h.vars[0].begin + ((1 * 3 + 2) * 5 + 3) * 8);
+  EXPECT_EQ(r[0].len, 8u);
+}
+
+TEST(Regions, RowSubarrayCoalesces) {
+  Header h = Make3D();
+  // Full rows of x for one (z,y) pair per region; contiguous y rows merge.
+  auto r = Regions(h, 0, {1, 0, 0}, {2, 3, 5});
+  ASSERT_EQ(r.size(), 1u);  // two full z-slabs are contiguous
+  EXPECT_EQ(r[0].offset, h.vars[0].begin + 1u * 3 * 5 * 8);
+  EXPECT_EQ(r[0].len, 2u * 3 * 5 * 8);
+}
+
+TEST(Regions, PartialRowsStayApart) {
+  Header h = Make3D();
+  auto r = Regions(h, 0, {0, 0, 1}, {1, 3, 2});
+  ASSERT_EQ(r.size(), 3u);
+  for (std::uint64_t y = 0; y < 3; ++y) {
+    EXPECT_EQ(r[y].offset, h.vars[0].begin + (y * 5 + 1) * 8);
+    EXPECT_EQ(r[y].len, 16u);
+  }
+}
+
+TEST(Regions, StridedInnermostSplitsPerElement) {
+  Header h = Make3D();
+  auto r = Regions(h, 0, {0, 0, 0}, {1, 1, 3}, {1, 1, 2});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[1].offset, h.vars[0].begin + 2 * 8);
+  EXPECT_EQ(r[2].offset, h.vars[0].begin + 4 * 8);
+}
+
+TEST(Regions, StridedOuterDim) {
+  Header h = Make3D();
+  auto r = Regions(h, 0, {0, 0, 0}, {2, 1, 5}, {2, 1, 1});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].offset, h.vars[0].begin);
+  EXPECT_EQ(r[1].offset, h.vars[0].begin + 2u * 3 * 5 * 8);
+}
+
+TEST(Regions, RecordVarInterleaving) {
+  Header h = MakeRec();
+  // Records of var a: begin_a + r * recsize, 20 bytes each.
+  auto r = Regions(h, 0, {0, 0}, {3, 5});
+  ASSERT_EQ(r.size(), 3u);
+  for (std::uint64_t rec = 0; rec < 3; ++rec) {
+    EXPECT_EQ(r[rec].offset, h.vars[0].begin + rec * h.recsize());
+    EXPECT_EQ(r[rec].len, 20u);
+  }
+}
+
+TEST(Regions, RecordScalarVar) {
+  Header h = MakeRec();
+  auto r = Regions(h, 1, {1}, {2});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].offset, h.vars[1].begin + 1 * h.recsize());
+  EXPECT_EQ(r[1].offset, h.vars[1].begin + 2 * h.recsize());
+  EXPECT_EQ(r[0].len, 8u);
+}
+
+TEST(Regions, SoleRecordVarRecordsCoalesce) {
+  Header h;
+  h.dims = {{"t", kUnlimitedLen}, {"x", 5}};
+  h.vars.resize(1);
+  h.vars[0] = {"only", {0, 1}, {}, NcType::kDouble, 0, 0};
+  h.numrecs = 3;
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  // recsize == 40 == per-record bytes, so consecutive records are adjacent.
+  auto r = Regions(h, 0, {0, 0}, {3, 5});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].len, 120u);
+}
+
+TEST(Regions, StridedRecords) {
+  Header h = MakeRec();
+  auto r = Regions(h, 0, {0, 0}, {2, 5}, {3, 1});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1].offset, h.vars[0].begin + 3 * h.recsize());
+}
+
+TEST(Regions, ScalarVariable) {
+  Header h;
+  h.vars.resize(1);
+  h.vars[0] = {"s", {}, {}, NcType::kFloat, 0, 0};
+  ASSERT_TRUE(h.ComputeLayout().ok());
+  auto r = Regions(h, 0, {}, {});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].len, 4u);
+}
+
+TEST(Regions, ZeroCountProducesNothing) {
+  Header h = Make3D();
+  EXPECT_TRUE(Regions(h, 0, {0, 0, 0}, {0, 3, 5}).empty());
+}
+
+TEST(Regions, TotalBytesMatchElementCount) {
+  Header h = Make3D();
+  const std::vector<std::uint64_t> start{1, 0, 2};
+  const std::vector<std::uint64_t> count{2, 2, 2};
+  const std::vector<std::uint64_t> stride{2, 2, 2};
+  auto r = Regions(h, 0, start, count, stride);
+  std::uint64_t total = 0;
+  for (const auto& e : r) total += e.len;
+  EXPECT_EQ(total, AccessElems(count) * 8);
+  // Extents must be sorted and non-overlapping.
+  for (std::size_t i = 1; i < r.size(); ++i)
+    EXPECT_GE(r[i].offset, r[i - 1].end());
+}
+
+}  // namespace
+}  // namespace ncformat

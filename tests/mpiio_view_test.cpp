@@ -1,0 +1,102 @@
+// Tests for MPI file views: logical-to-physical range translation.
+#include "mpiio/view.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpiio {
+namespace {
+
+using pnc::Extent;
+using simmpi::Datatype;
+
+std::vector<Extent> Map(const FileView& v, std::uint64_t off,
+                        std::uint64_t len) {
+  std::vector<Extent> out;
+  v.MapRange(off, len, out);
+  return out;
+}
+
+TEST(FileView, IdentityPassesThrough) {
+  FileView v;
+  EXPECT_TRUE(v.identity());
+  auto m = Map(v, 100, 50);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (Extent{100, 50}));
+}
+
+TEST(FileView, DisplacementShifts) {
+  FileView v(1000, simmpi::ByteType(),
+             Datatype::Contiguous(64, simmpi::ByteType()));
+  auto m = Map(v, 0, 64);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (Extent{1000, 64}));
+  // Contiguous filetype tiles seamlessly.
+  auto m2 = Map(v, 32, 64);
+  ASSERT_EQ(m2.size(), 1u);
+  EXPECT_EQ(m2[0], (Extent{1032, 64}));
+}
+
+TEST(FileView, StridedFiletypeTiles) {
+  // filetype: 8 data bytes then 8-byte hole, extent 16.
+  auto ft = Datatype::Hvector(1, 8, 16, simmpi::ByteType());
+  // Hvector(1,...) extent is 8, not 16 — build with 2 blocks to be explicit.
+  auto ft2 = Datatype::Hvector(2, 4, 8, simmpi::ByteType());
+  FileView v(0, simmpi::ByteType(), ft2);  // data at [0,4) and [8,12), extent 12
+  EXPECT_EQ(v.tile_size(), 8u);
+  auto m = Map(v, 0, 8);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], (Extent{0, 4}));
+  EXPECT_EQ(m[1], (Extent{8, 4}));
+  // Second tile starts at physical 12.
+  auto m2 = Map(v, 8, 4);
+  ASSERT_EQ(m2.size(), 1u);
+  EXPECT_EQ(m2[0], (Extent{12, 4}));
+  // A range crossing tiles: last 4 of tile 0 + first 4 of tile 1 coalesce
+  // when physically adjacent (data [8,12) then [12,16)).
+  auto m3 = Map(v, 4, 8);
+  ASSERT_EQ(m3.size(), 1u);
+  EXPECT_EQ(m3[0], (Extent{8, 8}));
+  (void)ft;
+}
+
+TEST(FileView, MidRunStart) {
+  auto ft = Datatype::Hvector(2, 8, 24, simmpi::ByteType());
+  FileView v(100, simmpi::ByteType(), ft);
+  // Logical 3..10 = run0[3..8) + run1[0..3).
+  auto m = Map(v, 3, 8);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], (Extent{103, 5}));
+  EXPECT_EQ(m[1], (Extent{124, 3}));
+}
+
+TEST(FileView, SubarrayView) {
+  // A 4x4 int array; this rank sees column 1 (classic partition pattern).
+  const std::uint64_t sizes[] = {4, 4};
+  const std::uint64_t sub[] = {4, 1};
+  const std::uint64_t starts[] = {0, 1};
+  auto ft = Datatype::Subarray(sizes, sub, starts, simmpi::IntType()).value();
+  FileView v(0, simmpi::IntType(), ft);
+  EXPECT_EQ(v.etype_size(), 4u);
+  auto m = Map(v, 0, 16);
+  ASSERT_EQ(m.size(), 4u);
+  for (std::uint64_t r = 0; r < 4; ++r)
+    EXPECT_EQ(m[r], (Extent{(r * 4 + 1) * 4, 4}));
+}
+
+TEST(FileView, ZeroLengthMapsNothing) {
+  FileView v;
+  EXPECT_TRUE(Map(v, 5, 0).empty());
+}
+
+TEST(FileView, EtypeOffsetsInDataCalls) {
+  // offset is in etype units: used by callers as offset*etype_size.
+  FileView v(0, simmpi::DoubleType(),
+             Datatype::Contiguous(10, simmpi::DoubleType()));
+  EXPECT_EQ(v.etype_size(), 8u);
+  auto m = Map(v, 3 * v.etype_size(), 16);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], (Extent{24, 16}));
+}
+
+}  // namespace
+}  // namespace mpiio

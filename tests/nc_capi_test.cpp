@@ -1,0 +1,144 @@
+// Tests for the serial nc_* C-style interface (the classic netcdf.h face):
+// the §3.2 lifecycle, typed matrix, varm/vars paths, fill mode, attributes.
+#include "netcdf/ncapi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace netcdf::capi {
+namespace {
+
+TEST(NcApi, ClassicLifecycle) {
+  pfs::FileSystem fs;
+  int ncid = -1;
+  ASSERT_EQ(nc_create(fs, "c.nc", NC_CLOBBER, &ncid), NC_NOERR);
+  int latd, lond, vid;
+  ASSERT_EQ(nc_def_dim(ncid, "lat", 3, &latd), NC_NOERR);
+  ASSERT_EQ(nc_def_dim(ncid, "lon", 4, &lond), NC_NOERR);
+  const int dims[] = {latd, lond};
+  ASSERT_EQ(nc_def_var(ncid, "temp", NC_FLOAT, 2, dims, &vid), NC_NOERR);
+  ASSERT_EQ(nc_put_att_text(ncid, vid, "units", 1, "K"), NC_NOERR);
+  ASSERT_EQ(nc_enddef(ncid), NC_NOERR);
+
+  std::vector<float> data(12);
+  std::iota(data.begin(), data.end(), 0.0f);
+  ASSERT_EQ(nc_put_var_float(ncid, vid, data.data()), NC_NOERR);
+  ASSERT_EQ(nc_close(ncid), NC_NOERR);
+
+  ASSERT_EQ(nc_open(fs, "c.nc", NC_NOWRITE, &ncid), NC_NOERR);
+  int ndims, nvars, ngatts, unlim;
+  ASSERT_EQ(nc_inq(ncid, &ndims, &nvars, &ngatts, &unlim), NC_NOERR);
+  EXPECT_EQ(ndims, 2);
+  EXPECT_EQ(nvars, 1);
+  int rv;
+  ASSERT_EQ(nc_inq_varid(ncid, "temp", &rv), NC_NOERR);
+  const std::size_t start[] = {1, 1};
+  const std::size_t count[] = {2, 2};
+  double sub[4];
+  ASSERT_EQ(nc_get_vara_double(ncid, rv, start, count, sub), NC_NOERR);
+  EXPECT_EQ(sub[0], 5.0);
+  EXPECT_EQ(sub[3], 10.0);
+  char units[8] = {0};
+  ASSERT_EQ(nc_get_att_text(ncid, rv, "units", units), NC_NOERR);
+  EXPECT_STREQ(units, "K");
+  ASSERT_EQ(nc_close(ncid), NC_NOERR);
+}
+
+TEST(NcApi, StridedAndMappedAccess) {
+  pfs::FileSystem fs;
+  int ncid;
+  ASSERT_EQ(nc_create(fs, "m.nc", NC_CLOBBER, &ncid), NC_NOERR);
+  int rd, cd, vid;
+  ASSERT_EQ(nc_def_dim(ncid, "r", 2, &rd), NC_NOERR);
+  ASSERT_EQ(nc_def_dim(ncid, "c", 3, &cd), NC_NOERR);
+  const int dims[] = {rd, cd};
+  ASSERT_EQ(nc_def_var(ncid, "m", NC_INT, 2, dims, &vid), NC_NOERR);
+  ASSERT_EQ(nc_enddef(ncid), NC_NOERR);
+
+  // Mapped put: memory holds the transpose.
+  const int mem[] = {1, 4, 2, 5, 3, 6};
+  const std::size_t st[] = {0, 0};
+  const std::size_t ct[] = {2, 3};
+  const std::ptrdiff_t imap[] = {1, 2};
+  ASSERT_EQ(nc_put_varm_int(ncid, vid, st, ct, nullptr, imap, mem), NC_NOERR);
+  int row_major[6];
+  ASSERT_EQ(nc_get_var_int(ncid, vid, row_major), NC_NOERR);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(row_major[i], i + 1);
+
+  // Strided get: every other column of row 1.
+  const std::size_t st2[] = {1, 0};
+  const std::size_t ct2[] = {1, 2};
+  const std::ptrdiff_t sd[] = {1, 2};
+  int picked[2];
+  ASSERT_EQ(nc_get_vars_int(ncid, vid, st2, ct2, sd, picked), NC_NOERR);
+  EXPECT_EQ(picked[0], 4);
+  EXPECT_EQ(picked[1], 6);
+  ASSERT_EQ(nc_close(ncid), NC_NOERR);
+}
+
+TEST(NcApi, FillModeAndVar1) {
+  pfs::FileSystem fs;
+  int ncid;
+  ASSERT_EQ(nc_create(fs, "f.nc", NC_CLOBBER, &ncid), NC_NOERR);
+  int old_mode = -1;
+  ASSERT_EQ(nc_set_fill(ncid, NC_FILL, &old_mode), NC_NOERR);
+  EXPECT_EQ(old_mode, NC_NOFILL);
+  int xd, vid;
+  ASSERT_EQ(nc_def_dim(ncid, "x", 4, &xd), NC_NOERR);
+  ASSERT_EQ(nc_def_var(ncid, "d", NC_DOUBLE, 1, &xd, &vid), NC_NOERR);
+  ASSERT_EQ(nc_enddef(ncid), NC_NOERR);
+  const std::size_t idx[] = {2};
+  const double v = 7.5;
+  ASSERT_EQ(nc_put_var1_double(ncid, vid, idx, &v), NC_NOERR);
+  double all[4];
+  ASSERT_EQ(nc_get_var_double(ncid, vid, all), NC_NOERR);
+  EXPECT_EQ(all[0], netcdf::kFillDouble);
+  EXPECT_EQ(all[2], 7.5);
+  ASSERT_EQ(nc_close(ncid), NC_NOERR);
+}
+
+TEST(NcApi, AttributesNumericAndRename) {
+  pfs::FileSystem fs;
+  int ncid;
+  ASSERT_EQ(nc_create(fs, "a.nc", NC_CLOBBER, &ncid), NC_NOERR);
+  const double vals[] = {1.5, 2.5};
+  ASSERT_EQ(nc_put_att_double(ncid, NC_GLOBAL, "range", NC_FLOAT, 2, vals),
+            NC_NOERR);
+  int xtype;
+  std::size_t len;
+  ASSERT_EQ(nc_inq_att(ncid, NC_GLOBAL, "range", &xtype, &len), NC_NOERR);
+  EXPECT_EQ(xtype, NC_FLOAT);
+  EXPECT_EQ(len, 2u);
+  double back[2];
+  ASSERT_EQ(nc_get_att_double(ncid, NC_GLOBAL, "range", back), NC_NOERR);
+  EXPECT_EQ(back[1], 2.5);
+  ASSERT_EQ(nc_rename_att(ncid, NC_GLOBAL, "range", "valid_range"), NC_NOERR);
+  EXPECT_NE(nc_inq_att(ncid, NC_GLOBAL, "range", nullptr, nullptr), NC_NOERR);
+  ASSERT_EQ(nc_del_att(ncid, NC_GLOBAL, "valid_range"), NC_NOERR);
+  ASSERT_EQ(nc_enddef(ncid), NC_NOERR);
+  ASSERT_EQ(nc_close(ncid), NC_NOERR);
+}
+
+TEST(NcApi, ErrorCodesAndStrerror) {
+  pfs::FileSystem fs;
+  int ncid;
+  EXPECT_NE(nc_open(fs, "missing.nc", NC_NOWRITE, &ncid), NC_NOERR);
+  EXPECT_NE(nc_close(9999), NC_NOERR);
+  EXPECT_STREQ(nc_strerror(NC_NOERR), "No error");
+  // Record-growth and bounds errors surface through the C codes.
+  ASSERT_EQ(nc_create(fs, "e.nc", NC_CLOBBER, &ncid), NC_NOERR);
+  int xd, vid;
+  ASSERT_EQ(nc_def_dim(ncid, "x", 2, &xd), NC_NOERR);
+  ASSERT_EQ(nc_def_var(ncid, "v", NC_INT, 1, &xd, &vid), NC_NOERR);
+  ASSERT_EQ(nc_enddef(ncid), NC_NOERR);
+  const std::size_t st[] = {1};
+  const std::size_t ct[] = {2};
+  int d[2] = {0, 0};
+  EXPECT_EQ(nc_put_vara_int(ncid, vid, st, ct, d),
+            static_cast<int>(pnc::Err::kEdge));
+  ASSERT_EQ(nc_close(ncid), NC_NOERR);
+}
+
+}  // namespace
+}  // namespace netcdf::capi

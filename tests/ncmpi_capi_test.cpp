@@ -1,0 +1,302 @@
+// Tests for the ncmpi_* C-style interface: the Figure 4 sequence through
+// flat functions and int handles, the typed data-access matrix, attribute
+// conversion paths, inquiry, and error-code conventions.
+#include "pnetcdf/ncmpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "netcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace pnetcdf::capi {
+namespace {
+
+using simmpi::Comm;
+
+TEST(CApi, Figure4SequenceThroughFlatFunctions) {
+  pfs::FileSystem fs;
+  simmpi::Run(4, [&](Comm& c) {
+    int ncid = -1;
+    ASSERT_EQ(ncmpi_create(c, fs, "capi.nc", NC_CLOBBER | NC_64BIT_OFFSET,
+                           simmpi::NullInfo(), &ncid),
+              NC_NOERR);
+    int zd, xd, vid;
+    ASSERT_EQ(ncmpi_def_dim(ncid, "z", 8, &zd), NC_NOERR);
+    ASSERT_EQ(ncmpi_def_dim(ncid, "x", 4, &xd), NC_NOERR);
+    const int dims[] = {zd, xd};
+    ASSERT_EQ(ncmpi_def_var(ncid, "tt", NC_DOUBLE, 2, dims, &vid), NC_NOERR);
+    ASSERT_EQ(ncmpi_put_att_text(ncid, NC_GLOBAL, "title", 4, "capi"),
+              NC_NOERR);
+    ASSERT_EQ(ncmpi_enddef(ncid), NC_NOERR);
+
+    const MPI_Offset start[] = {2 * c.rank(), 0};
+    const MPI_Offset count[] = {2, 4};
+    std::vector<double> mine(8);
+    std::iota(mine.begin(), mine.end(), 10.0 * c.rank());
+    ASSERT_EQ(ncmpi_put_vara_double_all(ncid, vid, start, count, mine.data()),
+              NC_NOERR);
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+
+    // Reopen read-only, inquire, strided collective read.
+    ASSERT_EQ(ncmpi_open(c, fs, "capi.nc", NC_NOWRITE, simmpi::NullInfo(),
+                         &ncid),
+              NC_NOERR);
+    int ndims, nvars, ngatts, unlim;
+    ASSERT_EQ(ncmpi_inq(ncid, &ndims, &nvars, &ngatts, &unlim), NC_NOERR);
+    EXPECT_EQ(ndims, 2);
+    EXPECT_EQ(nvars, 1);
+    EXPECT_EQ(ngatts, 1);
+    EXPECT_EQ(unlim, -1);
+    char title[16] = {0};
+    ASSERT_EQ(ncmpi_get_att_text(ncid, NC_GLOBAL, "title", title), NC_NOERR);
+    EXPECT_STREQ(title, "capi");
+    int rvid = -1;
+    ASSERT_EQ(ncmpi_inq_varid(ncid, "tt", &rvid), NC_NOERR);
+    const MPI_Offset stride[] = {1, 2};
+    const MPI_Offset rcount[] = {2, 2};
+    std::vector<double> back(4);
+    ASSERT_EQ(ncmpi_get_vars_double_all(ncid, rvid, start, rcount, stride,
+                                        back.data()),
+              NC_NOERR);
+    EXPECT_EQ(back[0], 10.0 * c.rank());
+    EXPECT_EQ(back[1], 10.0 * c.rank() + 2);
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+  });
+}
+
+TEST(CApi, TypedMatrixAndConversion) {
+  pfs::FileSystem fs;
+  simmpi::Run(2, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(ncmpi_create(c, fs, "types.nc", NC_CLOBBER, simmpi::NullInfo(),
+                           &ncid),
+              NC_NOERR);
+    int xd;
+    ASSERT_EQ(ncmpi_def_dim(ncid, "x", 4, &xd), NC_NOERR);
+    int v_short, v_float;
+    ASSERT_EQ(ncmpi_def_var(ncid, "s", NC_SHORT, 1, &xd, &v_short), NC_NOERR);
+    ASSERT_EQ(ncmpi_def_var(ncid, "f", NC_FLOAT, 1, &xd, &v_float), NC_NOERR);
+    ASSERT_EQ(ncmpi_enddef(ncid), NC_NOERR);
+
+    // Write shorts through the int entry point, floats through double.
+    const MPI_Offset st[] = {2 * c.rank()};
+    const MPI_Offset ct[] = {2};
+    const int iv[] = {10 * c.rank(), 10 * c.rank() + 1};
+    ASSERT_EQ(ncmpi_put_vara_int_all(ncid, v_short, st, ct, iv), NC_NOERR);
+    const double dv[] = {0.5 + c.rank(), 1.5 + c.rank()};
+    ASSERT_EQ(ncmpi_put_vara_double_all(ncid, v_float, st, ct, dv), NC_NOERR);
+
+    // Whole-variable collective reads through other types.
+    std::vector<long long> sll(4);
+    ASSERT_EQ(ncmpi_get_var_longlong_all(ncid, v_short, sll.data()), NC_NOERR);
+    EXPECT_EQ(sll, (std::vector<long long>{0, 1, 10, 11}));
+    std::vector<float> ff(4);
+    ASSERT_EQ(ncmpi_get_var_float_all(ncid, v_float, ff.data()), NC_NOERR);
+    EXPECT_EQ(ff[2], 1.5f);
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+  });
+}
+
+TEST(CApi, Var1AndIndependentMode) {
+  pfs::FileSystem fs;
+  simmpi::Run(2, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(ncmpi_create(c, fs, "v1.nc", NC_CLOBBER, simmpi::NullInfo(),
+                           &ncid),
+              NC_NOERR);
+    int xd, vid;
+    ASSERT_EQ(ncmpi_def_dim(ncid, "x", 4, &xd), NC_NOERR);
+    ASSERT_EQ(ncmpi_def_var(ncid, "a", NC_INT, 1, &xd, &vid), NC_NOERR);
+    ASSERT_EQ(ncmpi_enddef(ncid), NC_NOERR);
+
+    ASSERT_EQ(ncmpi_begin_indep_data(ncid), NC_NOERR);
+    const MPI_Offset idx[] = {c.rank()};
+    const int val = 100 + c.rank();
+    ASSERT_EQ(ncmpi_put_var1_int(ncid, vid, idx, &val), NC_NOERR);
+    int got = 0;
+    ASSERT_EQ(ncmpi_get_var1_int(ncid, vid, idx, &got), NC_NOERR);
+    EXPECT_EQ(got, val);
+    ASSERT_EQ(ncmpi_end_indep_data(ncid), NC_NOERR);
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+  });
+}
+
+TEST(CApi, NumericAttributeConversion) {
+  pfs::FileSystem fs;
+  simmpi::Run(2, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(ncmpi_create(c, fs, "att.nc", NC_CLOBBER, simmpi::NullInfo(),
+                           &ncid),
+              NC_NOERR);
+    // Store doubles as a FLOAT attribute; read them back as ints.
+    const double vals[] = {1.0, 2.0, 3.0};
+    ASSERT_EQ(
+        ncmpi_put_att_double(ncid, NC_GLOBAL, "levels", NC_FLOAT, 3, vals),
+        NC_NOERR);
+    int xtype = 0;
+    MPI_Offset len = 0;
+    ASSERT_EQ(ncmpi_inq_att(ncid, NC_GLOBAL, "levels", &xtype, &len),
+              NC_NOERR);
+    EXPECT_EQ(xtype, NC_FLOAT);
+    EXPECT_EQ(len, 3);
+    int iv[3] = {0, 0, 0};
+    ASSERT_EQ(ncmpi_get_att_int(ncid, NC_GLOBAL, "levels", iv), NC_NOERR);
+    EXPECT_EQ(iv[2], 3);
+    ASSERT_EQ(ncmpi_enddef(ncid), NC_NOERR);
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+  });
+}
+
+TEST(CApi, InquiryDetails) {
+  pfs::FileSystem fs;
+  simmpi::Run(1, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(ncmpi_create(c, fs, "inq.nc", NC_CLOBBER, simmpi::NullInfo(),
+                           &ncid),
+              NC_NOERR);
+    int td, xd, v1, v2;
+    ASSERT_EQ(ncmpi_def_dim(ncid, "t", NC_UNLIMITED, &td), NC_NOERR);
+    ASSERT_EQ(ncmpi_def_dim(ncid, "x", 6, &xd), NC_NOERR);
+    const int dims[] = {td, xd};
+    ASSERT_EQ(ncmpi_def_var(ncid, "r", NC_FLOAT, 2, dims, &v1), NC_NOERR);
+    ASSERT_EQ(ncmpi_def_var(ncid, "s", NC_DOUBLE, 2, dims, &v2), NC_NOERR);
+    ASSERT_EQ(ncmpi_put_att_text(ncid, v1, "units", 1, "K"), NC_NOERR);
+    ASSERT_EQ(ncmpi_enddef(ncid), NC_NOERR);
+
+    char name[64];
+    int xtype, ndims, vdims[4], natts;
+    ASSERT_EQ(ncmpi_inq_var(ncid, v1, name, &xtype, &ndims, vdims, &natts),
+              NC_NOERR);
+    EXPECT_STREQ(name, "r");
+    EXPECT_EQ(xtype, NC_FLOAT);
+    EXPECT_EQ(ndims, 2);
+    EXPECT_EQ(vdims[0], td);
+    EXPECT_EQ(natts, 1);
+
+    MPI_Offset len = -1;
+    ASSERT_EQ(ncmpi_inq_dim(ncid, xd, name, &len), NC_NOERR);
+    EXPECT_STREQ(name, "x");
+    EXPECT_EQ(len, 6);
+
+    int nrec = 0;
+    ASSERT_EQ(ncmpi_inq_num_rec_vars(ncid, &nrec), NC_NOERR);
+    EXPECT_EQ(nrec, 2);
+    MPI_Offset recsize = 0;
+    ASSERT_EQ(ncmpi_inq_recsize(ncid, &recsize), NC_NOERR);
+    EXPECT_EQ(recsize, 6 * 4 + 6 * 8);
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+  });
+}
+
+TEST(CApi, ErrorConventions) {
+  pfs::FileSystem fs;
+  simmpi::Run(1, [&](Comm& c) {
+    // Operations on a bad ncid.
+    EXPECT_NE(ncmpi_enddef(12345), NC_NOERR);
+    EXPECT_NE(ncmpi_close(12345), NC_NOERR);
+    // Error strings exist and differ from "no error".
+    EXPECT_STREQ(ncmpi_strerror(NC_NOERR), "No error");
+    EXPECT_NE(std::string(ncmpi_strerror(static_cast<int>(pnc::Err::kEdge))),
+              "No error");
+    // Missing file propagates a real code.
+    int ncid;
+    EXPECT_NE(ncmpi_open(c, fs, "absent.nc", NC_NOWRITE, simmpi::NullInfo(),
+                         &ncid),
+              NC_NOERR);
+    // NC_NOCLOBBER honored.
+    ASSERT_EQ(ncmpi_create(c, fs, "dup.nc", NC_CLOBBER, simmpi::NullInfo(),
+                           &ncid),
+              NC_NOERR);
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+    EXPECT_EQ(ncmpi_create(c, fs, "dup.nc", NC_NOCLOBBER, simmpi::NullInfo(),
+                           &ncid),
+              static_cast<int>(pnc::Err::kExists));
+  });
+}
+
+TEST(CApi, CdfVersionFlag) {
+  pfs::FileSystem fs;
+  simmpi::Run(1, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(ncmpi_create(c, fs, "v1fmt.nc", NC_CLOBBER, simmpi::NullInfo(),
+                           &ncid),
+              NC_NOERR);
+    ASSERT_EQ(ncmpi_enddef(ncid), NC_NOERR);
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+    ASSERT_EQ(ncmpi_create(c, fs, "v2fmt.nc", NC_CLOBBER | NC_64BIT_OFFSET,
+                           simmpi::NullInfo(), &ncid),
+              NC_NOERR);
+    ASSERT_EQ(ncmpi_enddef(ncid), NC_NOERR);
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+  });
+  // Check the version bytes through the serial reader.
+  auto v1 = netcdf::Dataset::Open(fs, "v1fmt.nc", false).value();
+  EXPECT_EQ(v1.header().version, 1);
+  auto v2 = netcdf::Dataset::Open(fs, "v2fmt.nc", false).value();
+  EXPECT_EQ(v2.header().version, 2);
+}
+
+TEST(CApi, TextVariableRoundTrip) {
+  pfs::FileSystem fs;
+  simmpi::Run(1, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(ncmpi_create(c, fs, "txt.nc", NC_CLOBBER, simmpi::NullInfo(),
+                           &ncid),
+              NC_NOERR);
+    int xd, vid;
+    ASSERT_EQ(ncmpi_def_dim(ncid, "len", 5, &xd), NC_NOERR);
+    ASSERT_EQ(ncmpi_def_var(ncid, "tag", NC_CHAR, 1, &xd, &vid), NC_NOERR);
+    ASSERT_EQ(ncmpi_enddef(ncid), NC_NOERR);
+    ASSERT_EQ(ncmpi_put_var_text_all(ncid, vid, "hello"), NC_NOERR);
+    char buf[6] = {0};
+    ASSERT_EQ(ncmpi_get_var_text_all(ncid, vid, buf), NC_NOERR);
+    EXPECT_STREQ(buf, "hello");
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+  });
+}
+
+TEST(CApi, NonblockingIputIgetWaitAll) {
+  pfs::FileSystem fs;
+  simmpi::Run(2, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(ncmpi_create(c, fs, "nb.nc", NC_CLOBBER, simmpi::NullInfo(),
+                           &ncid),
+              NC_NOERR);
+    int xd;
+    ASSERT_EQ(ncmpi_def_dim(ncid, "x", 8, &xd), NC_NOERR);
+    int v1, v2;
+    ASSERT_EQ(ncmpi_def_var(ncid, "a", NC_DOUBLE, 1, &xd, &v1), NC_NOERR);
+    ASSERT_EQ(ncmpi_def_var(ncid, "b", NC_INT, 1, &xd, &v2), NC_NOERR);
+    ASSERT_EQ(ncmpi_enddef(ncid), NC_NOERR);
+
+    const MPI_Offset st[] = {4 * c.rank()};
+    const MPI_Offset ct[] = {4};
+    const double dv[] = {1.0 + c.rank(), 2.0, 3.0, 4.0};
+    const int iv[] = {10 + c.rank(), 20, 30, 40};
+    int reqs[2] = {-1, -1};
+    ASSERT_EQ(ncmpi_iput_vara_double(ncid, v1, st, ct, dv, &reqs[0]),
+              NC_NOERR);
+    ASSERT_EQ(ncmpi_iput_vara_int(ncid, v2, st, ct, iv, &reqs[1]), NC_NOERR);
+    int sts[2] = {-1, -1};
+    ASSERT_EQ(ncmpi_wait_all(ncid, 2, reqs, sts), NC_NOERR);
+    EXPECT_EQ(sts[0], NC_NOERR);
+    EXPECT_EQ(sts[1], NC_NOERR);
+
+    // Read back through nonblocking gets.
+    double back_d[4] = {0, 0, 0, 0};
+    int back_i[4] = {0, 0, 0, 0};
+    ASSERT_EQ(ncmpi_iget_vara_double(ncid, v1, st, ct, back_d, &reqs[0]),
+              NC_NOERR);
+    ASSERT_EQ(ncmpi_iget_vara_int(ncid, v2, st, ct, back_i, &reqs[1]),
+              NC_NOERR);
+    ASSERT_EQ(ncmpi_wait_all(ncid, 2, reqs, sts), NC_NOERR);
+    EXPECT_EQ(back_d[0], 1.0 + c.rank());
+    EXPECT_EQ(back_i[0], 10 + c.rank());
+    ASSERT_EQ(ncmpi_close(ncid), NC_NOERR);
+  });
+}
+
+}  // namespace
+}  // namespace pnetcdf::capi

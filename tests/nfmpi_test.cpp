@@ -1,0 +1,158 @@
+// Tests for the nfmpi_* Fortran-flavor interface: dimension-order reversal
+// and 1-based starts against the same file seen through the C-order APIs.
+#include "pnetcdf/nfmpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "netcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace pnetcdf::fapi {
+namespace {
+
+using simmpi::Comm;
+
+TEST(Nfmpi, FortranOrderMatchesCOrderOnDisk) {
+  // A Fortran program declaring A(nx, ny) column-major and writing it with
+  // nfmpi (dims given fastest-first, starts 1-based) must produce the same
+  // file as a C program declaring a row-major [ny][nx] array.
+  pfs::FileSystem fs;
+  const MPI_Offset kNx = 4, kNy = 3;
+  simmpi::Run(1, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(nfmpi_create(c, fs, "f.nc", NF_CLOBBER, simmpi::NullInfo(),
+                           ncid),
+              NF_NOERR);
+    int dx, dy, vid;
+    ASSERT_EQ(nfmpi_def_dim(ncid, "x", kNx, dx), NF_NOERR);
+    ASSERT_EQ(nfmpi_def_dim(ncid, "y", kNy, dy), NF_NOERR);
+    // Fortran dimid order: (x, y) with x fastest.
+    const int dims[] = {dx, dy};
+    ASSERT_EQ(nfmpi_def_var(ncid, "a", NF_INT, 2, dims, vid), NF_NOERR);
+    ASSERT_EQ(nfmpi_enddef(ncid), NF_NOERR);
+
+    // Column-major A(x, y): A(x,y) = 10*y + x, stored x-fastest.
+    std::vector<int> a(static_cast<std::size_t>(kNx * kNy));
+    for (MPI_Offset y = 0; y < kNy; ++y)
+      for (MPI_Offset x = 0; x < kNx; ++x)
+        a[static_cast<std::size_t>(y * kNx + x)] =
+            static_cast<int>(10 * y + x);
+    const MPI_Offset start[] = {1, 1};  // 1-based, Fortran order (x, y)
+    const MPI_Offset count[] = {kNx, kNy};
+    ASSERT_EQ(nfmpi_put_vara_int_all(ncid, vid, start, count, a.data()),
+              NF_NOERR);
+    ASSERT_EQ(nfmpi_close(ncid), NF_NOERR);
+  });
+
+  // Serial (C-order) view: var a has shape (y, x) and value 10*y + x.
+  auto ds = netcdf::Dataset::Open(fs, "f.nc", false).value();
+  const auto& v = ds.header().vars[0];
+  EXPECT_EQ(ds.header().dims[static_cast<std::size_t>(v.dimids[0])].name, "y");
+  EXPECT_EQ(ds.header().dims[static_cast<std::size_t>(v.dimids[1])].name, "x");
+  std::vector<std::int32_t> c_order(static_cast<std::size_t>(kNx * kNy));
+  ASSERT_TRUE(ds.GetVar<std::int32_t>(0, c_order).ok());
+  for (MPI_Offset y = 0; y < kNy; ++y)
+    for (MPI_Offset x = 0; x < kNx; ++x)
+      EXPECT_EQ(c_order[static_cast<std::size_t>(y * kNx + x)], 10 * y + x);
+}
+
+TEST(Nfmpi, OneBasedSubarrayAcrossRanks) {
+  pfs::FileSystem fs;
+  const MPI_Offset kNx = 8, kNy = 4;
+  simmpi::Run(4, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(nfmpi_create(c, fs, "s.nc", NF_CLOBBER, simmpi::NullInfo(),
+                           ncid),
+              NF_NOERR);
+    int dx, dy, vid;
+    ASSERT_EQ(nfmpi_def_dim(ncid, "x", kNx, dx), NF_NOERR);
+    ASSERT_EQ(nfmpi_def_dim(ncid, "y", kNy, dy), NF_NOERR);
+    const int dims[] = {dx, dy};
+    ASSERT_EQ(nfmpi_def_var(ncid, "u", NF_DOUBLE, 2, dims, vid), NF_NOERR);
+    ASSERT_EQ(nfmpi_enddef(ncid), NF_NOERR);
+
+    // Each rank owns one y row (Fortran: A(:, my_y)).
+    const MPI_Offset start[] = {1, c.rank() + 1};
+    const MPI_Offset count[] = {kNx, 1};
+    std::vector<double> row(static_cast<std::size_t>(kNx));
+    std::iota(row.begin(), row.end(), 100.0 * c.rank());
+    ASSERT_EQ(nfmpi_put_vara_double_all(ncid, vid, start, count, row.data()),
+              NF_NOERR);
+
+    std::vector<double> back(static_cast<std::size_t>(kNx), -1);
+    ASSERT_EQ(nfmpi_get_vara_double_all(ncid, vid, start, count, back.data()),
+              NF_NOERR);
+    EXPECT_EQ(back, row);
+    ASSERT_EQ(nfmpi_close(ncid), NF_NOERR);
+  });
+
+  auto ds = netcdf::Dataset::Open(fs, "s.nc", false).value();
+  std::vector<double> all(static_cast<std::size_t>(kNx * kNy));
+  ASSERT_TRUE(ds.GetVar<double>(0, all).ok());
+  // C view: shape (y, x); row y belongs to rank y.
+  for (MPI_Offset y = 0; y < kNy; ++y)
+    for (MPI_Offset x = 0; x < kNx; ++x)
+      EXPECT_EQ(all[static_cast<std::size_t>(y * kNx + x)],
+                100.0 * static_cast<double>(y) + static_cast<double>(x));
+}
+
+TEST(Nfmpi, UnlimitedDimensionIsLastInFortranOrder) {
+  pfs::FileSystem fs;
+  simmpi::Run(2, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(nfmpi_create(c, fs, "r.nc", NF_CLOBBER, simmpi::NullInfo(),
+                           ncid),
+              NF_NOERR);
+    int dx, dt, vid;
+    ASSERT_EQ(nfmpi_def_dim(ncid, "x", 4, dx), NF_NOERR);
+    ASSERT_EQ(nfmpi_def_dim(ncid, "t", NF_UNLIMITED, dt), NF_NOERR);
+    // Fortran: A(x, t) — the unlimited dimension comes LAST, and after
+    // reversal it is the most significant C dimension, as the format needs.
+    const int dims[] = {dx, dt};
+    ASSERT_EQ(nfmpi_def_var(ncid, "a", NF_REAL, 2, dims, vid), NF_NOERR);
+    ASSERT_EQ(nfmpi_enddef(ncid), NF_NOERR);
+
+    // Write record 1 (Fortran t = 1) split across ranks.
+    const MPI_Offset start[] = {2 * c.rank() + 1, 1};
+    const MPI_Offset count[] = {2, 1};
+    const float vals[] = {static_cast<float>(c.rank()) + 0.5f,
+                          static_cast<float>(c.rank()) + 0.75f};
+    ASSERT_EQ(nfmpi_put_vara_real_all(ncid, vid, start, count, vals),
+              NF_NOERR);
+    ASSERT_EQ(nfmpi_close(ncid), NF_NOERR);
+  });
+  auto ds = netcdf::Dataset::Open(fs, "r.nc", false).value();
+  EXPECT_EQ(ds.numrecs(), 1u);
+  EXPECT_TRUE(ds.header().IsRecordVar(0));
+}
+
+TEST(Nfmpi, InquiryAndText) {
+  pfs::FileSystem fs;
+  simmpi::Run(1, [&](Comm& c) {
+    int ncid;
+    ASSERT_EQ(nfmpi_create(c, fs, "i.nc", NF_CLOBBER, simmpi::NullInfo(),
+                           ncid),
+              NF_NOERR);
+    int dx, vid;
+    ASSERT_EQ(nfmpi_def_dim(ncid, "x", 7, dx), NF_NOERR);
+    const int dims[] = {dx};
+    ASSERT_EQ(nfmpi_def_var(ncid, "v", NF_INT, 1, dims, vid), NF_NOERR);
+    ASSERT_EQ(nfmpi_put_att_text(ncid, vid, "units", 2, "mm"), NF_NOERR);
+    ASSERT_EQ(nfmpi_enddef(ncid), NF_NOERR);
+    int found = -1;
+    ASSERT_EQ(nfmpi_inq_varid(ncid, "v", found), NF_NOERR);
+    EXPECT_EQ(found, vid);
+    MPI_Offset len = 0;
+    ASSERT_EQ(nfmpi_inq_dimlen(ncid, dx, len), NF_NOERR);
+    EXPECT_EQ(len, 7);
+    char units[8] = {0};
+    ASSERT_EQ(nfmpi_get_att_text(ncid, vid, "units", units), NF_NOERR);
+    EXPECT_STREQ(units, "mm");
+    ASSERT_EQ(nfmpi_close(ncid), NF_NOERR);
+  });
+}
+
+}  // namespace
+}  // namespace pnetcdf::fapi

@@ -1,0 +1,195 @@
+// Tests for MPI derived datatypes: construction, flattening, pack/unpack.
+#include "simmpi/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace simmpi {
+namespace {
+
+using pnc::Extent;
+
+std::vector<std::byte> Iota(std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(i & 0xFF);
+  return v;
+}
+
+TEST(Primitives, SizesAndNames) {
+  EXPECT_EQ(ByteType().size(), 1u);
+  EXPECT_EQ(ShortType().size(), 2u);
+  EXPECT_EQ(IntType().size(), 4u);
+  EXPECT_EQ(FloatType().size(), 4u);
+  EXPECT_EQ(DoubleType().size(), 8u);
+  EXPECT_EQ(LongLongType().size(), 8u);
+  EXPECT_TRUE(DoubleType().is_contiguous());
+  EXPECT_EQ(PrimName(Prim::kDouble), "double");
+}
+
+TEST(Contiguous, CollapsesToSingleRun) {
+  auto t = Datatype::Contiguous(10, DoubleType());
+  EXPECT_EQ(t.size(), 80u);
+  EXPECT_EQ(t.extent(), 80u);
+  EXPECT_TRUE(t.is_contiguous());
+  ASSERT_EQ(t.Flatten().size(), 1u);
+  EXPECT_EQ(t.Flatten()[0], (Extent{0, 80}));
+}
+
+TEST(Vector, RunsAndExtent) {
+  // 3 blocks of 2 ints, stride 5 ints.
+  auto t = Datatype::Vector(3, 2, 5, IntType());
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.extent(), (2ull * 5 + 2) * 4);
+  ASSERT_EQ(t.Flatten().size(), 3u);
+  EXPECT_EQ(t.Flatten()[0], (Extent{0, 8}));
+  EXPECT_EQ(t.Flatten()[1], (Extent{20, 8}));
+  EXPECT_EQ(t.Flatten()[2], (Extent{40, 8}));
+  EXPECT_FALSE(t.is_contiguous());
+}
+
+TEST(Vector, UnitStrideCoalesces) {
+  auto t = Datatype::Vector(4, 1, 1, DoubleType());
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.Flatten().size(), 1u);
+}
+
+TEST(Hvector, ByteStride) {
+  auto t = Datatype::Hvector(2, 3, 100, ByteType());
+  ASSERT_EQ(t.Flatten().size(), 2u);
+  EXPECT_EQ(t.Flatten()[1], (Extent{100, 3}));
+  EXPECT_EQ(t.extent(), 103u);
+}
+
+TEST(Indexed, DisplacementsInElements) {
+  const std::uint64_t blocklens[] = {2, 1};
+  const std::uint64_t displs[] = {0, 4};
+  auto t = Datatype::Indexed(blocklens, displs, IntType());
+  EXPECT_EQ(t.size(), 12u);
+  ASSERT_EQ(t.Flatten().size(), 2u);
+  EXPECT_EQ(t.Flatten()[1], (Extent{16, 4}));
+}
+
+TEST(Hindexed, AdjacentBlocksCoalesce) {
+  const std::uint64_t blocklens[] = {4, 4};
+  const std::uint64_t displs[] = {0, 4};
+  auto t = Datatype::Hindexed(blocklens, displs, ByteType());
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.size(), 8u);
+}
+
+TEST(Subarray, TwoDimensional) {
+  // 4x6 array of ints, select rows 1..2, cols 2..4.
+  const std::uint64_t sizes[] = {4, 6};
+  const std::uint64_t subsizes[] = {2, 3};
+  const std::uint64_t starts[] = {1, 2};
+  auto r = Datatype::Subarray(sizes, subsizes, starts, IntType());
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value();
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.extent(), 4u * 6 * 4);
+  ASSERT_EQ(t.Flatten().size(), 2u);
+  EXPECT_EQ(t.Flatten()[0], (Extent{(1 * 6 + 2) * 4, 12}));
+  EXPECT_EQ(t.Flatten()[1], (Extent{(2 * 6 + 2) * 4, 12}));
+}
+
+TEST(Subarray, FullSelectionIsContiguous) {
+  const std::uint64_t sizes[] = {3, 5, 7};
+  const std::uint64_t starts[] = {0, 0, 0};
+  auto r = Datatype::Subarray(sizes, sizes, starts, DoubleType());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().is_contiguous());
+  EXPECT_EQ(r.value().size(), 3u * 5 * 7 * 8);
+}
+
+TEST(Subarray, WholeRowsCoalesceAcrossMiddleDim) {
+  // Selecting all of the last two dims => one run per outermost index.
+  const std::uint64_t sizes[] = {4, 5, 6};
+  const std::uint64_t subsizes[] = {2, 5, 6};
+  const std::uint64_t starts[] = {1, 0, 0};
+  auto r = Datatype::Subarray(sizes, subsizes, starts, ByteType());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Flatten().size(), 1u);  // rows 1,2 contiguous
+  EXPECT_EQ(r.value().Flatten()[0], (Extent{30, 60}));
+}
+
+TEST(Subarray, BoundsChecked) {
+  const std::uint64_t sizes[] = {4};
+  const std::uint64_t subsizes[] = {3};
+  const std::uint64_t starts[] = {2};
+  auto r = Datatype::Subarray(sizes, subsizes, starts, IntType());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), pnc::Err::kInvalidArg);
+}
+
+TEST(Subarray, RankMismatchRejected) {
+  const std::uint64_t sizes[] = {4, 4};
+  const std::uint64_t subsizes[] = {2};
+  const std::uint64_t starts[] = {0, 0};
+  EXPECT_FALSE(Datatype::Subarray(sizes, subsizes, starts, IntType()).ok());
+}
+
+TEST(PackUnpack, VectorRoundTrip) {
+  auto t = Datatype::Vector(3, 2, 4, ByteType());  // extent 10, size 6
+  auto base = Iota(32);
+  std::vector<std::byte> packed(t.size() * 2);
+  t.Pack(base.data(), 2, packed.data());
+  // First instance runs at 0..1, 4..5, 8..9; second at 10.., offsets +10.
+  EXPECT_EQ(packed[0], base[0]);
+  EXPECT_EQ(packed[2], base[4]);
+  EXPECT_EQ(packed[4], base[8]);
+  EXPECT_EQ(packed[6], base[10]);
+
+  std::vector<std::byte> restored(32, std::byte{0xEE});
+  t.Unpack(packed.data(), 2, restored.data());
+  for (std::uint64_t inst = 0; inst < 2; ++inst) {
+    for (auto off : {0, 1, 4, 5, 8, 9}) {
+      const auto i = inst * 10 + static_cast<std::uint64_t>(off);
+      EXPECT_EQ(restored[i], base[i]) << i;
+    }
+  }
+}
+
+TEST(PackUnpack, SubarrayIdentityProperty) {
+  const std::uint64_t sizes[] = {5, 4, 3};
+  const std::uint64_t subsizes[] = {2, 2, 2};
+  const std::uint64_t starts[] = {1, 1, 1};
+  auto t = Datatype::Subarray(sizes, subsizes, starts, IntType()).value();
+  auto base = Iota(5 * 4 * 3 * 4);
+  std::vector<std::byte> packed(t.size());
+  t.Pack(base.data(), 1, packed.data());
+  std::vector<std::byte> out(base.size(), std::byte{0});
+  t.Unpack(packed.data(), 1, out.data());
+  std::vector<std::byte> repacked(t.size());
+  t.Pack(out.data(), 1, repacked.data());
+  EXPECT_EQ(packed, repacked);  // pack . unpack . pack == pack
+}
+
+TEST(Composition, VectorOfSubarray) {
+  const std::uint64_t sizes[] = {2, 4};
+  const std::uint64_t subsizes[] = {1, 2};
+  const std::uint64_t starts[] = {0, 1};
+  auto inner = Datatype::Subarray(sizes, subsizes, starts, ByteType()).value();
+  auto outer = Datatype::Contiguous(3, inner);
+  EXPECT_EQ(outer.size(), 6u);
+  EXPECT_EQ(outer.extent(), 24u);
+  ASSERT_EQ(outer.Flatten().size(), 3u);
+  EXPECT_EQ(outer.Flatten()[1], (Extent{9, 2}));
+}
+
+TEST(TypeOf, MapsCppTypes) {
+  EXPECT_EQ(TypeOf<double>().prim(), Prim::kDouble);
+  EXPECT_EQ(TypeOf<float>().prim(), Prim::kFloat);
+  EXPECT_EQ(TypeOf<int>().prim(), Prim::kInt);
+  EXPECT_EQ(TypeOf<short>().prim(), Prim::kShort);
+  EXPECT_EQ(TypeOf<char>().prim(), Prim::kChar);
+  EXPECT_EQ(TypeOf<long long>().prim(), Prim::kLongLong);
+}
+
+TEST(CountElems, DerivedTypes) {
+  auto t = Datatype::Vector(3, 2, 5, IntType());
+  EXPECT_EQ(t.count_elems(), 6u);
+}
+
+}  // namespace
+}  // namespace simmpi

@@ -1,0 +1,30 @@
+# Integration script: ncgen -> ncdump -> ncgen must reproduce the file
+# byte-for-byte; nccopy output must compare clean under ncmpidiff; ncks
+# subsetting must produce a readable file.
+file(MAKE_DIRECTORY ${WORK})
+
+function(run)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  WORKING_DIRECTORY ${WORK})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}")
+  endif()
+endfunction()
+
+run(${NCGEN} -o a.nc ${CDL})
+execute_process(COMMAND ${NCDUMP} a.nc OUTPUT_FILE ${WORK}/a.cdl
+                WORKING_DIRECTORY ${WORK} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ncdump failed")
+endif()
+run(${NCGEN} -o b.nc a.cdl)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/a.nc ${WORK}/b.nc RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "ncgen(ncdump(f)) is not byte-identical to f")
+endif()
+
+run(${NCCOPY} -k 1 a.nc c.nc)
+run(${NCMPIDIFF} a.nc c.nc)
+run(${NCKS} -v pressure -d lat,1,2 a.nc d.nc)
+run(${NCDUMP} -h d.nc)

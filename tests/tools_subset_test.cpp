@@ -1,0 +1,122 @@
+// Tests for ncks-style subsetting: variable selection, dimension windows,
+// record trimming, metadata preservation, and error cases.
+#include "tools/subset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace nctools {
+namespace {
+
+using ncformat::NcType;
+
+void MakeSource(pfs::FileSystem& fs) {
+  auto ds = netcdf::Dataset::Create(fs, "src.nc").value();
+  const int t = ds.DefDim("time", netcdf::kUnlimited).value();
+  const int y = ds.DefDim("y", 4).value();
+  const int x = ds.DefDim("x", 6).value();
+  const int temp = ds.DefVar("temp", NcType::kDouble, {t, y, x}).value();
+  const int elev = ds.DefVar("elev", NcType::kInt, {y, x}).value();
+  const int mask = ds.DefVar("mask", NcType::kByte, {y, x}).value();
+  ASSERT_TRUE(ds.PutAttText(netcdf::kGlobal, "title", "subset source").ok());
+  ASSERT_TRUE(ds.PutAttText(temp, "units", "K").ok());
+  ASSERT_TRUE(ds.EndDef().ok());
+
+  std::vector<double> tv(3 * 4 * 6);
+  std::iota(tv.begin(), tv.end(), 0.0);  // value == linear index
+  ASSERT_TRUE(ds.PutVar<double>(temp, tv).ok());
+  std::vector<std::int32_t> ev(24);
+  std::iota(ev.begin(), ev.end(), 100);
+  ASSERT_TRUE(ds.PutVar<std::int32_t>(elev, ev).ok());
+  std::vector<signed char> mv(24, 1);
+  ASSERT_TRUE(ds.PutVar<signed char>(mask, mv).ok());
+  ASSERT_TRUE(ds.Close().ok());
+}
+
+TEST(Subset, VariableSelection) {
+  pfs::FileSystem fs;
+  MakeSource(fs);
+  SubsetOptions opts;
+  opts.variables = {"elev"};
+  ASSERT_TRUE(ExtractSubset(fs, "src.nc", "out.nc", opts).ok());
+  auto out = netcdf::Dataset::Open(fs, "out.nc", false).value();
+  EXPECT_EQ(out.nvars(), 1);
+  EXPECT_TRUE(out.VarId("elev").ok());
+  EXPECT_FALSE(out.VarId("temp").ok());
+  // Global attributes and dimensions survive.
+  EXPECT_EQ(out.GetAtt(netcdf::kGlobal, "title").value().AsText(),
+            "subset source");
+  EXPECT_EQ(out.ndims(), 3);
+  std::vector<std::int32_t> ev(24);
+  ASSERT_TRUE(out.GetVar<std::int32_t>(out.VarId("elev").value(), ev).ok());
+  EXPECT_EQ(ev[5], 105);
+}
+
+TEST(Subset, DimensionWindow) {
+  pfs::FileSystem fs;
+  MakeSource(fs);
+  SubsetOptions opts;
+  opts.ranges.push_back({"y", 1, 2});   // keep rows 1..2
+  opts.ranges.push_back({"x", 2, 4});   // keep cols 2..4
+  ASSERT_TRUE(ExtractSubset(fs, "src.nc", "out.nc", opts).ok());
+  auto out = netcdf::Dataset::Open(fs, "out.nc", false).value();
+  EXPECT_EQ(out.header().dims[static_cast<std::size_t>(
+                                  out.DimId("y").value())].len, 2u);
+  EXPECT_EQ(out.header().dims[static_cast<std::size_t>(
+                                  out.DimId("x").value())].len, 3u);
+  // temp(0, 1, 2) of the source is temp(0, 0, 0) of the subset: index
+  // (0*4 + 1)*6 + 2 = 8.
+  double v = -1;
+  const std::uint64_t idx[] = {0, 0, 0};
+  ASSERT_TRUE(out.GetVar1<double>(out.VarId("temp").value(), idx, v).ok());
+  EXPECT_EQ(v, 8.0);
+}
+
+TEST(Subset, RecordWindowKeepsUnlimited) {
+  pfs::FileSystem fs;
+  MakeSource(fs);
+  SubsetOptions opts;
+  opts.variables = {"temp"};
+  opts.ranges.push_back({"time", 1, 2});
+  ASSERT_TRUE(ExtractSubset(fs, "src.nc", "out.nc", opts).ok());
+  auto out = netcdf::Dataset::Open(fs, "out.nc", false).value();
+  EXPECT_EQ(out.unlimdim(), out.DimId("time").value());
+  EXPECT_EQ(out.numrecs(), 2u);
+  // Record 0 of the subset is record 1 of the source: first value 24.
+  double v = -1;
+  const std::uint64_t idx[] = {0, 0, 0};
+  ASSERT_TRUE(out.GetVar1<double>(out.VarId("temp").value(), idx, v).ok());
+  EXPECT_EQ(v, 24.0);
+}
+
+TEST(Subset, Errors) {
+  pfs::FileSystem fs;
+  MakeSource(fs);
+  SubsetOptions bad_dim;
+  bad_dim.ranges.push_back({"nope", 0, 1});
+  EXPECT_EQ(ExtractSubset(fs, "src.nc", "o.nc", bad_dim).code(),
+            pnc::Err::kBadDim);
+  SubsetOptions bad_range;
+  bad_range.ranges.push_back({"y", 2, 9});
+  EXPECT_EQ(ExtractSubset(fs, "src.nc", "o.nc", bad_range).code(),
+            pnc::Err::kInvalidCoords);
+  SubsetOptions bad_var;
+  bad_var.variables = {"ghost"};
+  EXPECT_EQ(ExtractSubset(fs, "src.nc", "o.nc", bad_var).code(),
+            pnc::Err::kNotVar);
+}
+
+TEST(Subset, IdentityIsLossless) {
+  pfs::FileSystem fs;
+  MakeSource(fs);
+  ASSERT_TRUE(ExtractSubset(fs, "src.nc", "copy.nc", {}).ok());
+  auto a = netcdf::Dataset::Open(fs, "src.nc", false).value();
+  auto b = netcdf::Dataset::Open(fs, "copy.nc", false).value();
+  // Same schema + data (byte-level may differ only if layout differed; it
+  // must not, so compare semantically via the diff engine).
+  EXPECT_EQ(a.header(), b.header());
+}
+
+}  // namespace
+}  // namespace nctools

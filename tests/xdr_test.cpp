@@ -1,0 +1,129 @@
+// Unit tests for the XDR-style big-endian codec.
+#include "util/xdr.hpp"
+
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pnc::xdr {
+namespace {
+
+TEST(ByteSwap, Scalars) {
+  EXPECT_EQ(ByteSwap<std::uint16_t>(0x1234), 0x3412);
+  EXPECT_EQ(ByteSwap<std::uint32_t>(0x12345678u), 0x78563412u);
+  EXPECT_EQ(ByteSwap<std::uint64_t>(0x0102030405060708ull),
+            0x0807060504030201ull);
+  EXPECT_EQ(ByteSwap<std::uint8_t>(0xAB), 0xAB);
+}
+
+TEST(ByteSwap, FloatRoundTrip) {
+  const float f = 3.14159f;
+  EXPECT_EQ(ByteSwap(ByteSwap(f)), f);
+  const double d = -2.718281828459045;
+  EXPECT_EQ(ByteSwap(ByteSwap(d)), d);
+}
+
+TEST(Encoder, ScalarLayoutIsBigEndian) {
+  std::vector<std::byte> out;
+  Encoder enc(out);
+  enc.PutI32(0x0A0B0C0D);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], std::byte{0x0A});
+  EXPECT_EQ(out[1], std::byte{0x0B});
+  EXPECT_EQ(out[2], std::byte{0x0C});
+  EXPECT_EQ(out[3], std::byte{0x0D});
+}
+
+TEST(Encoder, NamePadsToFourBytes) {
+  std::vector<std::byte> out;
+  Encoder enc(out);
+  enc.PutName("abcde");  // 4 len + 5 chars + 3 pad
+  EXPECT_EQ(out.size(), 12u);
+  EXPECT_EQ(out[3], std::byte{5});
+  EXPECT_EQ(out[4], std::byte{'a'});
+  EXPECT_EQ(out[11], std::byte{0});
+}
+
+TEST(Decoder, RoundTripAllScalars) {
+  std::vector<std::byte> out;
+  Encoder enc(out);
+  enc.PutI32(-42);
+  enc.PutI64(-1234567890123LL);
+  enc.PutU32(0xDEADBEEFu);
+  enc.PutF32(1.5f);
+  enc.PutF64(-0.125);
+  enc.PutName("hello");
+
+  Decoder dec(out);
+  std::int32_t i32;
+  std::int64_t i64;
+  std::uint32_t u32;
+  float f32;
+  double f64;
+  std::string name;
+  ASSERT_TRUE(dec.GetI32(i32).ok());
+  ASSERT_TRUE(dec.GetI64(i64).ok());
+  ASSERT_TRUE(dec.GetU32(u32).ok());
+  ASSERT_TRUE(dec.GetF32(f32).ok());
+  ASSERT_TRUE(dec.GetF64(f64).ok());
+  ASSERT_TRUE(dec.GetName(name).ok());
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -1234567890123LL);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(f32, 1.5f);
+  EXPECT_EQ(f64, -0.125);
+  EXPECT_EQ(name, "hello");
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(Decoder, TruncationReported) {
+  std::vector<std::byte> out;
+  Encoder enc(out);
+  enc.PutI32(7);
+  Decoder dec(pnc::ConstByteSpan(out.data(), 2));
+  std::int32_t v;
+  EXPECT_EQ(dec.GetI32(v).code(), Err::kTrunc);
+}
+
+TEST(Decoder, NameTruncationReported) {
+  std::vector<std::byte> out;
+  Encoder enc(out);
+  enc.PutU32(100);  // claims 100 chars, none present
+  Decoder dec(out);
+  std::string s;
+  EXPECT_EQ(dec.GetName(s).code(), Err::kTrunc);
+}
+
+TEST(RoundUp4, Values) {
+  EXPECT_EQ(RoundUp4(0), 0u);
+  EXPECT_EQ(RoundUp4(1), 4u);
+  EXPECT_EQ(RoundUp4(4), 4u);
+  EXPECT_EQ(RoundUp4(5), 8u);
+  EXPECT_EQ(RoundUp4(0xFFFFFFFFull), 0x100000000ull);
+}
+
+TEST(ArrayCodec, RoundTripTyped) {
+  const std::vector<std::int16_t> shorts{-1, 0, 32767, -32768, 12345};
+  std::vector<std::byte> wire(shorts.size() * 2);
+  EncodeArray<std::int16_t>(shorts, wire.data());
+  // Big-endian: first value -1 = 0xFFFF.
+  EXPECT_EQ(wire[0], std::byte{0xFF});
+  EXPECT_EQ(wire[1], std::byte{0xFF});
+  std::vector<std::int16_t> back(shorts.size());
+  DecodeArray<std::int16_t>(wire.data(), std::span<std::int16_t>(back));
+  EXPECT_EQ(back, shorts);
+}
+
+TEST(ArrayCodec, DoubleKnownBytes) {
+  const double v = 1.0;  // 0x3FF0000000000000
+  std::vector<std::byte> wire(8);
+  EncodeArray<double>(std::span<const double>(&v, 1), wire.data());
+  EXPECT_EQ(wire[0], std::byte{0x3F});
+  EXPECT_EQ(wire[1], std::byte{0xF0});
+  EXPECT_EQ(wire[7], std::byte{0x00});
+}
+
+}  // namespace
+}  // namespace pnc::xdr
