@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_collective.dir/bench_ablation_collective.cpp.o"
+  "CMakeFiles/bench_ablation_collective.dir/bench_ablation_collective.cpp.o.d"
+  "bench_ablation_collective"
+  "bench_ablation_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_header.dir/bench_ablation_header.cpp.o"
+  "CMakeFiles/bench_ablation_header.dir/bench_ablation_header.cpp.o.d"
+  "bench_ablation_header"
+  "bench_ablation_header.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nonblocking.dir/bench_ablation_nonblocking.cpp.o"
+  "CMakeFiles/bench_ablation_nonblocking.dir/bench_ablation_nonblocking.cpp.o.d"
+  "bench_ablation_nonblocking"
+  "bench_ablation_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

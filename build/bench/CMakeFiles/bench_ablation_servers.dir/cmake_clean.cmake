@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_servers.dir/bench_ablation_servers.cpp.o"
+  "CMakeFiles/bench_ablation_servers.dir/bench_ablation_servers.cpp.o.d"
+  "bench_ablation_servers"
+  "bench_ablation_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

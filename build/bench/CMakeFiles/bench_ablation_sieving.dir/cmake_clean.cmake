@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sieving.dir/bench_ablation_sieving.cpp.o"
+  "CMakeFiles/bench_ablation_sieving.dir/bench_ablation_sieving.cpp.o.d"
+  "bench_ablation_sieving"
+  "bench_ablation_sieving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sieving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

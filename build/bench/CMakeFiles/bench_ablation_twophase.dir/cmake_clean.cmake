@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_twophase.dir/bench_ablation_twophase.cpp.o"
+  "CMakeFiles/bench_ablation_twophase.dir/bench_ablation_twophase.cpp.o.d"
+  "bench_ablation_twophase"
+  "bench_ablation_twophase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_twophase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_flashio.dir/bench_fig7_flashio.cpp.o"
+  "CMakeFiles/bench_fig7_flashio.dir/bench_fig7_flashio.cpp.o.d"
+  "bench_fig7_flashio"
+  "bench_fig7_flashio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_flashio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_readback.dir/bench_future_readback.cpp.o"
+  "CMakeFiles/bench_future_readback.dir/bench_future_readback.cpp.o.d"
+  "bench_future_readback"
+  "bench_future_readback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_readback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

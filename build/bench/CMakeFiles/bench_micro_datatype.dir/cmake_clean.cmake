@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_datatype.dir/bench_micro_datatype.cpp.o"
+  "CMakeFiles/bench_micro_datatype.dir/bench_micro_datatype.cpp.o.d"
+  "bench_micro_datatype"
+  "bench_micro_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_header.dir/bench_micro_header.cpp.o"
+  "CMakeFiles/bench_micro_header.dir/bench_micro_header.cpp.o.d"
+  "bench_micro_header"
+  "bench_micro_header.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

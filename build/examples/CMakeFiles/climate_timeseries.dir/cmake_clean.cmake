@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_timeseries.dir/climate_timeseries.cpp.o"
+  "CMakeFiles/climate_timeseries.dir/climate_timeseries.cpp.o.d"
+  "climate_timeseries"
+  "climate_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_checkpoint.dir/flash_checkpoint.cpp.o"
+  "CMakeFiles/flash_checkpoint.dir/flash_checkpoint.cpp.o.d"
+  "flash_checkpoint"
+  "flash_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

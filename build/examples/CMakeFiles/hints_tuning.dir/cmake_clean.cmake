@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hints_tuning.dir/hints_tuning.cpp.o"
+  "CMakeFiles/hints_tuning.dir/hints_tuning.cpp.o.d"
+  "hints_tuning"
+  "hints_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hints_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncmpi_c_style.dir/ncmpi_c_style.cpp.o"
+  "CMakeFiles/ncmpi_c_style.dir/ncmpi_c_style.cpp.o.d"
+  "ncmpi_c_style"
+  "ncmpi_c_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncmpi_c_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ncmpi_c_style.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ncmpi_c_style.
+# This may be replaced when dependencies are built.

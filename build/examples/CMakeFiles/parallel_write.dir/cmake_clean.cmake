@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_write.dir/parallel_write.cpp.o"
+  "CMakeFiles/parallel_write.dir/parallel_write.cpp.o.d"
+  "parallel_write"
+  "parallel_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("simmpi")
+subdirs("pfs")
+subdirs("mpiio")
+subdirs("format")
+subdirs("netcdf")
+subdirs("pnetcdf")
+subdirs("hdf5lite")
+subdirs("flash")
+subdirs("tools")

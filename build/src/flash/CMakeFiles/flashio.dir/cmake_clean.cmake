@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashio.dir/flash.cpp.o"
+  "CMakeFiles/flashio.dir/flash.cpp.o.d"
+  "libflashio.a"
+  "libflashio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncformat.dir/header.cpp.o"
+  "CMakeFiles/ncformat.dir/header.cpp.o.d"
+  "CMakeFiles/ncformat.dir/layout.cpp.o"
+  "CMakeFiles/ncformat.dir/layout.cpp.o.d"
+  "libncformat.a"
+  "libncformat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncformat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

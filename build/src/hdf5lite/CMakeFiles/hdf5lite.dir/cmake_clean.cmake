@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdf5lite.dir/h5file.cpp.o"
+  "CMakeFiles/hdf5lite.dir/h5file.cpp.o.d"
+  "libhdf5lite.a"
+  "libhdf5lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdf5lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdf5lite.a"
+)

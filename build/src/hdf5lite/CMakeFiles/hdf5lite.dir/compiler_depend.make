@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hdf5lite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hdf5lite.
+# This may be replaced when dependencies are built.

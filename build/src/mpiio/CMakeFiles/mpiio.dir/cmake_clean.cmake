@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio.dir/file.cpp.o"
+  "CMakeFiles/mpiio.dir/file.cpp.o.d"
+  "CMakeFiles/mpiio.dir/twophase.cpp.o"
+  "CMakeFiles/mpiio.dir/twophase.cpp.o.d"
+  "CMakeFiles/mpiio.dir/view.cpp.o"
+  "CMakeFiles/mpiio.dir/view.cpp.o.d"
+  "libmpiio.a"
+  "libmpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpiio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcdf.dir/buffered_file.cpp.o"
+  "CMakeFiles/netcdf.dir/buffered_file.cpp.o.d"
+  "CMakeFiles/netcdf.dir/dataset.cpp.o"
+  "CMakeFiles/netcdf.dir/dataset.cpp.o.d"
+  "CMakeFiles/netcdf.dir/ncapi.cpp.o"
+  "CMakeFiles/netcdf.dir/ncapi.cpp.o.d"
+  "libnetcdf.a"
+  "libnetcdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpfs.dir/pfs.cpp.o"
+  "CMakeFiles/simpfs.dir/pfs.cpp.o.d"
+  "libsimpfs.a"
+  "libsimpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

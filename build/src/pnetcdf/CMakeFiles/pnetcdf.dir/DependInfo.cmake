@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pnetcdf/dataset.cpp" "src/pnetcdf/CMakeFiles/pnetcdf.dir/dataset.cpp.o" "gcc" "src/pnetcdf/CMakeFiles/pnetcdf.dir/dataset.cpp.o.d"
+  "/root/repo/src/pnetcdf/ncmpi.cpp" "src/pnetcdf/CMakeFiles/pnetcdf.dir/ncmpi.cpp.o" "gcc" "src/pnetcdf/CMakeFiles/pnetcdf.dir/ncmpi.cpp.o.d"
+  "/root/repo/src/pnetcdf/nfmpi.cpp" "src/pnetcdf/CMakeFiles/pnetcdf.dir/nfmpi.cpp.o" "gcc" "src/pnetcdf/CMakeFiles/pnetcdf.dir/nfmpi.cpp.o.d"
+  "/root/repo/src/pnetcdf/nonblocking.cpp" "src/pnetcdf/CMakeFiles/pnetcdf.dir/nonblocking.cpp.o" "gcc" "src/pnetcdf/CMakeFiles/pnetcdf.dir/nonblocking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/format/CMakeFiles/ncformat.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/simpfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnetcdf.dir/dataset.cpp.o"
+  "CMakeFiles/pnetcdf.dir/dataset.cpp.o.d"
+  "CMakeFiles/pnetcdf.dir/ncmpi.cpp.o"
+  "CMakeFiles/pnetcdf.dir/ncmpi.cpp.o.d"
+  "CMakeFiles/pnetcdf.dir/nfmpi.cpp.o"
+  "CMakeFiles/pnetcdf.dir/nfmpi.cpp.o.d"
+  "CMakeFiles/pnetcdf.dir/nonblocking.cpp.o"
+  "CMakeFiles/pnetcdf.dir/nonblocking.cpp.o.d"
+  "libpnetcdf.a"
+  "libpnetcdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnetcdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

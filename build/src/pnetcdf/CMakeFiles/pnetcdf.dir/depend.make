@@ -1,0 +1,2 @@
+# Empty dependencies file for pnetcdf.
+# This may be replaced when dependencies are built.

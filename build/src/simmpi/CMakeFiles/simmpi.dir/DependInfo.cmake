@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/comm.cpp" "src/simmpi/CMakeFiles/simmpi.dir/comm.cpp.o" "gcc" "src/simmpi/CMakeFiles/simmpi.dir/comm.cpp.o.d"
+  "/root/repo/src/simmpi/datatype.cpp" "src/simmpi/CMakeFiles/simmpi.dir/datatype.cpp.o" "gcc" "src/simmpi/CMakeFiles/simmpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/simmpi/runtime.cpp" "src/simmpi/CMakeFiles/simmpi.dir/runtime.cpp.o" "gcc" "src/simmpi/CMakeFiles/simmpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi.dir/comm.cpp.o"
+  "CMakeFiles/simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/simmpi.dir/datatype.cpp.o"
+  "CMakeFiles/simmpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/simmpi.dir/runtime.cpp.o.d"
+  "libsimmpi.a"
+  "libsimmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

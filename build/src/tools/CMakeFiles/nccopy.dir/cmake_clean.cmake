@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nccopy.dir/nccopy_main.cpp.o"
+  "CMakeFiles/nccopy.dir/nccopy_main.cpp.o.d"
+  "nccopy"
+  "nccopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nccopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

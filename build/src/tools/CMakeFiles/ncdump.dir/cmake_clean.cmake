@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncdump.dir/ncdump_main.cpp.o"
+  "CMakeFiles/ncdump.dir/ncdump_main.cpp.o.d"
+  "ncdump"
+  "ncdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncgen.dir/ncgen_main.cpp.o"
+  "CMakeFiles/ncgen.dir/ncgen_main.cpp.o.d"
+  "ncgen"
+  "ncgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ncgen.
+# This may be replaced when dependencies are built.

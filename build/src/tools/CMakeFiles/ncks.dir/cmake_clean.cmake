@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncks.dir/ncks_main.cpp.o"
+  "CMakeFiles/ncks.dir/ncks_main.cpp.o.d"
+  "ncks"
+  "ncks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

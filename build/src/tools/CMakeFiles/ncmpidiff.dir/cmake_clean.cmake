@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncmpidiff.dir/ncmpidiff_main.cpp.o"
+  "CMakeFiles/ncmpidiff.dir/ncmpidiff_main.cpp.o.d"
+  "ncmpidiff"
+  "ncmpidiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncmpidiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nctools.dir/cdl.cpp.o"
+  "CMakeFiles/nctools.dir/cdl.cpp.o.d"
+  "CMakeFiles/nctools.dir/compare.cpp.o"
+  "CMakeFiles/nctools.dir/compare.cpp.o.d"
+  "CMakeFiles/nctools.dir/subset.cpp.o"
+  "CMakeFiles/nctools.dir/subset.cpp.o.d"
+  "libnctools.a"
+  "libnctools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nctools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_util.dir/status.cpp.o"
+  "CMakeFiles/pnc_util.dir/status.cpp.o.d"
+  "CMakeFiles/pnc_util.dir/xdr.cpp.o"
+  "CMakeFiles/pnc_util.dir/xdr.cpp.o.d"
+  "libpnc_util.a"
+  "libpnc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpnc_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdl_test.dir/cdl_test.cpp.o"
+  "CMakeFiles/cdl_test.dir/cdl_test.cpp.o.d"
+  "cdl_test"
+  "cdl_test.pdb"
+  "cdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_test.dir/flash_test.cpp.o"
+  "CMakeFiles/flash_test.dir/flash_test.cpp.o.d"
+  "flash_test"
+  "flash_test.pdb"
+  "flash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_convert_test.dir/format_convert_test.cpp.o"
+  "CMakeFiles/format_convert_test.dir/format_convert_test.cpp.o.d"
+  "format_convert_test"
+  "format_convert_test.pdb"
+  "format_convert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_convert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

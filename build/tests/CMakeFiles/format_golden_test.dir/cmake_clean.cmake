@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_golden_test.dir/format_golden_test.cpp.o"
+  "CMakeFiles/format_golden_test.dir/format_golden_test.cpp.o.d"
+  "format_golden_test"
+  "format_golden_test.pdb"
+  "format_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

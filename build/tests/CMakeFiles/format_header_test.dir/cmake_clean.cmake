@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_header_test.dir/format_header_test.cpp.o"
+  "CMakeFiles/format_header_test.dir/format_header_test.cpp.o.d"
+  "format_header_test"
+  "format_header_test.pdb"
+  "format_header_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_header_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_layout_test.dir/format_layout_test.cpp.o"
+  "CMakeFiles/format_layout_test.dir/format_layout_test.cpp.o.d"
+  "format_layout_test"
+  "format_layout_test.pdb"
+  "format_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdf5lite_test.dir/hdf5lite_test.cpp.o"
+  "CMakeFiles/hdf5lite_test.dir/hdf5lite_test.cpp.o.d"
+  "hdf5lite_test"
+  "hdf5lite_test.pdb"
+  "hdf5lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdf5lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio_io_test.dir/mpiio_io_test.cpp.o"
+  "CMakeFiles/mpiio_io_test.dir/mpiio_io_test.cpp.o.d"
+  "mpiio_io_test"
+  "mpiio_io_test.pdb"
+  "mpiio_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio_sweep_test.dir/mpiio_sweep_test.cpp.o"
+  "CMakeFiles/mpiio_sweep_test.dir/mpiio_sweep_test.cpp.o.d"
+  "mpiio_sweep_test"
+  "mpiio_sweep_test.pdb"
+  "mpiio_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

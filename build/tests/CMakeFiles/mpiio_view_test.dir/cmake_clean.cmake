@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio_view_test.dir/mpiio_view_test.cpp.o"
+  "CMakeFiles/mpiio_view_test.dir/mpiio_view_test.cpp.o.d"
+  "mpiio_view_test"
+  "mpiio_view_test.pdb"
+  "mpiio_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

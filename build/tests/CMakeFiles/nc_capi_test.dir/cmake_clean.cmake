@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_capi_test.dir/nc_capi_test.cpp.o"
+  "CMakeFiles/nc_capi_test.dir/nc_capi_test.cpp.o.d"
+  "nc_capi_test"
+  "nc_capi_test.pdb"
+  "nc_capi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_capi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

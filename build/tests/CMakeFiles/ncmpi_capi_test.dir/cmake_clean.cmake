@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncmpi_capi_test.dir/ncmpi_capi_test.cpp.o"
+  "CMakeFiles/ncmpi_capi_test.dir/ncmpi_capi_test.cpp.o.d"
+  "ncmpi_capi_test"
+  "ncmpi_capi_test.pdb"
+  "ncmpi_capi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncmpi_capi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcdf_serial_test.dir/netcdf_serial_test.cpp.o"
+  "CMakeFiles/netcdf_serial_test.dir/netcdf_serial_test.cpp.o.d"
+  "netcdf_serial_test"
+  "netcdf_serial_test.pdb"
+  "netcdf_serial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcdf_serial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfmpi_test.dir/nfmpi_test.cpp.o"
+  "CMakeFiles/nfmpi_test.dir/nfmpi_test.cpp.o.d"
+  "nfmpi_test"
+  "nfmpi_test.pdb"
+  "nfmpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfmpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_serial_equiv_test.dir/parallel_serial_equiv_test.cpp.o"
+  "CMakeFiles/parallel_serial_equiv_test.dir/parallel_serial_equiv_test.cpp.o.d"
+  "parallel_serial_equiv_test"
+  "parallel_serial_equiv_test.pdb"
+  "parallel_serial_equiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_serial_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfs_test.dir/pfs_test.cpp.o"
+  "CMakeFiles/pfs_test.dir/pfs_test.cpp.o.d"
+  "pfs_test"
+  "pfs_test.pdb"
+  "pfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

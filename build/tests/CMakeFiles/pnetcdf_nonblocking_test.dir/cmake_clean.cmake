@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnetcdf_nonblocking_test.dir/pnetcdf_nonblocking_test.cpp.o"
+  "CMakeFiles/pnetcdf_nonblocking_test.dir/pnetcdf_nonblocking_test.cpp.o.d"
+  "pnetcdf_nonblocking_test"
+  "pnetcdf_nonblocking_test.pdb"
+  "pnetcdf_nonblocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnetcdf_nonblocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnetcdf_test.dir/pnetcdf_test.cpp.o"
+  "CMakeFiles/pnetcdf_test.dir/pnetcdf_test.cpp.o.d"
+  "pnetcdf_test"
+  "pnetcdf_test.pdb"
+  "pnetcdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnetcdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

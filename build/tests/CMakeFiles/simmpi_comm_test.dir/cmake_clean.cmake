@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_comm_test.dir/simmpi_comm_test.cpp.o"
+  "CMakeFiles/simmpi_comm_test.dir/simmpi_comm_test.cpp.o.d"
+  "simmpi_comm_test"
+  "simmpi_comm_test.pdb"
+  "simmpi_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_datatype_test.dir/simmpi_datatype_test.cpp.o"
+  "CMakeFiles/simmpi_datatype_test.dir/simmpi_datatype_test.cpp.o.d"
+  "simmpi_datatype_test"
+  "simmpi_datatype_test.pdb"
+  "simmpi_datatype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_datatype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

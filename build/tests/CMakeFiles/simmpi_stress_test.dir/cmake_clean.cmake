@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_stress_test.dir/simmpi_stress_test.cpp.o"
+  "CMakeFiles/simmpi_stress_test.dir/simmpi_stress_test.cpp.o.d"
+  "simmpi_stress_test"
+  "simmpi_stress_test.pdb"
+  "simmpi_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

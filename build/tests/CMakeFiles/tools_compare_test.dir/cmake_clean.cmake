@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_compare_test.dir/tools_compare_test.cpp.o"
+  "CMakeFiles/tools_compare_test.dir/tools_compare_test.cpp.o.d"
+  "tools_compare_test"
+  "tools_compare_test.pdb"
+  "tools_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

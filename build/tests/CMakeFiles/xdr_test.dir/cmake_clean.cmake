@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdr_test.dir/xdr_test.cpp.o"
+  "CMakeFiles/xdr_test.dir/xdr_test.cpp.o.d"
+  "xdr_test"
+  "xdr_test.pdb"
+  "xdr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
