@@ -14,15 +14,15 @@
 namespace ncformat {
 
 /// read_at(offset, out) must fill `out` from the file (zero-filling past
-/// EOF). `file_size` bounds the growth.
+/// EOF) or return the storage error. `file_size` bounds the growth.
 inline pnc::Result<Header> ReadHeader(
     std::uint64_t file_size,
-    const std::function<void(std::uint64_t, pnc::ByteSpan)>& read_at) {
+    const std::function<pnc::Status(std::uint64_t, pnc::ByteSpan)>& read_at) {
   std::uint64_t try_size = 8 * 1024;
   for (;;) {
     const std::uint64_t n = std::min(try_size, file_size);
     std::vector<std::byte> buf(n);
-    read_at(0, buf);
+    PNC_RETURN_IF_ERROR(read_at(0, buf));
     auto r = Header::Decode(buf);
     if (r.ok()) return r;
     if (r.status().code() != pnc::Err::kTrunc || n >= file_size)

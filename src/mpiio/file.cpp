@@ -92,10 +92,11 @@ pnc::Status File::WriteAtAll(std::uint64_t offset, const void* buf,
 
 pnc::Status File::Sync() {
   if (!impl_ || !impl_->open) return pnc::Status(pnc::Err::kBadId, "sync");
-  auto& clk = impl_->comm.clock();
-  clk.AdvanceTo(impl_->file.Sync(clk.now()));
+  // Collective: every rank flushes, then all ranks agree on one status.
+  pnc::Status st = impl_->RetrySync();
+  st = AgreeStatus(impl_->comm, st);
   impl_->comm.SyncClocksToMax();
-  return pnc::Status::Ok();
+  return st;
 }
 
 pnc::Status File::SetSize(std::uint64_t size) {
@@ -120,6 +121,68 @@ pnc::Status File::Close() {
 const Hints& File::hints() const { return impl_->hints; }
 simmpi::Comm& File::comm() { return impl_->comm; }
 
+// ------------------------------------------------------------ fault path
+
+pnc::Status File::Impl::RetryIo(bool is_write, std::uint64_t off,
+                                std::byte* data, std::uint64_t len) {
+  auto& clk = comm.clock();
+  std::uint64_t done = 0;
+  int attempts = 0;
+  double backoff = hints.retry_backoff_ns;
+  while (done < len) {
+    const pfs::IoResult r =
+        is_write
+            ? file.TryWrite(off + done,
+                            pnc::ConstByteSpan(data + done, len - done),
+                            clk.now())
+            : file.TryRead(off + done, pnc::ByteSpan(data + done, len - done),
+                           clk.now());
+    clk.AdvanceTo(r.done_ns);
+    if (r.ok()) {
+      // Short transfers resume from the transferred count (POSIX semantics);
+      // they do not consume the retry budget because progress was made.
+      done += r.transferred;
+      continue;
+    }
+    if (r.status.code() == pnc::Err::kIoTransient) {
+      if (attempts >= hints.retry_max)
+        return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
+      ++attempts;
+      file.RecordRetry(is_write);
+      clk.Advance(backoff);
+      backoff *= 2;
+      continue;
+    }
+    return r.status;  // permanent: no retry helps
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status File::Impl::RetrySync() {
+  auto& clk = comm.clock();
+  int attempts = 0;
+  double backoff = hints.retry_backoff_ns;
+  for (;;) {
+    const pfs::IoResult r = file.TrySync(clk.now());
+    clk.AdvanceTo(r.done_ns);
+    if (r.ok()) return pnc::Status::Ok();
+    if (r.status.code() != pnc::Err::kIoTransient) return r.status;
+    if (attempts >= hints.retry_max)
+      return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
+    ++attempts;
+    file.RecordRetry(/*is_write=*/true);
+    clk.Advance(backoff);
+    backoff *= 2;
+  }
+}
+
+pnc::Status AgreeStatus(simmpi::Comm& comm, const pnc::Status& local) {
+  int agreed = comm.AllreduceMin(local.raw());
+  if (agreed == 0) return pnc::Status::Ok();
+  if (local.raw() == agreed) return local;
+  return pnc::Status(static_cast<pnc::Err>(agreed), "I/O failed on a peer rank");
+}
+
 // ------------------------------------------------------- independent path
 
 pnc::Status File::IndependentIo(std::uint64_t offset_etypes, void* buf,
@@ -138,8 +201,7 @@ pnc::Status File::IndependentIo(std::uint64_t offset_etypes, void* buf,
 
   auto* base = static_cast<std::byte*>(buf);
   if (memtype.is_contiguous()) {
-    SievedTransfer(segs, base, is_write);
-    return pnc::Status::Ok();
+    return SievedTransfer(segs, base, is_write);
   }
 
   // Noncontiguous memory: stage through a packed buffer (cost charged).
@@ -148,32 +210,27 @@ pnc::Status File::IndependentIo(std::uint64_t offset_etypes, void* buf,
   if (is_write) {
     memtype.Pack(base, count, staging.data());
     clk.Advance(im.comm.cost().CopyCost(bytes));
-    SievedTransfer(segs, staging.data(), true);
+    PNC_RETURN_IF_ERROR(SievedTransfer(segs, staging.data(), true));
   } else {
-    SievedTransfer(segs, staging.data(), false);
+    PNC_RETURN_IF_ERROR(SievedTransfer(segs, staging.data(), false));
     memtype.Unpack(staging.data(), count, base);
     clk.Advance(im.comm.cost().CopyCost(bytes));
   }
   return pnc::Status::Ok();
 }
 
-void File::SievedTransfer(const std::vector<pnc::Extent>& segments,
-                          std::byte* data, bool is_write) {
+pnc::Status File::SievedTransfer(const std::vector<pnc::Extent>& segments,
+                                 std::byte* data, bool is_write) {
   auto& im = *impl_;
   auto& clk = im.comm.clock();
   auto& cost = im.comm.cost();
   clk.Advance(cost.sw_overhead_ns);
-  if (segments.empty()) return;
+  if (segments.empty()) return pnc::Status::Ok();
 
   // Fast path: one contiguous request.
   if (segments.size() == 1) {
     const auto& s = segments[0];
-    const double done =
-        is_write
-            ? im.file.Write(s.offset, pnc::ConstByteSpan(data, s.len), clk.now())
-            : im.file.Read(s.offset, pnc::ByteSpan(data, s.len), clk.now());
-    clk.AdvanceTo(done);
-    return;
+    return im.RetryIo(is_write, s.offset, data, s.len);
   }
 
   const bool sieve = is_write ? im.hints.ds_write : im.hints.ds_read;
@@ -182,15 +239,10 @@ void File::SievedTransfer(const std::vector<pnc::Extent>& segments,
     // related work (data sieving) exists to avoid.
     std::uint64_t dpos = 0;
     for (const auto& s : segments) {
-      const double done =
-          is_write ? im.file.Write(s.offset, pnc::ConstByteSpan(data + dpos, s.len),
-                                   clk.now())
-                   : im.file.Read(s.offset, pnc::ByteSpan(data + dpos, s.len),
-                                  clk.now());
-      clk.AdvanceTo(done);
+      PNC_RETURN_IF_ERROR(im.RetryIo(is_write, s.offset, data + dpos, s.len));
       dpos += s.len;
     }
-    return;
+    return pnc::Status::Ok();
   }
 
   // Data sieving: process the covering byte range in buffer-size windows;
@@ -249,21 +301,18 @@ void File::SievedTransfer(const std::vector<pnc::Extent>& segments,
       std::unique_lock<std::mutex> rmw_lock;
       if (holes) {
         rmw_lock = im.file.LockForRmw();
-        const double rdone = im.file.Read(
-            span_start, pnc::ByteSpan(window.data(), span_len), clk.now());
-        clk.AdvanceTo(rdone);
+        PNC_RETURN_IF_ERROR(
+            im.RetryIo(/*is_write=*/false, span_start, window.data(), span_len));
       }
       for (const auto& p : pieces)
         std::memcpy(window.data() + (p.file_off - span_start), data + p.data_off,
                     p.len);
       clk.Advance(cost.CopyCost(covered));
-      const double wdone = im.file.Write(
-          span_start, pnc::ConstByteSpan(window.data(), span_len), clk.now());
-      clk.AdvanceTo(wdone);
+      PNC_RETURN_IF_ERROR(
+          im.RetryIo(/*is_write=*/true, span_start, window.data(), span_len));
     } else {
-      const double rdone = im.file.Read(
-          span_start, pnc::ByteSpan(window.data(), span_len), clk.now());
-      clk.AdvanceTo(rdone);
+      PNC_RETURN_IF_ERROR(
+          im.RetryIo(/*is_write=*/false, span_start, window.data(), span_len));
       for (const auto& p : pieces)
         std::memcpy(data + p.data_off, window.data() + (p.file_off - span_start),
                     p.len);
@@ -275,6 +324,7 @@ void File::SievedTransfer(const std::vector<pnc::Extent>& segments,
     dpos = idpos;
     wstart = wend;
   }
+  return pnc::Status::Ok();
 }
 
 }  // namespace mpiio

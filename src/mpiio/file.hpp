@@ -94,8 +94,11 @@ class File {
                            bool is_write);
   /// Move `segments` worth of bytes between the file and `data` (packed
   /// order), using data sieving when profitable. Advances the clock.
-  void SievedTransfer(const std::vector<pnc::Extent>& segments, std::byte* data,
-                      bool is_write);
+  /// Transient storage faults are retried per the retry hints; a non-ok
+  /// return means the transfer did not complete (kIo after retries are
+  /// exhausted, or a permanent storage error).
+  pnc::Status SievedTransfer(const std::vector<pnc::Extent>& segments,
+                             std::byte* data, bool is_write);
 
   std::shared_ptr<Impl> impl_;
 };

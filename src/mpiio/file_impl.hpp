@@ -20,6 +20,21 @@ struct File::Impl {
   Hints hints;
   FileView view;
   bool open = true;
+
+  /// Move [off, off+len) between the file and `data` through the
+  /// fault-injected pfs path, absorbing short transfers by resuming from the
+  /// transferred count and transient errors by bounded retry-with-backoff
+  /// (charged to the virtual clock, counted in pfs::Stats). A transient
+  /// error that survives the retry budget is reported as kIo.
+  pnc::Status RetryIo(bool is_write, std::uint64_t off, std::byte* data,
+                      std::uint64_t len);
+  /// Same policy for a sync barrier (zero-length faultable op).
+  pnc::Status RetrySync();
 };
+
+/// Collective error agreement: allreduce the most severe (most negative)
+/// status code so every rank of a collective returns the same status. Ranks
+/// that failed locally keep their own message; others report a peer failure.
+pnc::Status AgreeStatus(simmpi::Comm& comm, const pnc::Status& local);
 
 }  // namespace mpiio

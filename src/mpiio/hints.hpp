@@ -26,6 +26,14 @@ struct Hints {
   std::uint64_t ind_rd_buffer_size = 4ULL << 20;
   std::uint64_t ind_wr_buffer_size = 512ULL << 10;
 
+  // Fault handling (ROMIO retries interrupted POSIX transfers; we extend the
+  // idea to the PFS's transient errors). A transient failure is retried up to
+  // `retry_max` times with exponential backoff starting at
+  // `retry_backoff_ns` virtual nanoseconds; when the budget is exhausted the
+  // transient error is reported as a permanent pnc::Err::kIo.
+  int retry_max = 4;                 ///< pnc_retry_max
+  double retry_backoff_ns = 1e6;     ///< pnc_retry_backoff_ns
+
   /// Parse from an Info object; unknown keys are ignored (and remain
   /// available to higher layers), per the MPI hint contract.
   static Hints Parse(const simmpi::Info& info, int comm_size,
@@ -49,6 +57,12 @@ struct Hints {
     if (h.cb_buffer_size < 4096) h.cb_buffer_size = 4096;
     if (h.ind_rd_buffer_size < 4096) h.ind_rd_buffer_size = 4096;
     if (h.ind_wr_buffer_size < 4096) h.ind_wr_buffer_size = 4096;
+    h.retry_max = static_cast<int>(
+        info.GetInt("pnc_retry_max", h.retry_max));
+    if (h.retry_max < 0) h.retry_max = 0;
+    h.retry_backoff_ns = static_cast<double>(info.GetInt(
+        "pnc_retry_backoff_ns", static_cast<std::int64_t>(h.retry_backoff_ns)));
+    if (h.retry_backoff_ns < 0) h.retry_backoff_ns = 0;
     return h;
   }
 };

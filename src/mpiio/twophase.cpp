@@ -107,10 +107,12 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
   const bool use_cb = is_write ? im.hints.cb_write : im.hints.cb_read;
   if (!use_cb || p == 1) {
     // Collective buffering disabled: every rank does independent I/O, then
-    // the collective completes when the slowest rank finishes.
+    // the collective completes when the slowest rank finishes. Error
+    // agreement still applies: a collective returns one status everywhere.
     pnc::Status st = bytes == 0 ? pnc::Status::Ok()
                                 : IndependentIo(offset_etypes, buf, count,
                                                 memtype, is_write);
+    st = AgreeStatus(comm, st);
     comm.SyncClocksToMax();
     return st;
   }
@@ -180,6 +182,12 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
               ds.per_domain[d].data_off};
 
   std::vector<std::byte> window(cb);
+
+  // First error seen by this rank (local I/O as aggregator). Even after an
+  // error, every rank keeps participating in every round's exchanges so the
+  // collective protocol stays aligned; the statuses are reconciled once at
+  // the end with AgreeStatus.
+  pnc::Status st;
 
   for (std::uint64_t w = 0; w < rounds; ++w) {
     // ---- build this round's per-aggregator messages ----
@@ -285,33 +293,41 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
 
           if (is_write) {
             const bool holes = covered < span_len;
-            if (holes) {
-              const double rdone =
-                  im.file.Read(span_start,
-                               pnc::ByteSpan(window.data(), span_len),
-                               clk.now());
-              clk.AdvanceTo(rdone);
+            pnc::Status wst;
+            if (holes && st.ok()) {
+              wst = im.RetryIo(/*is_write=*/false, span_start, window.data(),
+                               span_len);
             }
-            for (const auto& pc : pieces)
-              std::memcpy(window.data() + (pc.file_off - span_start), pc.src,
-                          pc.len);
-            clk.Advance(cost.CopyCost(covered));
-            const double wdone = im.file.Write(
-                span_start, pnc::ConstByteSpan(window.data(), span_len),
-                clk.now());
-            clk.AdvanceTo(wdone);
+            if (wst.ok() && st.ok()) {
+              for (const auto& pc : pieces)
+                std::memcpy(window.data() + (pc.file_off - span_start), pc.src,
+                            pc.len);
+              clk.Advance(cost.CopyCost(covered));
+              wst = im.RetryIo(/*is_write=*/true, span_start, window.data(),
+                               span_len);
+            }
+            if (st.ok() && !wst.ok()) st = wst;
           } else {
-            const double rdone = im.file.Read(
-                span_start, pnc::ByteSpan(window.data(), span_len), clk.now());
-            clk.AdvanceTo(rdone);
+            // Replies are always sized to what each requester expects, even
+            // on failure (zero-filled), so the return Alltoall stays aligned
+            // and the error is reported via status agreement, not a hang.
             for (int r = 0; r < p; ++r)
-              replies[static_cast<std::size_t>(r)].resize(
-                  reply_bytes[static_cast<std::size_t>(r)]);
-            for (const auto& pc : pieces)
-              std::memcpy(replies[static_cast<std::size_t>(pc.src_rank)].data() +
-                              pc.reply_off,
-                          window.data() + (pc.file_off - span_start), pc.len);
-            clk.Advance(cost.CopyCost(covered));
+              replies[static_cast<std::size_t>(r)].assign(
+                  reply_bytes[static_cast<std::size_t>(r)], std::byte{0});
+            pnc::Status rst;
+            if (st.ok())
+              rst = im.RetryIo(/*is_write=*/false, span_start, window.data(),
+                               span_len);
+            if (rst.ok() && st.ok()) {
+              for (const auto& pc : pieces)
+                std::memcpy(
+                    replies[static_cast<std::size_t>(pc.src_rank)].data() +
+                        pc.reply_off,
+                    window.data() + (pc.file_off - span_start), pc.len);
+              clk.Advance(cost.CopyCost(covered));
+            } else if (st.ok()) {
+              st = rst;
+            }
           }
         }
       }
@@ -327,20 +343,32 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
         // which is packed-data order, so it lands in one slice. When one
         // aggregator serves several of my domains this would be ambiguous —
         // but domains map to distinct aggregator ranks by construction
-        // (agg_rank is injective for d < naggs <= p).
-        assert(blob.size() == round_data_len[d]);
-        std::memcpy(data + round_data_start[d], blob.data(), blob.size());
-        clk.Advance(cost.CopyCost(blob.size()));
+        // (agg_rank is injective for d < naggs <= p). A shorter-than-expected
+        // blob means the aggregator failed; record it and let the final
+        // agreement surface the real cause.
+        if (blob.size() != round_data_len[d]) {
+          if (st.ok())
+            st = pnc::Status(pnc::Err::kInternal, "collective reply truncated");
+        }
+        const std::uint64_t n =
+            std::min<std::uint64_t>(blob.size(), round_data_len[d]);
+        std::memcpy(data + round_data_start[d], blob.data(), n);
+        clk.Advance(cost.CopyCost(n));
       }
     }
   }
 
-  if (!is_write && !contig_mem && bytes > 0) {
+  // Collective error agreement: all ranks return the same status (most
+  // severe code across the communicator), so no rank proceeds believing the
+  // collective succeeded while an aggregator failed.
+  st = AgreeStatus(comm, st);
+
+  if (st.ok() && !is_write && !contig_mem && bytes > 0) {
     memtype.Unpack(staging.data(), count, static_cast<std::byte*>(buf));
     clk.Advance(cost.CopyCost(bytes));
   }
   comm.SyncClocksToMax();
-  return pnc::Status::Ok();
+  return st;
 }
 
 }  // namespace mpiio

@@ -14,50 +14,83 @@ BufferedFile::BufferedFile(pfs::File file, simmpi::VirtualClock* clock,
   block_.resize(bufsize_);
 }
 
-void BufferedFile::LoadBlock(std::uint64_t block_start) {
-  Flush();
-  const double done =
-      file_.Read(block_start, pnc::ByteSpan(block_.data(), bufsize_),
-                 clock_->now());
-  clock_->AdvanceTo(done);
+pnc::Status BufferedFile::RetryIo(bool is_write, std::uint64_t offset,
+                                  std::byte* data, std::uint64_t len) {
+  std::uint64_t done = 0;
+  int attempts = 0;
+  double backoff = kRetryBackoffNs;
+  while (done < len) {
+    const pfs::IoResult r =
+        is_write
+            ? file_.TryWrite(offset + done,
+                             pnc::ConstByteSpan(data + done, len - done),
+                             clock_->now())
+            : file_.TryRead(offset + done,
+                            pnc::ByteSpan(data + done, len - done),
+                            clock_->now());
+    clock_->AdvanceTo(r.done_ns);
+    if (r.ok()) {
+      done += r.transferred;  // short transfers resume from the count
+      continue;
+    }
+    if (r.status.code() == pnc::Err::kIoTransient) {
+      if (attempts >= kRetryMax)
+        return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
+      ++attempts;
+      file_.RecordRetry(is_write);
+      clock_->Advance(backoff);
+      backoff *= 2;
+      continue;
+    }
+    return r.status;  // permanent
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status BufferedFile::LoadBlock(std::uint64_t block_start) {
+  PNC_RETURN_IF_ERROR(Flush());
+  PNC_RETURN_IF_ERROR(
+      RetryIo(/*is_write=*/false, block_start, block_.data(), bufsize_));
   block_start_ = block_start;
   block_valid_ = true;
   dirty_lo_ = dirty_hi_ = 0;
+  return pnc::Status::Ok();
 }
 
-void BufferedFile::Flush() {
-  if (!block_valid_ || dirty_lo_ == dirty_hi_) return;
-  const double done =
-      file_.Write(block_start_ + dirty_lo_,
-                  pnc::ConstByteSpan(block_.data() + dirty_lo_,
-                                     dirty_hi_ - dirty_lo_),
-                  clock_->now());
-  clock_->AdvanceTo(done);
+pnc::Status BufferedFile::Flush() {
+  if (!block_valid_ || dirty_lo_ == dirty_hi_) return pnc::Status::Ok();
+  // On failure the dirty range is kept, so no buffered data is lost and a
+  // later Flush retries the whole write-back (idempotent: same bytes, same
+  // offsets).
+  PNC_RETURN_IF_ERROR(RetryIo(/*is_write=*/true, block_start_ + dirty_lo_,
+                              block_.data() + dirty_lo_,
+                              dirty_hi_ - dirty_lo_));
   dirty_lo_ = dirty_hi_ = 0;
+  return pnc::Status::Ok();
 }
 
-void BufferedFile::ReadAt(std::uint64_t offset, pnc::ByteSpan out) {
+pnc::Status BufferedFile::ReadAt(std::uint64_t offset, pnc::ByteSpan out) {
   // Large requests bypass the buffer but are still issued at buffer-size
   // granularity, like the reference library's user-space I/O layer.
   if (out.size() >= bufsize_) {
-    Flush();
+    PNC_RETURN_IF_ERROR(Flush());
     block_valid_ = false;
     std::size_t done_bytes = 0;
     while (done_bytes < out.size()) {
       const std::size_t n = static_cast<std::size_t>(
           std::min<std::uint64_t>(bufsize_, out.size() - done_bytes));
-      const double done = file_.Read(offset + done_bytes,
-                                     out.subspan(done_bytes, n), clock_->now());
-      clock_->AdvanceTo(done);
+      PNC_RETURN_IF_ERROR(RetryIo(/*is_write=*/false, offset + done_bytes,
+                                  out.data() + done_bytes, n));
       done_bytes += n;
     }
-    return;
+    return pnc::Status::Ok();
   }
   std::size_t produced = 0;
   while (produced < out.size()) {
     const std::uint64_t pos = offset + produced;
     const std::uint64_t bstart = pos / bufsize_ * bufsize_;
-    if (!block_valid_ || block_start_ != bstart) LoadBlock(bstart);
+    if (!block_valid_ || block_start_ != bstart)
+      PNC_RETURN_IF_ERROR(LoadBlock(bstart));
     const std::uint64_t in_block = pos - bstart;
     const std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(bufsize_ - in_block, out.size() - produced));
@@ -65,29 +98,31 @@ void BufferedFile::ReadAt(std::uint64_t offset, pnc::ByteSpan out) {
     clock_->Advance(copy_ns_per_byte_ * static_cast<double>(n));
     produced += n;
   }
+  return pnc::Status::Ok();
 }
 
-void BufferedFile::WriteAt(std::uint64_t offset, pnc::ConstByteSpan data) {
+pnc::Status BufferedFile::WriteAt(std::uint64_t offset,
+                                  pnc::ConstByteSpan data) {
   if (data.size() >= bufsize_) {
-    Flush();
+    PNC_RETURN_IF_ERROR(Flush());
     block_valid_ = false;
     std::size_t done_bytes = 0;
     while (done_bytes < data.size()) {
       const std::size_t n = static_cast<std::size_t>(
           std::min<std::uint64_t>(bufsize_, data.size() - done_bytes));
-      const double done = file_.Write(offset + done_bytes,
-                                      data.subspan(done_bytes, n),
-                                      clock_->now());
-      clock_->AdvanceTo(done);
+      PNC_RETURN_IF_ERROR(
+          RetryIo(/*is_write=*/true, offset + done_bytes,
+                  const_cast<std::byte*>(data.data()) + done_bytes, n));
       done_bytes += n;
     }
-    return;
+    return pnc::Status::Ok();
   }
   std::size_t consumed = 0;
   while (consumed < data.size()) {
     const std::uint64_t pos = offset + consumed;
     const std::uint64_t bstart = pos / bufsize_ * bufsize_;
-    if (!block_valid_ || block_start_ != bstart) LoadBlock(bstart);
+    if (!block_valid_ || block_start_ != bstart)
+      PNC_RETURN_IF_ERROR(LoadBlock(bstart));
     const std::uint64_t in_block = pos - bstart;
     const std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(bufsize_ - in_block, data.size() - consumed));
@@ -102,19 +137,34 @@ void BufferedFile::WriteAt(std::uint64_t offset, pnc::ConstByteSpan data) {
     }
     consumed += n;
   }
+  return pnc::Status::Ok();
 }
 
 std::uint64_t BufferedFile::size() { return file_.size(); }
 
-void BufferedFile::Truncate(std::uint64_t n) {
-  Flush();
+pnc::Status BufferedFile::Truncate(std::uint64_t n) {
+  PNC_RETURN_IF_ERROR(Flush());
   block_valid_ = false;
   file_.Truncate(n);
+  return pnc::Status::Ok();
 }
 
-void BufferedFile::Sync() {
-  Flush();
-  clock_->AdvanceTo(file_.Sync(clock_->now()));
+pnc::Status BufferedFile::Sync() {
+  PNC_RETURN_IF_ERROR(Flush());
+  int attempts = 0;
+  double backoff = kRetryBackoffNs;
+  for (;;) {
+    const pfs::IoResult r = file_.TrySync(clock_->now());
+    clock_->AdvanceTo(r.done_ns);
+    if (r.ok()) return pnc::Status::Ok();
+    if (r.status.code() != pnc::Err::kIoTransient) return r.status;
+    if (attempts >= kRetryMax)
+      return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
+    ++attempts;
+    file_.RecordRetry(/*is_write=*/true);
+    clock_->Advance(backoff);
+    backoff *= 2;
+  }
 }
 
 }  // namespace netcdf

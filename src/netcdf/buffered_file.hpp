@@ -6,6 +6,13 @@
 // (like the reference library's v1hp I/O layer). Requests at or above the
 // buffer size bypass it. All timing is charged to an internal virtual clock,
 // which is what the Figure 6 "serial netCDF" baseline reports.
+//
+// Failure model: all data calls go through the fault-injected pfs path
+// (pfs::File::TryRead/TryWrite). Transient storage errors are retried a
+// bounded number of times with exponential backoff (charged to the virtual
+// clock); short transfers resume from the transferred count. A Flush that
+// ultimately fails leaves the block dirty, so the data is not lost and a
+// later Flush/Sync retries the write-back.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include "pfs/pfs.hpp"
 #include "simmpi/clock.hpp"
 #include "util/bytes.hpp"
+#include "util/status.hpp"
 
 namespace netcdf {
 
@@ -23,16 +31,25 @@ class BufferedFile {
                std::uint64_t buffer_size = 1ULL << 20,
                double copy_ns_per_byte = 0.35);
 
-  void ReadAt(std::uint64_t offset, pnc::ByteSpan out);
-  void WriteAt(std::uint64_t offset, pnc::ConstByteSpan data);
-  /// Write back any dirty buffered block.
-  void Flush();
+  [[nodiscard]] pnc::Status ReadAt(std::uint64_t offset, pnc::ByteSpan out);
+  [[nodiscard]] pnc::Status WriteAt(std::uint64_t offset,
+                                    pnc::ConstByteSpan data);
+  /// Write back any dirty buffered block. On failure the block stays dirty
+  /// (and the error retryable): call Flush/Sync again to retry.
+  [[nodiscard]] pnc::Status Flush();
   [[nodiscard]] std::uint64_t size();
-  void Truncate(std::uint64_t n);
-  void Sync();
+  [[nodiscard]] pnc::Status Truncate(std::uint64_t n);
+  [[nodiscard]] pnc::Status Sync();
 
  private:
-  void LoadBlock(std::uint64_t block_start);
+  static constexpr int kRetryMax = 4;
+  static constexpr double kRetryBackoffNs = 1e6;
+
+  pnc::Status LoadBlock(std::uint64_t block_start);
+  /// Bounded retry over the fault-injected pfs path (see mpiio's RetryIo;
+  /// the serial library applies the same policy without MPI hints).
+  pnc::Status RetryIo(bool is_write, std::uint64_t offset, std::byte* data,
+                      std::uint64_t len);
 
   pfs::File file_;
   simmpi::VirtualClock* clock_;

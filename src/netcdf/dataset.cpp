@@ -57,7 +57,7 @@ pnc::Result<Dataset> Dataset::Open(pfs::FileSystem& fs, const std::string& path,
   auto& im = *ds.impl_;
   auto hdr = ncformat::ReadHeader(
       im.io.size(), [&im](std::uint64_t off, pnc::ByteSpan out) {
-        im.io.ReadAt(off, out);
+        return im.io.ReadAt(off, out);
       });
   if (!hdr.ok()) return hdr.status();
   im.header = std::move(hdr).value();
@@ -100,8 +100,7 @@ pnc::Status Dataset::Sync() {
   auto& im = *impl_;
   if (im.defining) return pnc::Status(pnc::Err::kInDefine);
   if (im.numrecs_dirty) PNC_RETURN_IF_ERROR(WriteNumrecs());
-  im.io.Sync();
-  return pnc::Status::Ok();
+  return im.io.Sync();
 }
 
 pnc::Status Dataset::Close() {
@@ -109,8 +108,7 @@ pnc::Status Dataset::Close() {
   auto& im = *impl_;
   if (im.defining) PNC_RETURN_IF_ERROR(EndDef());
   if (im.numrecs_dirty) PNC_RETURN_IF_ERROR(WriteNumrecs());
-  im.io.Flush();
-  return pnc::Status::Ok();
+  return im.io.Flush();
 }
 
 pnc::Status Dataset::Abort() {
@@ -342,7 +340,7 @@ pnc::Status Dataset::PutExternal(int varid,
   ncformat::AccessRegions(h, varid, start, count, stride, regions);
   std::uint64_t pos = 0;
   for (const auto& r : regions) {
-    im.io.WriteAt(r.offset, external.subspan(pos, r.len));
+    PNC_RETURN_IF_ERROR(im.io.WriteAt(r.offset, external.subspan(pos, r.len)));
     pos += r.len;
   }
   return pnc::Status::Ok();
@@ -358,7 +356,7 @@ pnc::Status Dataset::GetExternal(int varid,
   ncformat::AccessRegions(im.header, varid, start, count, stride, regions);
   std::uint64_t pos = 0;
   for (const auto& r : regions) {
-    im.io.ReadAt(r.offset, external.subspan(pos, r.len));
+    PNC_RETURN_IF_ERROR(im.io.ReadAt(r.offset, external.subspan(pos, r.len)));
     pos += r.len;
   }
   return pnc::Status::Ok();
@@ -370,7 +368,7 @@ pnc::Status Dataset::WriteHeader() {
   auto& im = *impl_;
   std::vector<std::byte> bytes;
   im.header.Encode(bytes);
-  im.io.WriteAt(0, bytes);
+  PNC_RETURN_IF_ERROR(im.io.WriteAt(0, bytes));
   im.numrecs_dirty = false;
   return pnc::Status::Ok();
 }
@@ -380,7 +378,7 @@ pnc::Status Dataset::WriteNumrecs() {
   std::byte buf[4];
   const auto v = pnc::xdr::ToBig(static_cast<std::uint32_t>(im.header.numrecs));
   std::memcpy(buf, &v, 4);
-  im.io.WriteAt(4, pnc::ConstByteSpan(buf, 4));
+  PNC_RETURN_IF_ERROR(im.io.WriteAt(4, pnc::ConstByteSpan(buf, 4)));
   im.numrecs_dirty = false;
   return pnc::Status::Ok();
 }
@@ -394,18 +392,20 @@ pnc::Status Dataset::MoveDataForRelayout(const Header& old_header) {
   // Copy helper, chunked; safe because every move is to a strictly higher
   // offset and we process moves from the highest new offset downward.
   auto copy_region = [&](std::uint64_t from, std::uint64_t to,
-                         std::uint64_t len) {
-    if (from == to || len == 0) return;
+                         std::uint64_t len) -> pnc::Status {
+    if (from == to || len == 0) return pnc::Status::Ok();
     constexpr std::uint64_t kChunk = 4ULL << 20;
     std::vector<std::byte> buf(std::min(len, kChunk));
     std::uint64_t done = 0;
     while (done < len) {  // back to front within the region as well
       const std::uint64_t n = std::min(kChunk, len - done);
       const std::uint64_t off = len - done - n;
-      im.io.ReadAt(from + off, pnc::ByteSpan(buf.data(), n));
-      im.io.WriteAt(to + off, pnc::ConstByteSpan(buf.data(), n));
+      PNC_RETURN_IF_ERROR(im.io.ReadAt(from + off, pnc::ByteSpan(buf.data(), n)));
+      PNC_RETURN_IF_ERROR(
+          im.io.WriteAt(to + off, pnc::ConstByteSpan(buf.data(), n)));
       done += n;
     }
+    return pnc::Status::Ok();
   };
 
   struct Move {
@@ -437,7 +437,7 @@ pnc::Status Dataset::MoveDataForRelayout(const Header& old_header) {
   for (const auto& m : moves) {
     if (m.to < m.from)
       return pnc::Status(pnc::Err::kInternal, "relayout moved data backwards");
-    copy_region(m.from, m.to, m.len);
+    PNC_RETURN_IF_ERROR(copy_region(m.from, m.to, m.len));
   }
   return pnc::Status::Ok();
 }
@@ -471,9 +471,9 @@ pnc::Status Dataset::FillVariable(int varid, std::uint64_t rec_from,
 
   if (h.IsRecordVar(varid)) {
     for (std::uint64_t r = rec_from; r < rec_to; ++r)
-      im.io.WriteAt(v.begin + r * h.recsize(), pattern);
+      PNC_RETURN_IF_ERROR(im.io.WriteAt(v.begin + r * h.recsize(), pattern));
   } else {
-    im.io.WriteAt(v.begin, pattern);
+    PNC_RETURN_IF_ERROR(im.io.WriteAt(v.begin, pattern));
   }
   return pnc::Status::Ok();
 }

@@ -123,7 +123,8 @@ struct File::Node {
   std::string path;
   std::mutex mu;  ///< serializes data access on this file
   std::mutex rmw_mu;  ///< advisory lock spanning read-modify-write sequences
-  std::unique_ptr<ByteStore> store;
+  std::unique_ptr<ByteStore> store;  ///< always a FaultyByteStore decorator
+  FaultyByteStore* faulty = nullptr;  ///< same object, decorated view
   std::uint64_t discarded_size = 0;  ///< logical size under discard_data
 };
 
@@ -149,6 +150,70 @@ double File::Write(std::uint64_t offset, pnc::ConstByteSpan data,
   return fs_->ServeRequest(offset, data.size(), /*is_write=*/true, start_ns);
 }
 
+IoResult File::TryRead(std::uint64_t offset, pnc::ByteSpan out,
+                       double start_ns) {
+  FaultyByteStore::Outcome oc;
+  {
+    std::lock_guard<std::mutex> lk(node_->mu);
+    oc = node_->faulty->FaultedRead(offset, out, fs_->PrimaryServer(offset),
+                                    start_ns);
+  }
+  // A failed attempt still costs a (zero-payload) round trip: the request
+  // reached the servers before the error came back.
+  const double done = fs_->ServeRequest(offset, oc.status.ok() ? oc.transferred
+                                                               : 0,
+                                        /*is_write=*/false, start_ns);
+  return {oc.status, oc.transferred, done};
+}
+
+IoResult File::TryWrite(std::uint64_t offset, pnc::ConstByteSpan data,
+                        double start_ns) {
+  FaultyByteStore::Outcome oc;
+  {
+    std::lock_guard<std::mutex> lk(node_->mu);
+    if (fs_->cfg_.discard_data) {
+      // No bytes stored in discard mode, but the fault schedule still
+      // applies so benchmarks can measure retry overhead at scale.
+      const FaultDecision d = fs_->injector_->Decide(
+          /*is_write=*/true, data.size(), fs_->PrimaryServer(offset),
+          start_ns);
+      if (d.kind == FaultDecision::Kind::kTransient) {
+        oc = {pnc::Status(pnc::Err::kIoTransient, "injected transient fault"),
+              0};
+      } else if (d.kind == FaultDecision::Kind::kPermanent) {
+        oc = {pnc::Status(pnc::Err::kIo, "injected permanent fault"), 0};
+      } else {
+        const std::uint64_t n = d.kind == FaultDecision::Kind::kShort
+                                    ? d.short_bytes
+                                    : data.size();
+        node_->discarded_size = std::max(node_->discarded_size, offset + n);
+        oc = {pnc::Status::Ok(), n};
+      }
+    } else {
+      oc = node_->faulty->FaultedWrite(offset, data, fs_->PrimaryServer(offset),
+                                       start_ns);
+    }
+  }
+  const double done = fs_->ServeRequest(offset, oc.status.ok() ? oc.transferred
+                                                               : 0,
+                                        /*is_write=*/true, start_ns);
+  return {oc.status, oc.transferred, done};
+}
+
+IoResult File::TrySync(double start_ns) {
+  const FaultDecision d =
+      fs_->injector_->Decide(/*is_write=*/true, 0, /*server=*/0, start_ns);
+  const double done = fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns);
+  if (d.kind == FaultDecision::Kind::kTransient)
+    return {pnc::Status(pnc::Err::kIoTransient, "injected transient fault"), 0,
+            done};
+  if (d.kind == FaultDecision::Kind::kPermanent)
+    return {pnc::Status(pnc::Err::kIo, "injected permanent fault"), 0, done};
+  return {pnc::Status::Ok(), 0, done};
+}
+
+void File::RecordRetry(bool is_write) { fs_->RecordRetry(is_write); }
+
 std::uint64_t File::size() const {
   std::lock_guard<std::mutex> lk(node_->mu);
   return std::max(node_->store->size(), node_->discarded_size);
@@ -172,11 +237,26 @@ const std::string& File::path() const { return node_->path; }
 
 // -------------------------------------------------------------- FileSystem
 
-FileSystem::FileSystem(Config cfg) : cfg_(cfg) {
+FileSystem::FileSystem(Config cfg)
+    : cfg_(cfg), injector_(std::make_shared<FaultInjector>(cfg.faults)) {
   server_next_free_.assign(static_cast<std::size_t>(cfg_.num_servers), 0.0);
 }
 
 FileSystem::~FileSystem() = default;
+
+std::unique_ptr<ByteStore> FileSystem::Decorate(
+    std::unique_ptr<ByteStore> inner) {
+  return std::make_unique<FaultyByteStore>(std::move(inner), injector_);
+}
+
+std::shared_ptr<File::Node> FileSystem::MakeNode(
+    const std::string& path, std::unique_ptr<ByteStore> decorated) {
+  auto node = std::make_shared<File::Node>();
+  node->path = path;
+  node->faulty = static_cast<FaultyByteStore*>(decorated.get());
+  node->store = std::move(decorated);
+  return node;
+}
 
 pnc::Result<File> FileSystem::Create(const std::string& path, bool exclusive) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -186,9 +266,7 @@ pnc::Result<File> FileSystem::Create(const std::string& path, bool exclusive) {
     it->second->store->Truncate(0);
     return File(this, it->second);
   }
-  auto node = std::make_shared<File::Node>();
-  node->path = path;
-  node->store = std::make_unique<MemStore>();
+  auto node = MakeNode(path, Decorate(std::make_unique<MemStore>()));
   files_[path] = node;
   return File(this, node);
 }
@@ -198,9 +276,7 @@ pnc::Result<File> FileSystem::CreateOnDisk(const std::string& path,
   auto store = FileStore::Open(disk_path, /*truncate=*/true);
   if (!store.ok()) return store.status();
   std::lock_guard<std::mutex> lk(mu_);
-  auto node = std::make_shared<File::Node>();
-  node->path = path;
-  node->store = std::move(store).value();
+  auto node = MakeNode(path, Decorate(std::move(store).value()));
   files_[path] = node;
   return File(this, node);
 }
@@ -210,9 +286,7 @@ pnc::Result<File> FileSystem::AttachDisk(const std::string& path,
   auto store = FileStore::Open(disk_path, /*truncate=*/false);
   if (!store.ok()) return store.status();
   std::lock_guard<std::mutex> lk(mu_);
-  auto node = std::make_shared<File::Node>();
-  node->path = path;
-  node->store = std::move(store).value();
+  auto node = MakeNode(path, Decorate(std::move(store).value()));
   files_[path] = node;
   return File(this, node);
 }
@@ -236,13 +310,42 @@ pnc::Status FileSystem::Remove(const std::string& path) {
 }
 
 Stats FileSystem::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s = stats_;
+  }
+  const FaultCounters fc = injector_->counters();
+  s.transient_faults = fc.transient_faults;
+  s.permanent_faults = fc.permanent_faults;
+  s.short_reads = fc.short_reads;
+  s.short_writes = fc.short_writes;
+  s.bitflips = fc.bitflips;
+  return s;
 }
 
 void FileSystem::ResetStats() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_ = Stats{};
+  }
+  injector_->ResetCounters();
+}
+
+void FileSystem::SetFaultPolicy(const FaultPolicy& policy) {
+  injector_->SetPolicy(policy);
+}
+
+FaultPolicy FileSystem::fault_policy() const { return injector_->policy(); }
+
+int FileSystem::PrimaryServer(std::uint64_t offset) const {
+  return static_cast<int>((offset / cfg_.stripe_size) %
+                          static_cast<std::uint64_t>(cfg_.num_servers));
+}
+
+void FileSystem::RecordRetry(bool is_write) {
   std::lock_guard<std::mutex> lk(mu_);
-  stats_ = Stats{};
+  (is_write ? stats_.write_retries : stats_.read_retries) += 1;
 }
 
 void FileSystem::ResetTime() {

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "pfs/fault.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
 
@@ -60,14 +61,28 @@ struct Config {
   /// examples) keep this off; large-scale sweeps turn it on so a simulated
   /// multi-gigabyte file costs no host memory.
   bool discard_data = false;
+
+  /// Initial fault-injection schedule (see fault.hpp). Default: no faults.
+  /// Can be replaced at runtime with FileSystem::SetFaultPolicy.
+  FaultPolicy faults;
 };
 
 /// Aggregate traffic counters, useful for tests and the hints example.
+/// Fault/retry counters cover the fault-injectable path (File::TryRead/
+/// TryWrite/TrySync); retries are recorded by the client layers (MPI-IO,
+/// BufferedFile) via FileSystem::RecordRetry.
 struct Stats {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t read_requests = 0;
   std::uint64_t write_requests = 0;
+  std::uint64_t transient_faults = 0;
+  std::uint64_t permanent_faults = 0;
+  std::uint64_t short_reads = 0;
+  std::uint64_t short_writes = 0;
+  std::uint64_t bitflips = 0;
+  std::uint64_t read_retries = 0;
+  std::uint64_t write_retries = 0;
 };
 
 /// Where a file's bytes actually live.
@@ -116,7 +131,55 @@ class FileStore final : public ByteStore {
   int fd_;
 };
 
+/// ByteStore decorator that injects data-level faults (see fault.hpp for
+/// the policy). The plain ByteStore interface (Write/Read/size/Truncate)
+/// forwards untouched — that is the harness path used by tests to seed and
+/// inspect file contents. The Faulted* entry points consult the shared
+/// FaultInjector and are what pfs::File::TryRead/TryWrite route through.
+class FaultyByteStore final : public ByteStore {
+ public:
+  FaultyByteStore(std::unique_ptr<ByteStore> inner,
+                  std::shared_ptr<FaultInjector> injector)
+      : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+  // Pass-through harness access (never fault-injected).
+  void Write(std::uint64_t offset, pnc::ConstByteSpan data) override {
+    inner_->Write(offset, data);
+  }
+  void Read(std::uint64_t offset, pnc::ByteSpan out) const override {
+    inner_->Read(offset, out);
+  }
+  [[nodiscard]] std::uint64_t size() const override { return inner_->size(); }
+  void Truncate(std::uint64_t new_size) override { inner_->Truncate(new_size); }
+
+  struct Outcome {
+    pnc::Status status;
+    std::uint64_t transferred = 0;
+  };
+
+  /// Fault-injected write: on a transient/permanent decision nothing is
+  /// stored; on a short decision only a prefix is stored and reported.
+  Outcome FaultedWrite(std::uint64_t offset, pnc::ConstByteSpan data,
+                       int server, double now_ns);
+  /// Fault-injected read: may fail, return a prefix, or silently flip a bit
+  /// in the returned bytes.
+  Outcome FaultedRead(std::uint64_t offset, pnc::ByteSpan out, int server,
+                      double now_ns) const;
+
+ private:
+  std::unique_ptr<ByteStore> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+};
+
 class FileSystem;
+
+/// Outcome of a fault-aware I/O call on pfs::File.
+struct IoResult {
+  pnc::Status status;             ///< kIoTransient: retry may succeed
+  std::uint64_t transferred = 0;  ///< bytes actually moved (short transfers)
+  double done_ns = 0.0;           ///< virtual completion time of the attempt
+  [[nodiscard]] bool ok() const { return status.ok(); }
+};
 
 /// An open file handle. Thread-safe: concurrent rank threads may access the
 /// same handle (data is mutex-protected; timing goes through the server
@@ -124,14 +187,30 @@ class FileSystem;
 class File {
  public:
   /// Perform a contiguous read/write issued at virtual time `start_ns`;
-  /// returns the virtual completion time. Bytes are moved for real.
+  /// returns the virtual completion time. Bytes are moved for real. These
+  /// are the *harness* entry points: they never fail and bypass fault
+  /// injection, so tests and benches can seed/inspect files regardless of
+  /// the active fault schedule. Simulated I/O stacks use Try* instead.
   double Read(std::uint64_t offset, pnc::ByteSpan out, double start_ns);
   double Write(std::uint64_t offset, pnc::ConstByteSpan data, double start_ns);
 
+  /// Fault-aware variants: consult the FileSystem's FaultInjector, may fail
+  /// (transiently or permanently) or transfer only a prefix. A failed write
+  /// stores nothing, so file content is never silently torn. Time is charged
+  /// for the attempt either way (a failed request still costs a round trip).
+  IoResult TryRead(std::uint64_t offset, pnc::ByteSpan out, double start_ns);
+  IoResult TryWrite(std::uint64_t offset, pnc::ConstByteSpan data,
+                    double start_ns);
+  IoResult TrySync(double start_ns);
+
   [[nodiscard]] std::uint64_t size() const;
   void Truncate(std::uint64_t new_size);
-  /// Flush: charges one request round-trip per server.
+  /// Flush: charges one request round-trip per server. Harness variant of
+  /// TrySync (never fails).
   double Sync(double start_ns);
+
+  /// Let a client layer account one retry of a faulted op in pfs::Stats.
+  void RecordRetry(bool is_write);
 
   /// Whole-file advisory lock for read-modify-write sequences (the fcntl
   /// byte-range lock ROMIO takes around data-sieving writes). Concurrent
@@ -177,6 +256,11 @@ class FileSystem {
   /// Reset server timelines to idle (used between benchmark repetitions).
   void ResetTime();
 
+  /// Replace the active fault schedule (tests typically create a file
+  /// fault-free, then arm faults for the phase under study).
+  void SetFaultPolicy(const FaultPolicy& policy);
+  [[nodiscard]] FaultPolicy fault_policy() const;
+
  private:
   friend class File;
 
@@ -184,12 +268,21 @@ class FileSystem {
   /// its completion time.
   double ServeRequest(std::uint64_t offset, std::uint64_t len, bool is_write,
                       double start_ns);
+  /// The server owning the first stripe of [offset, ...): where a request's
+  /// fate is decided under per-server outage windows.
+  [[nodiscard]] int PrimaryServer(std::uint64_t offset) const;
+  void RecordRetry(bool is_write);
+  /// Wrap a freshly created store in the fault decorator.
+  std::unique_ptr<ByteStore> Decorate(std::unique_ptr<ByteStore> inner);
+  static std::shared_ptr<File::Node> MakeNode(
+      const std::string& path, std::unique_ptr<ByteStore> decorated);
 
   Config cfg_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<File::Node>> files_;
   std::vector<double> server_next_free_;
   Stats stats_;
+  std::shared_ptr<FaultInjector> injector_;
 };
 
 }  // namespace pfs

@@ -138,10 +138,16 @@ pnc::Status Dataset::WriteHeaderCollective() {
   auto& im = *impl_;
   auto bytes = EncodeHeader(im.header);
   im.file.ClearView();
+  // Rank 0 writes; its status is broadcast so every rank returns the same
+  // result (and nobody blocks in a barrier a failed root never reaches).
+  int err = 0;
   if (im.comm.rank() == 0) {
-    PNC_RETURN_IF_ERROR(
-        im.file.WriteAt(0, bytes.data(), bytes.size(), simmpi::ByteType()));
+    err = im.file.WriteAt(0, bytes.data(), bytes.size(), simmpi::ByteType())
+              .raw();
   }
+  im.comm.BcastValue(err, 0);
+  if (err != 0)
+    return pnc::Status(static_cast<pnc::Err>(err), "header write failed");
   im.comm.Barrier();
   return pnc::Status::Ok();
 }
@@ -199,9 +205,10 @@ pnc::Status Dataset::Abort() {
   auto& im = *impl_;
   if (im.defining && im.fresh) {
     PNC_RETURN_IF_ERROR(im.file.Close());
-    if (im.comm.rank() == 0) {
-      PNC_RETURN_IF_ERROR(im.fs->Remove(im.path));
-    }
+    int err = 0;
+    if (im.comm.rank() == 0) err = im.fs->Remove(im.path).raw();
+    im.comm.BcastValue(err, 0);
+    if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), im.path);
     im.comm.Barrier();
     return pnc::Status::Ok();
   }
@@ -493,13 +500,19 @@ pnc::Status Dataset::SyncNumrecs(std::uint64_t local_numrecs, bool collective) {
   im.header.numrecs = global;
   if (changed && im.writable) {
     im.file.ClearView();
+    int err = 0;
     if (im.comm.rank() == 0) {
       std::byte buf[4];
       const auto v =
           pnc::xdr::ToBig(static_cast<std::uint32_t>(im.header.numrecs));
       std::memcpy(buf, &v, 4);
-      PNC_RETURN_IF_ERROR(im.file.WriteAt(4, buf, 4, simmpi::ByteType()));
+      err = im.file.WriteAt(4, buf, 4, simmpi::ByteType()).raw();
     }
+    // Agree on the root's status so all ranks return the same result and the
+    // barrier below is reached by everyone or no one.
+    im.comm.BcastValue(err, 0);
+    if (err != 0)
+      return pnc::Status(static_cast<pnc::Err>(err), "numrecs write failed");
     im.comm.Barrier();
   }
   return pnc::Status::Ok();
@@ -746,24 +759,36 @@ pnc::Status Dataset::RelayoutParallel(const Header& old_header) {
   im.file.ClearView();
   std::vector<std::byte> buf;
   for (const auto& m : moves) {
-    if (m.to == m.from || m.len == 0) {
-      im.comm.Barrier();
-      continue;
+    // Each move ends in a status agreement (a collective, so it also orders
+    // cross-chunk dependences the way the old barrier did). A rank-local
+    // I/O failure therefore surfaces identically on all ranks instead of
+    // leaving peers stuck in a barrier the failed rank never reaches.
+    pnc::Status st;
+    if (m.to != m.from && m.len != 0) {
+      if (m.to < m.from) {
+        st = pnc::Status(pnc::Err::kInternal, "relayout moved data backwards");
+      } else {
+        const std::uint64_t per = (m.len + static_cast<std::uint64_t>(p) - 1) /
+                                  static_cast<std::uint64_t>(p);
+        const std::uint64_t lo =
+            std::min(m.len, per * static_cast<std::uint64_t>(r));
+        const std::uint64_t hi = std::min(m.len, lo + per);
+        if (hi > lo) {
+          buf.resize(hi - lo);
+          st = im.file.ReadAt(m.from + lo, buf.data(), hi - lo,
+                              simmpi::ByteType());
+          if (st.ok())
+            st = im.file.WriteAt(m.to + lo, buf.data(), hi - lo,
+                                 simmpi::ByteType());
+        }
+      }
     }
-    if (m.to < m.from)
-      return pnc::Status(pnc::Err::kInternal, "relayout moved data backwards");
-    const std::uint64_t per = (m.len + static_cast<std::uint64_t>(p) - 1) /
-                              static_cast<std::uint64_t>(p);
-    const std::uint64_t lo = std::min(m.len, per * static_cast<std::uint64_t>(r));
-    const std::uint64_t hi = std::min(m.len, lo + per);
-    if (hi > lo) {
-      buf.resize(hi - lo);
-      PNC_RETURN_IF_ERROR(
-          im.file.ReadAt(m.from + lo, buf.data(), hi - lo, simmpi::ByteType()));
-      PNC_RETURN_IF_ERROR(
-          im.file.WriteAt(m.to + lo, buf.data(), hi - lo, simmpi::ByteType()));
-    }
-    im.comm.Barrier();
+    const int agreed = im.comm.AllreduceMin(st.raw());
+    if (agreed != 0)
+      return st.raw() == agreed
+                 ? st
+                 : pnc::Status(static_cast<pnc::Err>(agreed),
+                               "relayout failed on a peer rank");
   }
   return pnc::Status::Ok();
 }

@@ -42,6 +42,7 @@ std::string_view StrError(Err e) {
     case Err::kNullBuf: return "Null data buffer";
     case Err::kTypeMismatch: return "Memory datatype does not match request size";
     case Err::kIo: return "I/O error on underlying storage";
+    case Err::kIoTransient: return "Transient I/O error (retryable)";
     case Err::kMpi: return "simmpi runtime failure";
     case Err::kInternal: return "Internal library invariant violated";
   }

@@ -57,9 +57,12 @@ enum class Err : int {
   kTypeMismatch = -255,    ///< Memory datatype size mismatch
 
   // Substrate-specific (no classic counterpart).
-  kIo = -1001,        ///< Underlying storage error
-  kMpi = -1002,       ///< simmpi failure
-  kInternal = -1003,  ///< Invariant violation inside the library
+  kIo = -1001,           ///< Underlying storage error (permanent)
+  kMpi = -1002,          ///< simmpi failure
+  kInternal = -1003,     ///< Invariant violation inside the library
+  kIoTransient = -1004,  ///< Storage error that a retry may clear; never
+                         ///< escapes the MPI-IO retry layer (it is converted
+                         ///< to kIo once the retry budget is exhausted)
 };
 
 /// Human-readable message for an error code (mirrors nc_strerror).

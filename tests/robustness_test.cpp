@@ -9,29 +9,14 @@
 #include "netcdf/dataset.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using ncformat::NcType;
-
-/// Write a small valid dataset and return its total size.
-std::uint64_t MakeValidFile(pfs::FileSystem& fs, const std::string& path) {
-  auto ds = netcdf::Dataset::Create(fs, path).value();
-  const int x = ds.DefDim("x", 8).value();
-  const int v = ds.DefVar("a", NcType::kDouble, {x}).value();
-  EXPECT_TRUE(ds.EndDef().ok());
-  std::vector<double> vals(8, 1.0);
-  EXPECT_TRUE(ds.PutVar<double>(v, vals).ok());
-  EXPECT_TRUE(ds.Close().ok());
-  return fs.Open(path).value().size();
-}
-
-void CorruptByte(pfs::FileSystem& fs, const std::string& path,
-                 std::uint64_t offset, std::byte value) {
-  auto f = fs.Open(path).value();
-  f.Write(offset, pnc::ConstByteSpan(&value, 1), 0.0);
-}
+using pnc_test::CorruptByte;
+using pnc_test::MakeValidFile;
 
 TEST(Corruption, BadMagicRejectedBySerialOpen) {
   pfs::FileSystem fs;
@@ -151,7 +136,7 @@ TEST(BufferedFile, CoherentAcrossFlushBoundaries) {
   std::size_t pos = 0;
   while (pos < ref.size()) {
     const std::size_t n = std::min<std::size_t>(37 + pos % 991, ref.size() - pos);
-    io.WriteAt(pos, pnc::ConstByteSpan(ref.data() + pos, n));
+    ASSERT_TRUE(io.WriteAt(pos, pnc::ConstByteSpan(ref.data() + pos, n)).ok());
     pos += n;
   }
   // Read back through the same buffered handle in different odd slices.
@@ -159,13 +144,13 @@ TEST(BufferedFile, CoherentAcrossFlushBoundaries) {
   pos = 0;
   while (pos < got.size()) {
     const std::size_t n = std::min<std::size_t>(53 + pos % 613, got.size() - pos);
-    io.ReadAt(pos, pnc::ByteSpan(got.data() + pos, n));
+    ASSERT_TRUE(io.ReadAt(pos, pnc::ByteSpan(got.data() + pos, n)).ok());
     pos += n;
   }
   EXPECT_EQ(got, ref);
 
   // After Flush, an unbuffered reader sees everything.
-  io.Flush();
+  ASSERT_TRUE(io.Flush().ok());
   std::vector<std::byte> raw(ref.size());
   auto f2 = fs.Open("b.dat").value();
   f2.Read(0, raw, 0.0);
@@ -179,7 +164,7 @@ TEST(BufferedFile, LargeRequestsChunkedAtBufferSize) {
   netcdf::BufferedFile io(file, &clock, /*buffer_size=*/4096);
   std::vector<std::byte> big(64 * 1024, std::byte{0x5C});
   fs.ResetStats();
-  io.WriteAt(0, big);
+  ASSERT_TRUE(io.WriteAt(0, big).ok());
   // 64 KiB at 4 KiB per request = 16 requests: the serial library's
   // user-space buffering granularity (its Figure 6 handicap).
   EXPECT_EQ(fs.stats().write_requests, 16u);
@@ -195,8 +180,8 @@ TEST(BufferedFile, ReadModifyWriteWithinBlock) {
   simmpi::VirtualClock clock;
   netcdf::BufferedFile io(file, &clock, 4096);
   const std::byte patch[] = {std::byte{1}, std::byte{2}, std::byte{3}};
-  io.WriteAt(100, pnc::ConstByteSpan(patch, 3));
-  io.Flush();
+  ASSERT_TRUE(io.WriteAt(100, pnc::ConstByteSpan(patch, 3)).ok());
+  ASSERT_TRUE(io.Flush().ok());
   std::vector<std::byte> out(8192);
   file.Read(0, out, 0.0);
   EXPECT_EQ(out[99], std::byte{0xAB});

@@ -1,0 +1,50 @@
+// Shared helpers for robustness / fault-injection tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netcdf/dataset.hpp"
+#include "pfs/pfs.hpp"
+
+namespace pnc_test {
+
+/// Write a small valid dataset (dim x=8, double var "a" of eight 1.0s) and
+/// return its total size in bytes.
+inline std::uint64_t MakeValidFile(pfs::FileSystem& fs,
+                                   const std::string& path) {
+  auto ds = netcdf::Dataset::Create(fs, path).value();
+  const int x = ds.DefDim("x", 8).value();
+  const int v = ds.DefVar("a", ncformat::NcType::kDouble, {x}).value();
+  EXPECT_TRUE(ds.EndDef().ok());
+  std::vector<double> vals(8, 1.0);
+  EXPECT_TRUE(ds.PutVar<double>(v, vals).ok());
+  EXPECT_TRUE(ds.Close().ok());
+  return fs.Open(path).value().size();
+}
+
+/// Overwrite one byte of `path` through the fault-aware pfs write path,
+/// asserting that the write actually completed (a corruption helper that
+/// silently failed to corrupt would turn the test into a no-op).
+inline void CorruptByte(pfs::FileSystem& fs, const std::string& path,
+                        std::uint64_t offset, std::byte value) {
+  auto f = fs.Open(path).value();
+  const pfs::IoResult r =
+      f.TryWrite(offset, pnc::ConstByteSpan(&value, 1), 0.0);
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  ASSERT_EQ(r.transferred, 1u);
+}
+
+/// Read the current byte at `offset` (harness path, never fault-injected).
+inline std::byte ByteAt(pfs::FileSystem& fs, const std::string& path,
+                        std::uint64_t offset) {
+  auto f = fs.Open(path).value();
+  std::byte b{};
+  f.Read(offset, pnc::ByteSpan(&b, 1), 0.0);
+  return b;
+}
+
+}  // namespace pnc_test
