@@ -1,0 +1,91 @@
+// CommitIo adapter over a pfs::File (header-only; consumers link simpfs +
+// simmpi themselves).
+//
+// Routes every journal/primary access through the fault-injected Try* path
+// with the same bounded retry-with-backoff discipline as mpiio and the
+// serial BufferedFile: short transfers resume from the reported count
+// without consuming retry budget, transient errors back off exponentially
+// (charged to the virtual clock), and an exhausted budget converts to a
+// permanent error. Crash points therefore bite here exactly as they do on
+// the data path — which is the whole point of committing through it.
+#pragma once
+
+#include <utility>
+
+#include "format/commit.hpp"
+#include "pfs/pfs.hpp"
+#include "simmpi/clock.hpp"
+
+namespace ncformat {
+
+class PfsCommitIo final : public CommitIo {
+ public:
+  PfsCommitIo(pfs::File file, simmpi::VirtualClock* clock)
+      : file_(std::move(file)), clock_(clock) {}
+
+  pnc::Status Read(std::uint64_t offset, pnc::ByteSpan out) override {
+    return RetryIo(/*is_write=*/false, offset, out.data(), out.size());
+  }
+  pnc::Status Write(std::uint64_t offset, pnc::ConstByteSpan data) override {
+    return RetryIo(/*is_write=*/true, offset,
+                   const_cast<std::byte*>(data.data()), data.size());
+  }
+  pnc::Status Sync() override {
+    double backoff = kRetryBackoffNs;
+    for (int attempt = 0;; ++attempt) {
+      const pfs::IoResult r = file_.TrySync(clock_->now());
+      clock_->AdvanceTo(r.done_ns);
+      if (r.ok()) return pnc::Status::Ok();
+      if (r.status.code() != pnc::Err::kIoTransient || attempt >= kRetryMax)
+        return r.status;
+      file_.RecordRetry(/*is_write=*/true);
+      clock_->Advance(backoff);
+      backoff *= 2;
+    }
+  }
+  std::uint64_t Size() override { return file_.size(); }
+
+ private:
+  static constexpr int kRetryMax = 4;
+  static constexpr double kRetryBackoffNs = 1e6;
+
+  pnc::Status RetryIo(bool is_write, std::uint64_t offset, std::byte* data,
+                      std::uint64_t len) {
+    if (len == 0) return pnc::Status::Ok();
+    std::uint64_t done = 0;
+    int attempt = 0;
+    double backoff = kRetryBackoffNs;
+    while (done < len) {
+      pfs::IoResult r =
+          is_write
+              ? file_.TryWrite(offset + done,
+                               pnc::ConstByteSpan(data + done, len - done),
+                               clock_->now())
+              : file_.TryRead(offset + done,
+                              pnc::ByteSpan(data + done, len - done),
+                              clock_->now());
+      clock_->AdvanceTo(r.done_ns);
+      if (r.ok()) {
+        if (r.transferred == 0 && len > done) {
+          // Defensive: a zero-byte success would loop forever.
+          return pnc::Status(pnc::Err::kIo, "no progress");
+        }
+        done += r.transferred;
+        attempt = 0;
+        continue;
+      }
+      if (r.status.code() != pnc::Err::kIoTransient || attempt >= kRetryMax)
+        return r.status;
+      ++attempt;
+      file_.RecordRetry(is_write);
+      clock_->Advance(backoff);
+      backoff *= 2;
+    }
+    return pnc::Status::Ok();
+  }
+
+  pfs::File file_;
+  simmpi::VirtualClock* clock_;
+};
+
+}  // namespace ncformat

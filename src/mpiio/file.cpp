@@ -25,8 +25,11 @@ pnc::Result<File> File::Open(simmpi::Comm comm, pfs::FileSystem& fs,
                          : fs.Open(path);
     if (r.ok()) {
       handle = std::move(r).value();
-      // Charge one request round trip for the open/create itself.
-      comm.clock().AdvanceTo(handle->Sync(comm.clock().now()));
+      // Charge one request round trip for the open/create itself — and let a
+      // fault on it surface as an open failure instead of being swallowed.
+      const pfs::IoResult s = handle->TrySync(comm.clock().now());
+      comm.clock().AdvanceTo(s.done_ns);
+      if (!s.ok()) err = s.status.raw();
     } else {
       err = r.status().raw();
     }
@@ -97,6 +100,11 @@ pnc::Status File::Sync() {
   st = AgreeStatus(impl_->comm, st);
   impl_->comm.SyncClocksToMax();
   return st;
+}
+
+pnc::Status File::SyncLocal() {
+  if (!impl_ || !impl_->open) return pnc::Status(pnc::Err::kBadId, "sync");
+  return impl_->RetrySync();
 }
 
 pnc::Status File::SetSize(std::uint64_t size) {

@@ -73,6 +73,10 @@ class File {
 
   /// Collective; returns when all ranks' data is at the servers.
   pnc::Status Sync();
+  /// Independent: flush this rank's handle only (no agreement, no barrier).
+  /// For layers where one rank orders its own writes (e.g. a root-performed
+  /// header commit) without involving peers.
+  pnc::Status SyncLocal();
   /// Collective resize (MPI_File_set_size).
   pnc::Status SetSize(std::uint64_t size);
   /// Independent size query.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "format/commit.hpp"
+#include "format/commit_pfs.hpp"
 #include "format/header_io.hpp"
 
 namespace netcdf {
@@ -29,6 +31,12 @@ struct Dataset::Impl {
   bool numrecs_dirty = false;  ///< numrecs grew in data mode
   FillMode fill = FillMode::kNoFill;
   std::optional<Header> pre_redef;  ///< snapshot for Abort/relayout
+
+  // Crash consistency: the sidecar commit journal and the last committed
+  // state (see format/commit.hpp). Absent for legacy files opened without a
+  // journal — those keep the pre-journal in-place update behaviour.
+  std::optional<ncformat::PfsCommitIo> journal;
+  std::optional<ncformat::CommitState> commit;
 };
 
 // ------------------------------------------------------------ lifecycle
@@ -41,9 +49,16 @@ pnc::Result<Dataset> Dataset::Create(pfs::FileSystem& fs,
   Dataset ds;
   ds.impl_ = std::make_shared<Impl>(&fs, std::move(f).value(), path,
                                     /*writable=*/true, opts.buffer_size);
-  ds.impl_->header.version = opts.use_cdf2 ? 2 : 1;
-  ds.impl_->defining = true;
-  ds.impl_->fresh = true;
+  auto& im = *ds.impl_;
+  im.header.version = opts.use_cdf2 ? 2 : 1;
+  im.defining = true;
+  im.fresh = true;
+  // Create-and-format the sidecar journal, truncating any stale one left by
+  // a previous file at this path so its commits can never be replayed.
+  auto jf = fs.Create(ncformat::JournalPath(path), /*exclusive=*/false);
+  if (!jf.ok()) return jf.status();
+  im.journal.emplace(std::move(jf).value(), &im.clock);
+  PNC_RETURN_IF_ERROR(ncformat::FormatJournal(*im.journal));
   return ds;
 }
 
@@ -52,9 +67,41 @@ pnc::Result<Dataset> Dataset::Open(pfs::FileSystem& fs, const std::string& path,
   auto f = fs.Open(path);
   if (!f.ok()) return f.status();
   Dataset ds;
-  ds.impl_ = std::make_shared<Impl>(&fs, std::move(f).value(), path, writable,
+  ds.impl_ = std::make_shared<Impl>(&fs, f.value(), path, writable,
                                     buffer_size);
   auto& im = *ds.impl_;
+
+  // Crash recovery before anything trusts the on-disk header: if a journal
+  // exists and holds a committed state the primary does not match, roll the
+  // primary back/forward to it (in place when writable; in memory only for a
+  // read-only open).
+  std::optional<Header> recovered;
+  if (fs.Exists(ncformat::JournalPath(path))) {
+    auto jf = fs.Open(ncformat::JournalPath(path));
+    if (!jf.ok()) return jf.status();
+    im.journal.emplace(std::move(jf).value(), &im.clock);
+    ncformat::PfsCommitIo primary(f.value(), &im.clock);
+    auto rep = ncformat::AnalyzeCommit(*im.journal, primary);
+    if (!rep.ok()) return rep.status();
+    const ncformat::VerifyReport& r = rep.value();
+    if (r.has_commit) im.commit = r.committed;
+    if (r.state == ncformat::FileState::kCorrupt && r.has_commit)
+      return pnc::Status(pnc::Err::kNotNc, "unrecoverable: " + r.detail);
+    if (r.state == ncformat::FileState::kTornRecoverable) {
+      if (writable) {
+        PNC_RETURN_IF_ERROR(ncformat::RepairFromReport(r, primary));
+      } else {
+        auto h = Header::Decode(r.committed_header);
+        if (!h.ok()) return h.status();
+        recovered = std::move(h).value();
+      }
+    }
+  }
+
+  if (recovered) {
+    im.header = *std::move(recovered);
+    return ds;
+  }
   auto hdr = ncformat::ReadHeader(
       im.io.size(), [&im](std::uint64_t off, pnc::ByteSpan out) {
         return im.io.ReadAt(off, out);
@@ -81,14 +128,25 @@ pnc::Status Dataset::EndDef() {
 
   Header old = im.pre_redef ? *im.pre_redef : Header{};
   const bool had_data = !im.fresh;
-  PNC_RETURN_IF_ERROR(im.header.ComputeLayout());
+  // Keep the existing data_begin when the grown header still fits in front
+  // of it: besides saving the copy, an in-place relayout is the one case the
+  // commit protocol cannot make atomic (moves are interpreted by whichever
+  // header survives the crash), so not moving is also the crash-safe choice.
+  std::uint64_t min_begin = 0;
+  if (had_data && im.pre_redef &&
+      im.header.EncodedSize() <= im.pre_redef->data_begin())
+    min_begin = im.pre_redef->data_begin();
+  PNC_RETURN_IF_ERROR(im.header.ComputeLayout(min_begin));
   if (had_data && im.pre_redef) {
     PNC_RETURN_IF_ERROR(MoveDataForRelayout(*im.pre_redef));
   }
-  PNC_RETURN_IF_ERROR(WriteHeader());
+  // Data first, metadata last: fills and moved bytes land before the header
+  // that makes them reachable commits, so a crash anywhere in between still
+  // cold-opens as the old dataset.
   if (im.fill == FillMode::kFill) {
     PNC_RETURN_IF_ERROR(FillNewSpace(had_data ? &old : nullptr));
   }
+  PNC_RETURN_IF_ERROR(WriteHeader());
   im.defining = false;
   im.fresh = false;
   im.pre_redef.reset();
@@ -108,13 +166,14 @@ pnc::Status Dataset::Close() {
   auto& im = *impl_;
   if (im.defining) PNC_RETURN_IF_ERROR(EndDef());
   if (im.numrecs_dirty) PNC_RETURN_IF_ERROR(WriteNumrecs());
-  return im.io.Flush();
+  return im.journal ? im.io.Sync() : im.io.Flush();
 }
 
 pnc::Status Dataset::Abort() {
   if (!impl_) return pnc::Status(pnc::Err::kBadId);
   auto& im = *impl_;
   if (im.defining && im.fresh) {
+    (void)im.fs->Remove(ncformat::JournalPath(im.path));
     return im.fs->Remove(im.path);
   }
   if (im.defining && im.pre_redef) {
@@ -368,17 +427,39 @@ pnc::Status Dataset::WriteHeader() {
   auto& im = *impl_;
   std::vector<std::byte> bytes;
   im.header.Encode(bytes);
-  PNC_RETURN_IF_ERROR(im.io.WriteAt(0, bytes));
+  if (im.journal) {
+    // Data before metadata, then the journal commit (shadow, sync, slot,
+    // sync), and only then the primary — which must itself be durable
+    // before the *next* commit may overwrite the shadow it relies on.
+    PNC_RETURN_IF_ERROR(im.io.Sync());
+    ncformat::CommitState next;
+    PNC_RETURN_IF_ERROR(ncformat::CommitHeaderToJournal(
+        *im.journal, bytes, im.header.numrecs, im.commit, &next));
+    PNC_RETURN_IF_ERROR(im.io.WriteAt(0, bytes));
+    PNC_RETURN_IF_ERROR(im.io.Sync());
+    im.commit = next;
+  } else {
+    PNC_RETURN_IF_ERROR(im.io.WriteAt(0, bytes));
+  }
   im.numrecs_dirty = false;
   return pnc::Status::Ok();
 }
 
 pnc::Status Dataset::WriteNumrecs() {
   auto& im = *impl_;
+  if (im.journal && im.commit) {
+    // The record count grows only after the record data is durable.
+    PNC_RETURN_IF_ERROR(im.io.Sync());
+    ncformat::CommitState next;
+    PNC_RETURN_IF_ERROR(ncformat::CommitNumrecsToJournal(
+        *im.journal, *im.commit, im.header.numrecs, &next));
+    im.commit = next;
+  }
   std::byte buf[4];
   const auto v = pnc::xdr::ToBig(static_cast<std::uint32_t>(im.header.numrecs));
   std::memcpy(buf, &v, 4);
   PNC_RETURN_IF_ERROR(im.io.WriteAt(4, pnc::ConstByteSpan(buf, 4)));
+  if (im.journal) PNC_RETURN_IF_ERROR(im.io.Sync());
   im.numrecs_dirty = false;
   return pnc::Status::Ok();
 }

@@ -15,11 +15,47 @@ FaultDecision FaultInjector::Decide(bool is_write, std::uint64_t len,
   const std::uint64_t op = next_op_++;
   ++counters_.faultable_ops;
   FaultDecision d;
+  // A crashed incarnation refuses everything until SetPolicy (reboot).
+  if (crashed_) {
+    ++counters_.crashes;
+    d.kind = FaultDecision::Kind::kCrash;
+    return d;
+  }
   if (!policy_.Any()) return d;
 
   auto listed = [op](const std::vector<std::uint64_t>& ops) {
     return std::find(ops.begin(), ops.end(), op) != ops.end();
   };
+
+  // Crash points outrank every other fault: once the power fails, nothing
+  // else about this op matters.
+  if (policy_.crash_after_write_bytes != FaultPolicy::kNever) {
+    const std::uint64_t at = policy_.crash_after_write_bytes;
+    if (written_bytes_ >= at) {
+      // Threshold fell between writes: this op (any kind) dies, no bytes.
+      crashed_ = true;
+      ++counters_.crashes;
+      d.kind = FaultDecision::Kind::kCrash;
+      return d;
+    }
+    if (is_write && len > 0 && written_bytes_ + len >= at) {
+      crashed_ = true;
+      ++counters_.crashes;
+      d.kind = FaultDecision::Kind::kCrash;
+      d.torn_bytes = at - written_bytes_;  // may equal len: landed, no ack
+      written_bytes_ += d.torn_bytes;
+      return d;
+    }
+  }
+  if (op == policy_.crash_op) {
+    crashed_ = true;
+    ++counters_.crashes;
+    d.kind = FaultDecision::Kind::kCrash;
+    if (is_write)
+      d.torn_bytes = std::min<std::uint64_t>(policy_.crash_write_bytes, len);
+    written_bytes_ += d.torn_bytes;
+    return d;
+  }
 
   // Precedence: permanent > outage > transient > short > bit flip. One op
   // suffers at most one fault.
@@ -57,6 +93,7 @@ FaultDecision FaultInjector::Decide(bool is_write, std::uint64_t len,
     (is_write ? counters_.short_writes : counters_.short_reads) += 1;
     d.kind = FaultDecision::Kind::kShort;
     d.short_bytes = std::max<std::uint64_t>(1, len / 2);
+    if (is_write) written_bytes_ += d.short_bytes;
     return d;
   }
 
@@ -67,6 +104,7 @@ FaultDecision FaultInjector::Decide(bool is_write, std::uint64_t len,
     d.flip_bit = static_cast<unsigned>(rng_.Below(8));
     return d;
   }
+  if (is_write) written_bytes_ += len;
   return d;
 }
 
@@ -83,6 +121,15 @@ void FaultInjector::SetPolicy(const FaultPolicy& policy) {
   // to the moment the policy is armed, not to FileSystem construction —
   // otherwise a schedule would silently shift with every unrelated open.
   next_op_ = 0;
+  // Arming a policy is a reboot: the frozen incarnation ends, the written-
+  // byte odometer (what crash_after_write_bytes counts against) rewinds.
+  written_bytes_ = 0;
+  crashed_ = false;
+}
+
+bool FaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crashed_;
 }
 
 FaultPolicy FaultInjector::policy() const {
@@ -114,6 +161,10 @@ FaultyByteStore::Outcome FaultyByteStore::FaultedWrite(std::uint64_t offset,
               0};
     case FaultDecision::Kind::kPermanent:
       return {pnc::Status(pnc::Err::kIo, "injected permanent fault"), 0};
+    case FaultDecision::Kind::kCrash:
+      // Power loss mid-write: a torn prefix lands, the ack never arrives.
+      if (d.torn_bytes > 0) inner_->Write(offset, data.first(d.torn_bytes));
+      return {pnc::Status(pnc::Err::kIo, "injected crash: image frozen"), 0};
     case FaultDecision::Kind::kShort:
       inner_->Write(offset, data.first(d.short_bytes));
       return {pnc::Status::Ok(), d.short_bytes};
@@ -135,6 +186,8 @@ FaultyByteStore::Outcome FaultyByteStore::FaultedRead(std::uint64_t offset,
               0};
     case FaultDecision::Kind::kPermanent:
       return {pnc::Status(pnc::Err::kIo, "injected permanent fault"), 0};
+    case FaultDecision::Kind::kCrash:
+      return {pnc::Status(pnc::Err::kIo, "injected crash: image frozen"), 0};
     case FaultDecision::Kind::kShort:
       inner_->Read(offset, out.first(d.short_bytes));
       return {pnc::Status::Ok(), d.short_bytes};

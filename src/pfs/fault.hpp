@@ -25,6 +25,13 @@
 // failed write is either the old bytes or the new bytes, never a garbage
 // mixture. (A short write stores a prefix, but reports the count, so the
 // caller knows exactly how far it got.)
+//
+// Crash points are the exception that proves the rule: a crash (simulated
+// power loss) tears the in-flight write at an arbitrary byte boundary —
+// exactly the hazard the netCDF commit protocol must survive — and freezes
+// the whole file system: every later fault-injectable op on this incarnation
+// fails until the next SetPolicy() call, which models a reboot. The harness
+// path keeps working after a crash so tests can inspect the frozen image.
 #pragma once
 
 #include <cstdint>
@@ -75,12 +82,29 @@ struct FaultPolicy {
   /// Seeded per-read probability that one bit of the returned data flips.
   double bitflip_read_prob = 0.0;
 
+  // --- crash points (simulated power loss) ---
+  /// Scripted crash: the op with this index crashes the file system. If it
+  /// is a write, `crash_write_bytes` of its payload land first (a torn
+  /// prefix); then the image freezes and every later op fails (kNever = off).
+  std::uint64_t crash_op = kNever;
+  /// Bytes of the crashing write stored before the power fails (clamped to
+  /// the request size). 0 = the write vanishes entirely.
+  std::uint64_t crash_write_bytes = 0;
+  /// Byte-granular sweep trigger: crash the instant cumulative Try-written
+  /// bytes (counted since the policy was armed) reach this threshold. The
+  /// in-flight write is torn at exactly the threshold; when the threshold
+  /// lands between writes, the next op of any kind dies with nothing stored.
+  /// Sweeping this value over [0, total] hits every byte boundary of a
+  /// commit sequence (kNever = off).
+  std::uint64_t crash_after_write_bytes = kNever;
+
   [[nodiscard]] bool Any() const {
     return !transient_ops.empty() || transient_every_nth != 0 ||
            transient_read_prob > 0 || transient_write_prob > 0 ||
            !outages.empty() || !permanent_ops.empty() ||
            permanent_from != kNever || short_read_prob > 0 ||
-           short_write_prob > 0 || bitflip_read_prob > 0;
+           short_write_prob > 0 || bitflip_read_prob > 0 ||
+           crash_op != kNever || crash_after_write_bytes != kNever;
   }
 };
 
@@ -91,16 +115,18 @@ struct FaultCounters {
   std::uint64_t short_reads = 0;
   std::uint64_t short_writes = 0;
   std::uint64_t bitflips = 0;
+  std::uint64_t crashes = 0;  ///< ops refused because the image is frozen
   std::uint64_t faultable_ops = 0;  ///< ops that consulted the injector
 };
 
 /// What the injector decided for one op.
 struct FaultDecision {
-  enum class Kind { kOk, kTransient, kPermanent, kShort, kBitFlip };
+  enum class Kind { kOk, kTransient, kPermanent, kShort, kBitFlip, kCrash };
   Kind kind = Kind::kOk;
   std::uint64_t short_bytes = 0;  ///< kShort: bytes to actually transfer
   std::uint64_t flip_byte = 0;    ///< kBitFlip: byte index within the request
   unsigned flip_bit = 0;          ///< kBitFlip: bit index within that byte
+  std::uint64_t torn_bytes = 0;   ///< kCrash on a write: prefix that lands
 };
 
 /// Seeded, thread-safe decision engine shared by all files of a FileSystem.
@@ -120,16 +146,23 @@ class FaultInjector {
   /// decision and the data mutation stay in one critical section each).
   void CountBitflip();
 
+  /// Replaces the schedule and reboots: the crashed state and the cumulative
+  /// written-byte counter are cleared along with the op counter.
   void SetPolicy(const FaultPolicy& policy);
   [[nodiscard]] FaultPolicy policy() const;
   [[nodiscard]] FaultCounters counters() const;
   void ResetCounters();
+
+  /// True once a crash point fired; stays true until SetPolicy (reboot).
+  [[nodiscard]] bool crashed() const;
 
  private:
   mutable std::mutex mu_;
   FaultPolicy policy_;
   pnc::SplitMix64 rng_;
   std::uint64_t next_op_ = 0;
+  std::uint64_t written_bytes_ = 0;  ///< cumulative Try-written since arming
+  bool crashed_ = false;
   FaultCounters counters_;
 };
 

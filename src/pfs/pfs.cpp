@@ -128,7 +128,8 @@ struct File::Node {
   std::uint64_t discarded_size = 0;  ///< logical size under discard_data
 };
 
-double File::Read(std::uint64_t offset, pnc::ByteSpan out, double start_ns) {
+double File::HarnessRead(std::uint64_t offset, pnc::ByteSpan out,
+                         double start_ns) {
   {
     std::lock_guard<std::mutex> lk(node_->mu);
     node_->store->Read(offset, out);
@@ -136,8 +137,8 @@ double File::Read(std::uint64_t offset, pnc::ByteSpan out, double start_ns) {
   return fs_->ServeRequest(offset, out.size(), /*is_write=*/false, start_ns);
 }
 
-double File::Write(std::uint64_t offset, pnc::ConstByteSpan data,
-                   double start_ns) {
+double File::HarnessWrite(std::uint64_t offset, pnc::ConstByteSpan data,
+                          double start_ns) {
   {
     std::lock_guard<std::mutex> lk(node_->mu);
     if (fs_->cfg_.discard_data) {
@@ -182,6 +183,10 @@ IoResult File::TryWrite(std::uint64_t offset, pnc::ConstByteSpan data,
               0};
       } else if (d.kind == FaultDecision::Kind::kPermanent) {
         oc = {pnc::Status(pnc::Err::kIo, "injected permanent fault"), 0};
+      } else if (d.kind == FaultDecision::Kind::kCrash) {
+        node_->discarded_size =
+            std::max(node_->discarded_size, offset + d.torn_bytes);
+        oc = {pnc::Status(pnc::Err::kIo, "injected crash: image frozen"), 0};
       } else {
         const std::uint64_t n = d.kind == FaultDecision::Kind::kShort
                                     ? d.short_bytes
@@ -207,8 +212,12 @@ IoResult File::TrySync(double start_ns) {
   if (d.kind == FaultDecision::Kind::kTransient)
     return {pnc::Status(pnc::Err::kIoTransient, "injected transient fault"), 0,
             done};
-  if (d.kind == FaultDecision::Kind::kPermanent)
-    return {pnc::Status(pnc::Err::kIo, "injected permanent fault"), 0, done};
+  if (d.kind == FaultDecision::Kind::kPermanent ||
+      d.kind == FaultDecision::Kind::kCrash)
+    return {pnc::Status(pnc::Err::kIo, d.kind == FaultDecision::Kind::kCrash
+                                           ? "injected crash: image frozen"
+                                           : "injected permanent fault"),
+            0, done};
   return {pnc::Status::Ok(), 0, done};
 }
 
@@ -224,7 +233,7 @@ void File::Truncate(std::uint64_t new_size) {
   node_->store->Truncate(new_size);
 }
 
-double File::Sync(double start_ns) {
+double File::HarnessSync(double start_ns) {
   // A sync is a zero-payload round trip to the servers.
   return fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns);
 }
@@ -321,6 +330,7 @@ Stats FileSystem::stats() const {
   s.short_reads = fc.short_reads;
   s.short_writes = fc.short_writes;
   s.bitflips = fc.bitflips;
+  s.crashes = fc.crashes;
   return s;
 }
 
@@ -337,6 +347,8 @@ void FileSystem::SetFaultPolicy(const FaultPolicy& policy) {
 }
 
 FaultPolicy FileSystem::fault_policy() const { return injector_->policy(); }
+
+bool FileSystem::crashed() const { return injector_->crashed(); }
 
 int FileSystem::PrimaryServer(std::uint64_t offset) const {
   return static_cast<int>((offset / cfg_.stripe_size) %

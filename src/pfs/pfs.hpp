@@ -81,6 +81,7 @@ struct Stats {
   std::uint64_t short_reads = 0;
   std::uint64_t short_writes = 0;
   std::uint64_t bitflips = 0;
+  std::uint64_t crashes = 0;
   std::uint64_t read_retries = 0;
   std::uint64_t write_retries = 0;
 };
@@ -190,14 +191,20 @@ class File {
   /// returns the virtual completion time. Bytes are moved for real. These
   /// are the *harness* entry points: they never fail and bypass fault
   /// injection, so tests and benches can seed/inspect files regardless of
-  /// the active fault schedule. Simulated I/O stacks use Try* instead.
-  double Read(std::uint64_t offset, pnc::ByteSpan out, double start_ns);
-  double Write(std::uint64_t offset, pnc::ConstByteSpan data, double start_ns);
+  /// the active fault schedule — including the frozen image after a crash
+  /// point fires. Production I/O stacks (mpiio, netcdf, pnetcdf) must use
+  /// the Try* variants; a CMake lint target greps for Harness* calls in
+  /// those trees.
+  double HarnessRead(std::uint64_t offset, pnc::ByteSpan out, double start_ns);
+  double HarnessWrite(std::uint64_t offset, pnc::ConstByteSpan data,
+                      double start_ns);
 
   /// Fault-aware variants: consult the FileSystem's FaultInjector, may fail
   /// (transiently or permanently) or transfer only a prefix. A failed write
-  /// stores nothing, so file content is never silently torn. Time is charged
-  /// for the attempt either way (a failed request still costs a round trip).
+  /// stores nothing — except at a crash point, where the in-flight write is
+  /// torn at the scripted byte boundary and the image freezes. Time is
+  /// charged for the attempt either way (a failed request still costs a
+  /// round trip).
   IoResult TryRead(std::uint64_t offset, pnc::ByteSpan out, double start_ns);
   IoResult TryWrite(std::uint64_t offset, pnc::ConstByteSpan data,
                     double start_ns);
@@ -207,7 +214,7 @@ class File {
   void Truncate(std::uint64_t new_size);
   /// Flush: charges one request round-trip per server. Harness variant of
   /// TrySync (never fails).
-  double Sync(double start_ns);
+  double HarnessSync(double start_ns);
 
   /// Let a client layer account one retry of a faulted op in pfs::Stats.
   void RecordRetry(bool is_write);
@@ -257,9 +264,12 @@ class FileSystem {
   void ResetTime();
 
   /// Replace the active fault schedule (tests typically create a file
-  /// fault-free, then arm faults for the phase under study).
+  /// fault-free, then arm faults for the phase under study). Also the
+  /// "reboot" after a crash point: the frozen incarnation ends here.
   void SetFaultPolicy(const FaultPolicy& policy);
   [[nodiscard]] FaultPolicy fault_policy() const;
+  /// True after a crash point fired and before the next SetFaultPolicy.
+  [[nodiscard]] bool crashed() const;
 
  private:
   friend class File;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "format/commit.hpp"
+#include "format/commit_pfs.hpp"
+
 namespace pnetcdf {
 
 using ncformat::Attr;
@@ -28,6 +31,15 @@ struct Dataset::Impl {
   bool indep = false;  ///< independent data mode active
   std::optional<Header> pre_redef;
   std::uint64_t header_align = 0;  ///< nc_header_align_size hint
+
+  // Crash consistency (§4.2.1 pattern: the root performs the metadata I/O).
+  // `journaled` is agreed on all ranks so the collective syncs that order
+  // data before metadata stay aligned; the journal handle and committed
+  // state live on rank 0 only. Absent for legacy files opened without a
+  // journal — those keep the pre-journal in-place update behaviour.
+  bool journaled = false;
+  std::optional<ncformat::PfsCommitIo> journal;
+  std::optional<ncformat::CommitState> commit;
 };
 
 namespace {
@@ -63,6 +75,24 @@ pnc::Result<Dataset> Dataset::Create(simmpi::Comm comm, pfs::FileSystem& fs,
   // are interpreted by the library, the rest pass through to MPI-IO).
   im.header_align =
       static_cast<std::uint64_t>(im.info.GetInt("nc_header_align_size", 0));
+  // Create-and-format the sidecar commit journal on the root (truncating any
+  // stale one left by a previous file at this path so its commits can never
+  // be replayed); the result is agreed before anyone proceeds.
+  int jerr = 0;
+  if (im.comm.rank() == 0) {
+    auto jf = fs.Create(ncformat::JournalPath(path), /*exclusive=*/false);
+    if (!jf.ok()) {
+      jerr = jf.status().raw();
+    } else {
+      im.journal.emplace(std::move(jf).value(), &im.comm.clock());
+      jerr = ncformat::FormatJournal(*im.journal).raw();
+    }
+  }
+  im.comm.BcastValue(jerr, 0);
+  if (jerr != 0)
+    return pnc::Status(static_cast<pnc::Err>(jerr), "commit journal create");
+  im.journaled = true;
+  im.comm.Barrier();
   return ds;
 }
 
@@ -78,11 +108,62 @@ pnc::Result<Dataset> Dataset::Open(simmpi::Comm comm, pfs::FileSystem& fs,
                                     path, writable, info);
   auto& im = *ds.impl_;
 
-  // §4.2.1: the root process fetches the file header and broadcasts it; all
-  // processes then hold an identical local copy until close.
+  // Crash recovery before anything trusts the on-disk header: the root
+  // checks the sidecar journal and, when the primary does not match the
+  // committed state, rolls it back/forward (in place when writable; in
+  // memory only for a read-only open). §4.2.1 pattern: the root performs
+  // the metadata work, then the agreed outcome is broadcast.
   int err = 0;
   std::vector<std::byte> bytes;
-  if (im.comm.rank() == 0) {
+  int journaled = 0;
+  std::vector<std::byte> recovered;  ///< committed header image, if torn
+  if (im.comm.rank() == 0 && fs.Exists(ncformat::JournalPath(path))) {
+    journaled = 1;
+    pnc::Status rst = pnc::Status::Ok();
+    auto jf = fs.Open(ncformat::JournalPath(path));
+    auto pf = fs.Open(path);
+    if (!jf.ok()) {
+      rst = jf.status();
+    } else if (!pf.ok()) {
+      rst = pf.status();
+    } else {
+      im.journal.emplace(std::move(jf).value(), &im.comm.clock());
+      ncformat::PfsCommitIo primary(std::move(pf).value(), &im.comm.clock());
+      auto rep = ncformat::AnalyzeCommit(*im.journal, primary);
+      if (!rep.ok()) {
+        rst = rep.status();
+      } else {
+        const ncformat::VerifyReport& r = rep.value();
+        if (r.has_commit) im.commit = r.committed;
+        if (r.state == ncformat::FileState::kCorrupt && r.has_commit) {
+          rst = pnc::Status(pnc::Err::kNotNc, "unrecoverable: " + r.detail);
+        } else if (r.state == ncformat::FileState::kTornRecoverable) {
+          if (writable) {
+            rst = ncformat::RepairFromReport(r, primary);
+          } else {
+            recovered = r.committed_header;
+          }
+        }
+      }
+    }
+    err = rst.raw();
+  }
+  im.comm.BcastValue(err, 0);
+  if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), path);
+  im.comm.BcastValue(journaled, 0);
+  im.journaled = journaled != 0;
+
+  // §4.2.1: the root process fetches the file header and broadcasts it; all
+  // processes then hold an identical local copy until close.
+  if (im.comm.rank() == 0 && !recovered.empty()) {
+    auto hdr = Header::Decode(recovered);
+    if (hdr.ok()) {
+      im.header = std::move(hdr).value();
+      bytes = EncodeHeader(im.header);
+    } else {
+      err = hdr.status().raw();
+    }
+  } else if (im.comm.rank() == 0) {
     const std::uint64_t fsize = im.file.GetSize().ok()
                                     ? im.file.GetSize().value()
                                     : 0;
@@ -138,12 +219,33 @@ pnc::Status Dataset::WriteHeaderCollective() {
   auto& im = *impl_;
   auto bytes = EncodeHeader(im.header);
   im.file.ClearView();
+  // Data first, metadata last: every rank's outstanding data lands before
+  // the header that makes it reachable commits. The collective sync also
+  // upholds the journal invariant that the primary from the previous commit
+  // is durable before its shadow is overwritten.
+  if (im.journaled) PNC_RETURN_IF_ERROR(im.file.Sync());
   // Rank 0 writes; its status is broadcast so every rank returns the same
   // result (and nobody blocks in a barrier a failed root never reaches).
   int err = 0;
   if (im.comm.rank() == 0) {
-    err = im.file.WriteAt(0, bytes.data(), bytes.size(), simmpi::ByteType())
-              .raw();
+    pnc::Status st;
+    if (im.journal) {
+      // Journal commit (shadow, sync, slot, sync), then the primary in
+      // place, then a local sync so the primary is durable before the next
+      // commit may reuse the shadow.
+      ncformat::CommitState next;
+      st = ncformat::CommitHeaderToJournal(*im.journal, bytes,
+                                           im.header.numrecs, im.commit,
+                                           &next);
+      if (st.ok())
+        st = im.file.WriteAt(0, bytes.data(), bytes.size(),
+                             simmpi::ByteType());
+      if (st.ok()) st = im.file.SyncLocal();
+      if (st.ok()) im.commit = next;
+    } else {
+      st = im.file.WriteAt(0, bytes.data(), bytes.size(), simmpi::ByteType());
+    }
+    err = st.raw();
   }
   im.comm.BcastValue(err, 0);
   if (err != 0)
@@ -206,7 +308,11 @@ pnc::Status Dataset::Abort() {
   if (im.defining && im.fresh) {
     PNC_RETURN_IF_ERROR(im.file.Close());
     int err = 0;
-    if (im.comm.rank() == 0) err = im.fs->Remove(im.path).raw();
+    if (im.comm.rank() == 0) {
+      im.journal.reset();
+      (void)im.fs->Remove(ncformat::JournalPath(im.path));
+      err = im.fs->Remove(im.path).raw();
+    }
     im.comm.BcastValue(err, 0);
     if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), im.path);
     im.comm.Barrier();
@@ -500,13 +606,27 @@ pnc::Status Dataset::SyncNumrecs(std::uint64_t local_numrecs, bool collective) {
   im.header.numrecs = global;
   if (changed && im.writable) {
     im.file.ClearView();
+    // The record count grows only after the record data is durable on every
+    // rank (all-old-or-all-new for a crash between data and count).
+    if (im.journaled) PNC_RETURN_IF_ERROR(im.file.Sync());
     int err = 0;
     if (im.comm.rank() == 0) {
       std::byte buf[4];
       const auto v =
           pnc::xdr::ToBig(static_cast<std::uint32_t>(im.header.numrecs));
       std::memcpy(buf, &v, 4);
-      err = im.file.WriteAt(4, buf, 4, simmpi::ByteType()).raw();
+      pnc::Status st;
+      if (im.journal && im.commit) {
+        ncformat::CommitState next;
+        st = ncformat::CommitNumrecsToJournal(*im.journal, *im.commit,
+                                              im.header.numrecs, &next);
+        if (st.ok()) st = im.file.WriteAt(4, buf, 4, simmpi::ByteType());
+        if (st.ok()) st = im.file.SyncLocal();
+        if (st.ok()) im.commit = next;
+      } else {
+        st = im.file.WriteAt(4, buf, 4, simmpi::ByteType());
+      }
+      err = st.raw();
     }
     // Agree on the root's status so all ranks return the same result and the
     // barrier below is reached by everyone or no one.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 namespace simmpi {
 
@@ -12,6 +15,40 @@ SharedState::SharedState(int world_size, CostModel cm) : cost(cm) {
   for (int i = 0; i < world_size; ++i)
     mailboxes.push_back(std::make_unique<Mailbox>());
   clocks.resize(world_size);
+  waits.resize(world_size);
+  hang_timeout_ms = cm.hang_timeout_ms;
+  if (const char* env = std::getenv("PNC_HANG_TIMEOUT_MS"))
+    hang_timeout_ms = std::atof(env);
+}
+
+void SharedState::DumpHangAndAbort(int world_rank) {
+  std::lock_guard<std::mutex> lk(trace_mutex);
+  std::fprintf(stderr,
+               "simmpi: hang watchdog: rank %d received no matching message "
+               "for %.0f ms (PNC_HANG_TIMEOUT_MS); per-rank state:\n",
+               world_rank, hang_timeout_ms);
+  for (std::size_t r = 0; r < waits.size(); ++r) {
+    const WaitRecord& w = waits[r];
+    std::size_t pending = 0;
+    {
+      std::lock_guard<std::mutex> blk(mailboxes[r]->m);
+      pending = mailboxes[r]->q.size();
+    }
+    if (w.waiting) {
+      std::fprintf(stderr,
+                   "  rank %zu: BLOCKED in Recv(src=%d, tag=%d, ctx=%d), "
+                   "%llu receives done, %zu unmatched messages queued\n",
+                   r, w.src, w.tag, w.ctx,
+                   static_cast<unsigned long long>(w.recvs), pending);
+    } else {
+      std::fprintf(stderr,
+                   "  rank %zu: not in Recv, %llu receives done, "
+                   "%zu unmatched messages queued\n",
+                   r, static_cast<unsigned long long>(w.recvs), pending);
+    }
+  }
+  std::fflush(stderr);
+  std::abort();
 }
 
 Comm MakeComm(std::shared_ptr<SharedState> state, std::vector<int> members,
@@ -60,19 +97,46 @@ void Comm::SendInternal(int dst, int tag, pnc::ConstByteSpan data) {
 std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src,
                                   int* actual_tag) {
   auto& box = *state_->mailboxes[world_rank_];
+  {
+    std::lock_guard<std::mutex> tlk(state_->trace_mutex);
+    auto& w = state_->waits[world_rank_];
+    w.waiting = true;
+    w.src = src;
+    w.tag = tag;
+    w.ctx = ctx_;
+  }
   std::unique_lock<std::mutex> lk(box.m);
   detail::Message msg;
   auto matches = [&](const detail::Message& m) {
     return m.ctx == ctx_ && (src == kAnySource || m.world_src == src) &&
            (tag == kAnyTag || m.tag == tag);
   };
-  box.cv.wait(lk, [&] {
+  auto ready = [&] {
     return std::any_of(box.q.begin(), box.q.end(), matches);
-  });
+  };
+  if (state_->hang_timeout_ms > 0) {
+    // Watchdog: a receive that sees nothing for the timeout is a deadlock
+    // (a mismatched or dropped collective); dump and abort rather than hang
+    // the whole suite.
+    const auto timeout =
+        std::chrono::duration<double, std::milli>(state_->hang_timeout_ms);
+    while (!box.cv.wait_for(lk, timeout, ready)) {
+      lk.unlock();
+      state_->DumpHangAndAbort(world_rank_);
+    }
+  } else {
+    box.cv.wait(lk, ready);
+  }
   auto it = std::find_if(box.q.begin(), box.q.end(), matches);
   msg = std::move(*it);
   box.q.erase(it);
   lk.unlock();
+  {
+    std::lock_guard<std::mutex> tlk(state_->trace_mutex);
+    auto& w = state_->waits[world_rank_];
+    w.waiting = false;
+    ++w.recvs;
+  }
 
   auto& clk = clock();
   clk.AdvanceTo(msg.arrive_time);

@@ -46,6 +46,13 @@ struct Mailbox {
   std::deque<Message> q;
 };
 
+/// What a rank is blocked on, for the hang watchdog's dump.
+struct WaitRecord {
+  bool waiting = false;
+  int src = 0, tag = 0, ctx = 0;  ///< envelope being waited for
+  std::uint64_t recvs = 0;        ///< receives completed so far
+};
+
 /// State shared by all ranks of a Runtime instance.
 struct SharedState {
   explicit SharedState(int world_size, CostModel cm);
@@ -55,6 +62,16 @@ struct SharedState {
   std::vector<VirtualClock> clocks;                 ///< indexed by world rank
   std::mutex ctx_mutex;
   int next_ctx = 1;  ///< context 0 is the world communicator
+
+  // Hang watchdog: resolved timeout (CostModel value, PNC_HANG_TIMEOUT_MS
+  // env override) and the per-rank wait trace it dumps before aborting.
+  double hang_timeout_ms = 0.0;
+  std::mutex trace_mutex;
+  std::vector<WaitRecord> waits;  ///< indexed by world rank
+
+  /// Print every rank's wait state and the mailbox depths, then abort.
+  /// Called by the rank whose Recv timed out.
+  [[noreturn]] void DumpHangAndAbort(int world_rank);
 };
 
 Comm MakeComm(std::shared_ptr<SharedState> state, std::vector<int> members,

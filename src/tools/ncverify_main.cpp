@@ -1,0 +1,78 @@
+// ncverify — fsck for classic netCDF files written through the commit
+// journal (<file>.nccommit sidecar).
+//
+// Usage: ncverify [--repair] [-q] file.nc
+//   --repair  roll a torn file back to its last committed state, in place
+//   -q        quiet: no per-file report, exit status only
+//
+// Exit status: 0 clean (or repaired), 1 torn but recoverable, 2 corrupt or
+// usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "tools/verify.hpp"
+
+int main(int argc, char** argv) {
+  nctools::VerifyOptions opts;
+  bool quiet = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repair") == 0) {
+      opts.repair = true;
+    } else if (std::strcmp(argv[i], "-q") == 0) {
+      quiet = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: ncverify [--repair] [-q] file.nc\n");
+    return 2;
+  }
+
+  pfs::FileSystem fs;
+  if (!fs.AttachDisk(path, path).ok()) {
+    std::fprintf(stderr, "ncverify: cannot open %s\n", path);
+    return 2;
+  }
+  const std::string jpath = ncformat::JournalPath(path);
+  std::error_code ec;
+  if (std::filesystem::exists(jpath, ec) &&
+      !fs.AttachDisk(jpath, jpath).ok()) {
+    std::fprintf(stderr, "ncverify: cannot open %s\n", jpath.c_str());
+    return 2;
+  }
+
+  auto r = nctools::VerifyFile(fs, path, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "ncverify: %s\n", r.status().message().c_str());
+    return 2;
+  }
+  const nctools::VerifyResult& v = r.value();
+  if (!quiet) {
+    const char* label = v.state == ncformat::FileState::kClean
+                            ? (v.repaired ? "repaired" : "clean")
+                            : v.state == ncformat::FileState::kTornRecoverable
+                                  ? "torn (recoverable)"
+                                  : "corrupt";
+    std::printf("%s: %s — %s\n", path, label, v.detail.c_str());
+    if (!v.has_journal) std::printf("  (no commit journal)\n");
+    for (const auto& n : v.notes) std::printf("  note: %s\n", n.c_str());
+    if (v.state == ncformat::FileState::kTornRecoverable && !opts.repair)
+      std::printf("  run with --repair to restore the committed state\n");
+  }
+  switch (v.state) {
+    case ncformat::FileState::kClean:
+      return 0;
+    case ncformat::FileState::kTornRecoverable:
+      return 1;
+    case ncformat::FileState::kCorrupt:
+    default:
+      return 2;
+  }
+}

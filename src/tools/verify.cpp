@@ -1,0 +1,136 @@
+#include "tools/verify.hpp"
+
+#include <algorithm>
+
+#include "format/commit_pfs.hpp"
+#include "format/header.hpp"
+#include "simmpi/clock.hpp"
+
+namespace nctools {
+
+namespace {
+
+using ncformat::FileState;
+using ncformat::Header;
+
+/// Stand-in journal for files that never had one: AnalyzeCommit sees an
+/// empty store and takes its no-journal classification path.
+class NullCommitIo final : public ncformat::CommitIo {
+ public:
+  pnc::Status Read(std::uint64_t, pnc::ByteSpan) override {
+    return pnc::Status(pnc::Err::kIo, "no journal");
+  }
+  pnc::Status Write(std::uint64_t, pnc::ConstByteSpan) override {
+    return pnc::Status(pnc::Err::kIo, "no journal");
+  }
+  pnc::Status Sync() override { return pnc::Status::Ok(); }
+  std::uint64_t Size() override { return 0; }
+};
+
+/// Walk the variable extents the surviving header declares and note
+/// anything odd. None of these are corruption by themselves — pfs reads
+/// zero-fill past EOF, so a short file is a legal unwritten tail — but they
+/// are exactly what an operator wants to see after a crash.
+void WalkExtents(const Header& h, std::uint64_t file_size,
+                 std::vector<std::string>& notes) {
+  struct Span {
+    std::uint64_t begin, end;
+    const std::string* name;
+  };
+  std::vector<Span> fixed;
+  std::uint64_t rec_begin = 0;
+  bool has_rec = false;
+  for (std::size_t i = 0; i < h.vars.size(); ++i) {
+    const auto& v = h.vars[i];
+    if (v.begin < h.data_begin()) {
+      notes.push_back("variable '" + v.name +
+                      "' begins inside the header region");
+      continue;
+    }
+    if (h.IsRecordVar(static_cast<int>(i))) {
+      rec_begin = has_rec ? std::min(rec_begin, v.begin) : v.begin;
+      has_rec = true;
+    } else {
+      fixed.push_back({v.begin, v.begin + v.vsize, &v.name});
+    }
+  }
+  std::sort(fixed.begin(), fixed.end(),
+            [](const Span& a, const Span& b) { return a.begin < b.begin; });
+  for (std::size_t i = 1; i < fixed.size(); ++i) {
+    if (fixed[i].begin < fixed[i - 1].end)
+      notes.push_back("variables '" + *fixed[i - 1].name + "' and '" +
+                      *fixed[i].name + "' overlap");
+  }
+  if (has_rec && !fixed.empty() && rec_begin < fixed.back().end)
+    notes.push_back("record section begins inside fixed variable '" +
+                    *fixed.back().name + "'");
+  const std::uint64_t expected = h.FileSize();
+  if (file_size < expected)
+    notes.push_back("file is " + std::to_string(expected - file_size) +
+                    " bytes shorter than the header declares "
+                    "(unwritten tail reads as fill)");
+}
+
+}  // namespace
+
+pnc::Result<VerifyResult> VerifyFile(pfs::FileSystem& fs,
+                                     const std::string& path,
+                                     const VerifyOptions& opts) {
+  VerifyResult out;
+  simmpi::VirtualClock clock;
+
+  auto pf = fs.Open(path);
+  if (!pf.ok()) return pf.status();
+  ncformat::PfsCommitIo primary(std::move(pf).value(), &clock);
+
+  ncformat::VerifyReport rep;
+  const std::string jpath = ncformat::JournalPath(path);
+  if (fs.Exists(jpath)) {
+    auto jf = fs.Open(jpath);
+    if (!jf.ok()) return jf.status();
+    ncformat::PfsCommitIo journal(std::move(jf).value(), &clock);
+    auto r = ncformat::AnalyzeCommit(journal, primary);
+    if (!r.ok()) return r.status();
+    rep = std::move(r).value();
+  } else {
+    NullCommitIo none;
+    auto r = ncformat::AnalyzeCommit(none, primary);
+    if (!r.ok()) return r.status();
+    rep = std::move(r).value();
+  }
+
+  out.state = rep.state;
+  out.has_journal = rep.has_journal;
+  out.detail = rep.detail;
+
+  if (opts.repair && rep.state == FileState::kTornRecoverable) {
+    PNC_RETURN_IF_ERROR(ncformat::RepairFromReport(rep, primary));
+    out.repaired = true;
+    out.state = FileState::kClean;
+  }
+
+  // Extent walk over whichever header survives: the primary for clean (or
+  // just-repaired) files, the reconstructed committed image for torn ones.
+  std::optional<Header> h;
+  if (out.state == FileState::kTornRecoverable &&
+      !rep.committed_header.empty()) {
+    auto d = Header::Decode(rep.committed_header);
+    if (d.ok()) h = std::move(d).value();
+  } else if (out.state == FileState::kClean) {
+    std::vector<std::byte> bytes(
+        std::min<std::uint64_t>(primary.Size(), 64 * 1024));
+    if (primary.Read(0, bytes).ok()) {
+      auto d = Header::Decode(bytes);
+      if (!d.ok() && d.status().code() == pnc::Err::kTrunc &&
+          bytes.size() < primary.Size()) {
+        bytes.resize(primary.Size());
+        if (primary.Read(0, bytes).ok()) d = Header::Decode(bytes);
+      }
+      if (d.ok()) h = std::move(d).value();
+    }
+  }
+  if (h) WalkExtents(*h, primary.Size(), out.notes);
+  return out;
+}
+
+}  // namespace nctools

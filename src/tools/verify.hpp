@@ -1,0 +1,37 @@
+// ncverify — fsck-style crash-consistency check/repair for classic netCDF
+// files written through the commit journal (format/commit.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "format/commit.hpp"
+#include "pfs/pfs.hpp"
+
+namespace nctools {
+
+struct VerifyOptions {
+  bool repair = false;  ///< roll a torn primary back to the committed state
+};
+
+struct VerifyResult {
+  ncformat::FileState state = ncformat::FileState::kCorrupt;
+  bool has_journal = false;
+  bool repaired = false;   ///< a repair was performed (state is post-repair)
+  std::string detail;      ///< classification rationale
+  std::vector<std::string> notes;  ///< extent-walk observations (non-fatal)
+};
+
+/// Classify `path` against its sidecar commit journal: kClean (primary
+/// matches the committed state, or no journal and the header decodes),
+/// kTornRecoverable (a crash tore the header or record count but the
+/// committed state is reconstructible), or kCorrupt. With `opts.repair`, a
+/// torn file is rewritten in place to the committed state. After
+/// classification the variable extents declared by the surviving header are
+/// walked against the file size; anomalies that are legal under pfs
+/// zero-fill semantics (e.g. unwritten tails) are reported as notes.
+pnc::Result<VerifyResult> VerifyFile(pfs::FileSystem& fs,
+                                     const std::string& path,
+                                     const VerifyOptions& opts = {});
+
+}  // namespace nctools

@@ -1,0 +1,39 @@
+// CRC-32 (ISO-HDLC / zlib polynomial, reflected 0xEDB88320).
+//
+// Used by the crash-consistency commit protocol to checksum the shadow
+// header and the commit record, so a torn write is detected rather than
+// trusted. Table-driven, computed at compile time; no dependencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace pnc {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = MakeCrc32Table();
+}  // namespace detail
+
+/// One-shot or incremental CRC-32. Start with crc = 0; feed chunks by
+/// passing the previous return value back in.
+inline std::uint32_t Crc32(ConstByteSpan data, std::uint32_t crc = 0) {
+  crc = ~crc;
+  for (const std::byte b : data)
+    crc = detail::kCrc32Table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^
+          (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace pnc

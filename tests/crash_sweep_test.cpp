@@ -1,0 +1,365 @@
+// Crash-consistency sweeps: a simulated power loss at EVERY byte boundary of
+// a commit sequence must leave the dataset all-old or all-new, never a
+// hybrid. Each iteration arms pfs::FaultPolicy::crash_after_write_bytes = t,
+// runs one mutation (header commit / record append / fresh create), reboots
+// (SetFaultPolicy({})), fscks the frozen image with nctools::VerifyFile
+// (--repair semantics), and checks the reopened dataset against reference
+// copies of the two legal states with CompareDatasets. The sweep ends at the
+// first t the sequence survives uncrashed, so every byte boundary is hit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "netcdf/dataset.hpp"
+#include "pnetcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+#include "test_support.hpp"
+#include "tools/compare.hpp"
+#include "tools/verify.hpp"
+
+namespace {
+
+using ncformat::NcType;
+
+// Safety net: no commit sequence here writes anywhere near this many bytes.
+constexpr std::uint64_t kSweepCeiling = 100'000;
+
+pfs::FaultPolicy ArmCrash(pfs::FileSystem& fs, std::uint64_t t) {
+  pfs::FaultPolicy p;
+  p.crash_after_write_bytes = t;
+  fs.SetFaultPolicy(p);
+  return p;
+}
+
+/// fsck + repair the frozen image; a crashed commit sequence over a
+/// previously committed dataset must never be unrecoverable.
+void VerifyAndRepair(pfs::FileSystem& fs, const std::string& path) {
+  auto before = nctools::VerifyFile(fs, path);
+  ASSERT_TRUE(before.ok()) << before.status().message();
+  ASSERT_NE(before.value().state, ncformat::FileState::kCorrupt)
+      << before.value().detail;
+  auto after = nctools::VerifyFile(fs, path, {.repair = true});
+  ASSERT_TRUE(after.ok()) << after.status().message();
+  ASSERT_EQ(after.value().state, ncformat::FileState::kClean)
+      << after.value().detail;
+  // Repair is idempotent: a second pass finds nothing to do.
+  auto again = nctools::VerifyFile(fs, path, {.repair = true});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().state, ncformat::FileState::kClean);
+  EXPECT_FALSE(again.value().repaired) << again.value().detail;
+}
+
+/// Build the reference dataset for the header-commit sweep: eight doubles in
+/// a variable named `var_name` ("aa" = pre-crash, "bb" = post-rename).
+void MakeRenameRef(pfs::FileSystem& fs, const std::string& path,
+                   const std::string& var_name) {
+  auto ds = netcdf::Dataset::Create(fs, path).value();
+  const int x = ds.DefDim("x", 8).value();
+  const int v = ds.DefVar(var_name, NcType::kDouble, {x}).value();
+  ASSERT_TRUE(ds.EndDef().ok());
+  std::vector<double> vals(8);
+  std::iota(vals.begin(), vals.end(), 1.0);
+  ASSERT_TRUE(ds.PutVar<double>(v, vals).ok());
+  ASSERT_TRUE(ds.Close().ok());
+}
+
+void ExpectMatchesRef(pfs::FileSystem& fs, const std::string& path,
+                      pfs::FileSystem& ref_fs, const std::string& ref_path) {
+  auto a = netcdf::Dataset::Open(fs, path, false);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  auto b = netcdf::Dataset::Open(ref_fs, ref_path, false);
+  ASSERT_TRUE(b.ok()) << b.status().message();
+  auto diff = nctools::CompareDatasets(a.value(), b.value());
+  ASSERT_TRUE(diff.ok()) << diff.status().message();
+  EXPECT_TRUE(diff.value().equal)
+      << (diff.value().differences.empty() ? std::string("(no detail)")
+                                           : diff.value().differences[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Header commit (enddef/close of a schema change). The mutation renames the
+// only variable "aa" -> "bb" — same name length, so the layout is preserved
+// and the whole change is one atomic header commit. Every crash point must
+// yield exactly the old schema or exactly the new one, with data intact.
+TEST(CrashSweep, HeaderCommitEveryByteAllOldOrAllNew) {
+  pfs::FileSystem ref_fs;
+  MakeRenameRef(ref_fs, "old.nc", "aa");
+  MakeRenameRef(ref_fs, "new.nc", "bb");
+
+  int old_outcomes = 0, new_outcomes = 0;
+  for (std::uint64_t t = 0; t < kSweepCeiling; ++t) {
+    pfs::FileSystem fs;
+    MakeRenameRef(fs, "f.nc", "aa");  // committed pre-crash state
+
+    const pfs::FaultPolicy pol = ArmCrash(fs, t);
+    SCOPED_TRACE("crash point t=" + std::to_string(t) + " " +
+                 pnc_test::DescribePolicy(pol));
+    {
+      auto ds = netcdf::Dataset::Open(fs, "f.nc", true);
+      if (ds.ok()) {
+        auto d = std::move(ds).value();
+        (void)d.Redef();
+        (void)d.RenameVar(0, "bb");
+        (void)d.EndDef();
+        (void)d.Close();
+      }
+    }
+    const bool crashed = fs.crashed();
+    fs.SetFaultPolicy({});  // reboot: thaw the image for recovery
+
+    VerifyAndRepair(fs, "f.nc");
+    auto rd = netcdf::Dataset::Open(fs, "f.nc", false);
+    ASSERT_TRUE(rd.ok()) << rd.status().message();
+    const bool has_old = rd.value().VarId("aa").ok();
+    const bool has_new = rd.value().VarId("bb").ok();
+    ASSERT_NE(has_old, has_new) << "hybrid header after repair";
+    ExpectMatchesRef(fs, "f.nc", ref_fs, has_old ? "old.nc" : "new.nc");
+
+    if (!crashed) {
+      // Threshold beyond the sequence: the rename ran to completion, which
+      // also means the sweep has covered every byte of the commit path.
+      EXPECT_TRUE(has_new);
+      ++new_outcomes;
+      break;
+    }
+    (has_old ? old_outcomes : new_outcomes)++;
+  }
+  // The sweep must have produced both verdicts: early crashes keep the old
+  // schema, post-commit crashes carry the new one.
+  EXPECT_GT(old_outcomes, 0);
+  EXPECT_GT(new_outcomes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Record append (torn numrecs, serial). Committed state: two records. The
+// mutation appends a third and closes; numrecs may only grow after the
+// record's data writes land, so every crash point yields numrecs == 2 with
+// records 0-1 intact, or numrecs == 3 with record 2 intact as well.
+void MakeRecordRef(pfs::FileSystem& fs, const std::string& path,
+                   std::uint64_t nrecs) {
+  auto ds = netcdf::Dataset::Create(fs, path).value();
+  const int time = ds.DefDim("time", 0).value();  // unlimited
+  const int x = ds.DefDim("x", 4).value();
+  const int v = ds.DefVar("r", NcType::kInt, {time, x}).value();
+  ASSERT_TRUE(ds.EndDef().ok());
+  for (std::uint64_t rec = 0; rec < nrecs; ++rec) {
+    std::vector<std::int32_t> vals(4);
+    std::iota(vals.begin(), vals.end(), static_cast<std::int32_t>(10 * rec));
+    const std::uint64_t st[] = {rec, 0};
+    const std::uint64_t ct[] = {1, 4};
+    ASSERT_TRUE(ds.PutVara<std::int32_t>(v, st, ct, vals).ok());
+  }
+  ASSERT_TRUE(ds.Close().ok());
+}
+
+TEST(CrashSweep, SerialRecordAppendTornNumrecs) {
+  pfs::FileSystem ref_fs;
+  MakeRecordRef(ref_fs, "two.nc", 2);
+  MakeRecordRef(ref_fs, "three.nc", 3);
+
+  int old_outcomes = 0, new_outcomes = 0;
+  for (std::uint64_t t = 0; t < kSweepCeiling; ++t) {
+    pfs::FileSystem fs;
+    MakeRecordRef(fs, "f.nc", 2);  // committed pre-crash state
+
+    const pfs::FaultPolicy pol = ArmCrash(fs, t);
+    SCOPED_TRACE("crash point t=" + std::to_string(t) + " " +
+                 pnc_test::DescribePolicy(pol));
+    {
+      auto ds = netcdf::Dataset::Open(fs, "f.nc", true);
+      if (ds.ok()) {
+        auto d = std::move(ds).value();
+        const std::vector<std::int32_t> vals = {20, 21, 22, 23};
+        const std::uint64_t st[] = {2, 0};
+        const std::uint64_t ct[] = {1, 4};
+        (void)d.PutVara<std::int32_t>(d.VarId("r").value(), st, ct, vals);
+        (void)d.Close();
+      }
+    }
+    const bool crashed = fs.crashed();
+    fs.SetFaultPolicy({});
+
+    VerifyAndRepair(fs, "f.nc");
+    auto rd = netcdf::Dataset::Open(fs, "f.nc", false);
+    ASSERT_TRUE(rd.ok()) << rd.status().message();
+    const std::uint64_t n = rd.value().numrecs();
+    ASSERT_TRUE(n == 2 || n == 3) << "hybrid record count " << n;
+    ExpectMatchesRef(fs, "f.nc", ref_fs, n == 2 ? "two.nc" : "three.nc");
+
+    if (!crashed) {
+      EXPECT_EQ(n, 3u);
+      ++new_outcomes;
+      break;
+    }
+    (n == 2 ? old_outcomes : new_outcomes)++;
+  }
+  EXPECT_GT(old_outcomes, 0);
+  EXPECT_GT(new_outcomes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fresh create (first enddef/close, journal bootstrap). There is no old
+// state: every crash point must leave either a file the open path cleanly
+// rejects (never committed) or a dataset with exactly the committed schema.
+// Fixed-variable DATA is outside the commit protocol — under NoFill an
+// unwritten or torn tail legally reads back as zeros — so only the schema
+// and record count are asserted here.
+TEST(CrashSweep, FreshCreateEveryByteSchemaAtomic) {
+  for (std::uint64_t t = 0; t < kSweepCeiling; ++t) {
+    pfs::FileSystem fs;
+    const pfs::FaultPolicy pol = ArmCrash(fs, t);
+    SCOPED_TRACE("crash point t=" + std::to_string(t) + " " +
+                 pnc_test::DescribePolicy(pol));
+    {
+      auto ds = netcdf::Dataset::Create(fs, "f.nc");
+      if (ds.ok()) {
+        auto d = std::move(ds).value();
+        const auto x = d.DefDim("x", 8);
+        if (x.ok()) {
+          const auto v = d.DefVar("a", NcType::kDouble, {x.value()});
+          if (v.ok()) {
+            (void)d.EndDef();
+            std::vector<double> vals(8, 1.0);
+            (void)d.PutVar<double>(v.value(), vals);
+            (void)d.Close();
+          }
+        }
+      }
+    }
+    const bool crashed = fs.crashed();
+    fs.SetFaultPolicy({});
+
+    if (!fs.Exists("f.nc")) {
+      ASSERT_TRUE(crashed);  // crash before the primary file existed
+      continue;
+    }
+    auto vr = nctools::VerifyFile(fs, "f.nc", {.repair = true});
+    ASSERT_TRUE(vr.ok()) << vr.status().message();
+    if (vr.value().state == ncformat::FileState::kCorrupt) {
+      // Never committed: the open path must reject it, not misread it.
+      EXPECT_FALSE(netcdf::Dataset::Open(fs, "f.nc", false).ok());
+    } else {
+      auto rd = netcdf::Dataset::Open(fs, "f.nc", false);
+      ASSERT_TRUE(rd.ok()) << rd.status().message();
+      EXPECT_EQ(rd.value().ndims(), 1);
+      EXPECT_EQ(rd.value().nvars(), 1);
+      EXPECT_TRUE(rd.value().VarId("a").ok());
+      EXPECT_EQ(rd.value().numrecs(), 0u);
+    }
+    if (!crashed) break;  // whole create sequence covered
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record append through the parallel path, four ranks (torn numrecs,
+// collective). The root performs the journal commit after a collective data
+// sync, so a committed count always implies durable record data — on every
+// rank's writes, not just the root's.
+TEST(CrashSweep, ParallelRecordAppendFourRanksTornNumrecs) {
+  auto write_record = [](pnetcdf::Dataset& ds, int v, std::uint64_t rec,
+                         int rank) {
+    // Rank r owns elements [2r, 2r+2) of the 8-wide record row.
+    const std::int32_t base = static_cast<std::int32_t>(100 * rec + 10 * rank);
+    const std::vector<std::int32_t> mine = {base, base + 1};
+    const std::uint64_t st[] = {rec, static_cast<std::uint64_t>(2 * rank)};
+    const std::uint64_t ct[] = {1, 2};
+    return ds.PutVaraAll<std::int32_t>(v, st, ct, mine);
+  };
+
+  int old_outcomes = 0, new_outcomes = 0;
+  for (std::uint64_t t = 0; t < kSweepCeiling; ++t) {
+    pfs::FileSystem fs;
+    simmpi::Run(4, [&](simmpi::Comm& c) {  // committed state: one record
+      auto ds =
+          pnetcdf::Dataset::Create(c, fs, "p.nc", simmpi::NullInfo()).value();
+      const int time = ds.DefDim("time", pnetcdf::kUnlimited).value();
+      const int x = ds.DefDim("x", 8).value();
+      const int v = ds.DefVar("r", NcType::kInt, {time, x}).value();
+      ASSERT_TRUE(ds.EndDef().ok());
+      ASSERT_TRUE(write_record(ds, v, 0, c.rank()).ok());
+      ASSERT_TRUE(ds.Close().ok());
+    });
+
+    const pfs::FaultPolicy pol = ArmCrash(fs, t);
+    SCOPED_TRACE("crash point t=" + std::to_string(t) + " " +
+                 pnc_test::DescribePolicy(pol));
+    simmpi::Run(4, [&](simmpi::Comm& c) {
+      auto r = pnetcdf::Dataset::Open(c, fs, "p.nc", true, simmpi::NullInfo());
+      if (!r.ok()) return;  // every rank sees the same broadcast verdict
+      auto ds = std::move(r).value();
+      const int v = ds.VarId("r").value();
+      (void)write_record(ds, v, 1, c.rank());
+      (void)ds.Close();
+    });
+    const bool crashed = fs.crashed();
+    fs.SetFaultPolicy({});
+
+    VerifyAndRepair(fs, "p.nc");
+    auto rd = netcdf::Dataset::Open(fs, "p.nc", false);
+    ASSERT_TRUE(rd.ok()) << rd.status().message();
+    auto d = std::move(rd).value();
+    const std::uint64_t n = d.numrecs();
+    ASSERT_TRUE(n == 1 || n == 2) << "hybrid record count " << n;
+    const int v = d.VarId("r").value();
+    for (std::uint64_t rec = 0; rec < n; ++rec) {
+      std::vector<std::int32_t> got(8);
+      const std::uint64_t st[] = {rec, 0};
+      const std::uint64_t ct[] = {1, 8};
+      ASSERT_TRUE(d.GetVara<std::int32_t>(v, st, ct, got).ok());
+      for (int rank = 0; rank < 4; ++rank) {
+        const std::int32_t base =
+            static_cast<std::int32_t>(100 * rec + 10 * rank);
+        EXPECT_EQ(got[2 * rank], base) << "rec " << rec << " rank " << rank;
+        EXPECT_EQ(got[2 * rank + 1], base + 1);
+      }
+    }
+
+    if (!crashed) {
+      EXPECT_EQ(n, 2u);
+      ++new_outcomes;
+      break;
+    }
+    (n == 1 ? old_outcomes : new_outcomes)++;
+  }
+  EXPECT_GT(old_outcomes, 0);
+  EXPECT_GT(new_outcomes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scripted crash point: crash_op pins the dying op by index and
+// crash_write_bytes tears its payload at a chosen boundary; afterwards the
+// image is frozen (every Try* op fails) until SetFaultPolicy models reboot.
+TEST(CrashScripted, TornWriteFreezesImageUntilReboot) {
+  pfs::FileSystem fs;
+  auto f = fs.Create("t.bin", false).value();
+  std::vector<std::byte> payload(64, std::byte{0xAB});
+  ASSERT_TRUE(f.TryWrite(0, payload, 0.0).status.ok());
+
+  pfs::FaultPolicy pol;
+  pol.crash_op = 0;           // SetPolicy resets op indices: the next op
+  pol.crash_write_bytes = 17; // tear mid-payload
+  fs.SetFaultPolicy(pol);
+  SCOPED_TRACE(pnc_test::DescribePolicy(pol));
+
+  std::vector<std::byte> next(64, std::byte{0xCD});
+  const pfs::IoResult w = f.TryWrite(0, next, 0.0);
+  EXPECT_FALSE(w.status.ok());
+  EXPECT_TRUE(fs.crashed());
+  EXPECT_EQ(fs.stats().crashes, 1u);
+
+  // Frozen: reads and writes both refuse until reboot; the harness path
+  // still works so the torn image can be inspected.
+  std::byte b{};
+  EXPECT_FALSE(f.TryRead(0, pnc::ByteSpan(&b, 1), 0.0).status.ok());
+  EXPECT_EQ(pnc_test::ByteAt(fs, "t.bin", 16), std::byte{0xCD});  // torn prefix
+  EXPECT_EQ(pnc_test::ByteAt(fs, "t.bin", 17), std::byte{0xAB});  // old bytes
+
+  fs.SetFaultPolicy({});  // reboot
+  EXPECT_FALSE(fs.crashed());
+  EXPECT_TRUE(f.TryRead(0, pnc::ByteSpan(&b, 1), 0.0).status.ok());
+}
+
+}  // namespace

@@ -63,9 +63,10 @@ TEST(FaultMatrix, TransientCollectiveWriteSucceedsAfterRetries) {
         pnetcdf::Dataset::Open(c, fs, "m.nc", true, simmpi::NullInfo()).value();
     // Arm the schedule only after every rank finished opening: the first
     // four faultable ops fail transiently, everything after succeeds.
+    pfs::FaultPolicy pol;
+    pol.transient_ops = {0, 1, 2, 3};
+    SCOPED_TRACE(pnc_test::DescribePolicy(pol));
     if (c.rank() == 0) {
-      pfs::FaultPolicy pol;
-      pol.transient_ops = {0, 1, 2, 3};
       fs.SetFaultPolicy(pol);
       fs.ResetStats();
     }
@@ -98,9 +99,10 @@ TEST(FaultMatrix, TransientIndependentWriteSucceedsAfterRetries) {
     auto ds =
         pnetcdf::Dataset::Open(c, fs, "m.nc", true, simmpi::NullInfo()).value();
     ASSERT_TRUE(ds.BeginIndepData().ok());
+    pfs::FaultPolicy pol;
+    pol.transient_ops = {0, 1, 2, 3};
+    SCOPED_TRACE(pnc_test::DescribePolicy(pol));
     if (c.rank() == 0) {
-      pfs::FaultPolicy pol;
-      pol.transient_ops = {0, 1, 2, 3};
       fs.SetFaultPolicy(pol);
       fs.ResetStats();
     }
@@ -127,9 +129,10 @@ TEST(FaultMatrix, TransientCollectiveReadSucceedsAfterRetries) {
   simmpi::Run(kRanks, [&](Comm& c) {
     auto ds = pnetcdf::Dataset::Open(c, fs, "m.nc", false, simmpi::NullInfo())
                   .value();
+    pfs::FaultPolicy pol;
+    pol.transient_ops = {0, 1, 2, 3};
+    SCOPED_TRACE(pnc_test::DescribePolicy(pol));
     if (c.rank() == 0) {
-      pfs::FaultPolicy pol;
-      pol.transient_ops = {0, 1, 2, 3};
       fs.SetFaultPolicy(pol);
       fs.ResetStats();
     }
@@ -162,9 +165,10 @@ TEST(FaultMatrix, PermanentCollectiveWriteFailsIdenticallyNoTorn) {
     simmpi::Info info;
     info.Set("cb_buffer_size", "4096");
     auto ds = pnetcdf::Dataset::Open(c, fs, "m.nc", true, info).value();
+    pfs::FaultPolicy pol;
+    pol.permanent_from = 2;  // a couple of window writes land, then none
+    SCOPED_TRACE(pnc_test::DescribePolicy(pol));
     if (c.rank() == 0) {
-      pfs::FaultPolicy pol;
-      pol.permanent_from = 2;  // a couple of window writes land, then none
       fs.SetFaultPolicy(pol);
       fs.ResetStats();
     }
@@ -210,9 +214,10 @@ TEST(FaultMatrix, PermanentIndependentWriteReportsError) {
     auto ds =
         pnetcdf::Dataset::Open(c, fs, "m.nc", true, simmpi::NullInfo()).value();
     ASSERT_TRUE(ds.BeginIndepData().ok());
+    pfs::FaultPolicy pol;
+    pol.permanent_from = 0;  // everything fails
+    SCOPED_TRACE(pnc_test::DescribePolicy(pol));
     if (c.rank() == 0) {
-      pfs::FaultPolicy pol;
-      pol.permanent_from = 0;  // everything fails
       fs.SetFaultPolicy(pol);
     }
     c.Barrier();
@@ -245,6 +250,7 @@ TEST(FaultMatrix, OutageWindowCrossedByBackoff) {
     // Server 0 (owner of offset 0) is down until t = 2.5 ms of virtual
     // time; exponential backoff must carry the retry past the window.
     pol.outages.push_back({0, 0.0, 2.5e6});
+    SCOPED_TRACE(pnc_test::DescribePolicy(pol));
     fs.SetFaultPolicy(pol);
     fs.ResetStats();
 
@@ -257,7 +263,7 @@ TEST(FaultMatrix, OutageWindowCrossedByBackoff) {
   fs.SetFaultPolicy(pfs::FaultPolicy{});
   auto f = fs.Open("o.dat").value();
   std::vector<std::byte> back(1024);
-  f.Read(0, back, 0.0);
+  f.HarnessRead(0, back, 0.0);
   for (auto b : back) ASSERT_EQ(b, std::byte{0x42});
 }
 
@@ -271,6 +277,7 @@ TEST(FaultMatrix, ShortWritesConverge) {
                  .value();
     pfs::FaultPolicy pol;
     pol.short_write_prob = 1.0;  // every write ≥ 2 bytes transfers only half
+    SCOPED_TRACE(pnc_test::DescribePolicy(pol));
     fs.SetFaultPolicy(pol);
     fs.ResetStats();
 
@@ -286,7 +293,7 @@ TEST(FaultMatrix, ShortWritesConverge) {
     fs.SetFaultPolicy(pfs::FaultPolicy{});
     auto raw = fs.Open("s.dat").value();
     std::vector<std::byte> back(4096);
-    raw.Read(0, back, 0.0);
+    raw.HarnessRead(0, back, 0.0);
     EXPECT_EQ(back, data);
   });
 }
@@ -297,10 +304,11 @@ TEST(FaultMatrix, BitflipReadIsSilentAndCounted) {
   pfs::FileSystem fs;
   auto f = fs.Create("b.dat", false).value();
   std::vector<std::byte> data(256, std::byte{0});
-  f.Write(0, data, 0.0);
+  f.HarnessWrite(0, data, 0.0);
 
   pfs::FaultPolicy pol;
   pol.bitflip_read_prob = 1.0;
+  SCOPED_TRACE(pnc_test::DescribePolicy(pol));
   fs.SetFaultPolicy(pol);
   fs.ResetStats();
 
@@ -333,6 +341,7 @@ TEST(FaultMatrix, BufferedFileFailedFlushStaysDirtyThenRetries) {
 
   pfs::FaultPolicy pol;
   pol.permanent_from = 0;
+  SCOPED_TRACE(pnc_test::DescribePolicy(pol));
   fs.SetFaultPolicy(pol);
   const pnc::Status bad = io.Flush();
   ASSERT_FALSE(bad.ok());
@@ -343,7 +352,7 @@ TEST(FaultMatrix, BufferedFileFailedFlushStaysDirtyThenRetries) {
   fs.SetFaultPolicy(pfs::FaultPolicy{});
   ASSERT_TRUE(io.Flush().ok());
   std::byte back[3];
-  file.Read(10, pnc::ByteSpan(back, 3), 0.0);
+  file.HarnessRead(10, pnc::ByteSpan(back, 3), 0.0);
   EXPECT_EQ(back[0], std::byte{7});
   EXPECT_EQ(back[1], std::byte{8});
   EXPECT_EQ(back[2], std::byte{9});

@@ -13,7 +13,7 @@ using ncformat::NcType;
 std::vector<std::byte> FileBytes(pfs::FileSystem& fs, const std::string& path) {
   auto f = fs.Open(path).value();
   std::vector<std::byte> all(f.size());
-  f.Read(0, all, 0.0);
+  f.HarnessRead(0, all, 0.0);
   return all;
 }
 

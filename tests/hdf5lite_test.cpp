@@ -209,7 +209,7 @@ TEST(Format, OpenRejectsGarbage) {
   {
     auto f = fs.Create("junk", false).value();
     std::vector<std::byte> j(256, std::byte{0x11});
-    f.Write(0, j, 0.0);
+    f.HarnessWrite(0, j, 0.0);
   }
   simmpi::Run(2, [&](Comm& c) {
     auto r = File::Open(c, fs, "junk", false, simmpi::NullInfo());

@@ -186,7 +186,7 @@ TEST_P(TwoPhaseP, InterleavedCollectiveWriteRead) {
   // c / my_cols with local index r * my_cols + c % my_cols.
   auto file = fs.Open("tp.dat").value();
   std::vector<std::int32_t> all(rows * cols);
-  file.Read(0, pnc::ByteSpan(reinterpret_cast<std::byte*>(all.data()),
+  file.HarnessRead(0, pnc::ByteSpan(reinterpret_cast<std::byte*>(all.data()),
                              all.size() * 4),
             0.0);
   const std::uint64_t my_cols = cols / static_cast<std::uint64_t>(nprocs);
@@ -229,7 +229,7 @@ TEST(TwoPhase, CollectiveMatchesIndependent) {
     });
     auto file = fs.Open("x.dat").value();
     std::vector<std::byte> bytes(file.size());
-    file.Read(0, bytes, 0.0);
+    file.HarnessRead(0, bytes, 0.0);
     (collective ? coll_bytes : indep_bytes) = std::move(bytes);
   }
   EXPECT_EQ(coll_bytes, indep_bytes);
@@ -241,7 +241,7 @@ TEST(TwoPhase, WriteWithHolesPreservesBackground) {
   // Background fill first.
   {
     auto f = fs.Create("h.dat", false).value();
-    f.Write(0, Pattern(8192, 9), 0.0);
+    f.HarnessWrite(0, Pattern(8192, 9), 0.0);
   }
   simmpi::Run(2, [&](Comm& c) {
     auto f = File::Open(c, fs, "h.dat", kRdWr, simmpi::NullInfo()).value();
@@ -257,7 +257,7 @@ TEST(TwoPhase, WriteWithHolesPreservesBackground) {
   });
   auto file = fs.Open("h.dat").value();
   std::vector<std::byte> all(8192);
-  file.Read(0, all, 0.0);
+  file.HarnessRead(0, all, 0.0);
   auto bg = Pattern(8192, 9);
   auto d0 = Pattern(256, 50);
   auto d1 = Pattern(256, 51);
@@ -289,7 +289,7 @@ TEST(TwoPhase, UnevenParticipation) {
   auto file = fs.Open("u.dat").value();
   ASSERT_EQ(file.size(), 600u);
   std::vector<std::byte> all(600);
-  file.Read(0, all, 0.0);
+  file.HarnessRead(0, all, 0.0);
   auto d0 = Pattern(300, 60);
   auto d1 = Pattern(300, 61);
   EXPECT_TRUE(std::equal(all.begin(), all.begin() + 300, d0.begin()));

@@ -47,7 +47,7 @@ std::vector<std::byte> RunWorkload(int nprocs, const simmpi::Info& info) {
   });
   auto file = fs.Open("w.dat").value();
   std::vector<std::byte> bytes(file.size());
-  file.Read(0, bytes, 0.0);
+  file.HarnessRead(0, bytes, 0.0);
   return bytes;
 }
 
@@ -126,7 +126,7 @@ TEST(HintSweep, RandomizedPatternsAcrossConfigs) {
       });
       auto file = fs.Open("r.dat").value();
       std::vector<std::byte> bytes(file.size());
-      file.Read(0, bytes, 0.0);
+      file.HarnessRead(0, bytes, 0.0);
       return bytes;
     };
 

@@ -73,7 +73,7 @@ void Define(DS& ds, const Schema& s) {
 std::vector<std::byte> Bytes(pfs::FileSystem& fs, const std::string& path) {
   auto f = fs.Open(path).value();
   std::vector<std::byte> out(f.size());
-  f.Read(0, out, 0.0);
+  f.HarnessRead(0, out, 0.0);
   return out;
 }
 

@@ -89,7 +89,7 @@ TEST(FileSystem, NamespaceSemantics) {
 TEST(FileSystem, CreateTruncatesExisting) {
   FileSystem fs;
   auto f = fs.Create("t.nc", false).value();
-  f.Write(0, Pattern(100, 6), 0.0);
+  f.HarnessWrite(0, Pattern(100, 6), 0.0);
   EXPECT_EQ(f.size(), 100u);
   auto f2 = fs.Create("t.nc", false).value();
   EXPECT_EQ(f2.size(), 0u);
@@ -98,9 +98,9 @@ TEST(FileSystem, CreateTruncatesExisting) {
 TEST(FileSystem, StatsAccumulate) {
   FileSystem fs;
   auto f = fs.Create("s.nc", false).value();
-  f.Write(0, Pattern(1000, 7), 0.0);
+  f.HarnessWrite(0, Pattern(1000, 7), 0.0);
   std::vector<std::byte> out(500);
-  f.Read(0, out, 0.0);
+  f.HarnessRead(0, out, 0.0);
   auto st = fs.stats();
   EXPECT_EQ(st.bytes_written, 1000u);
   EXPECT_EQ(st.bytes_read, 500u);
@@ -131,10 +131,10 @@ TEST(TimeModel, PerRequestLatencyDominatesSmallRequests) {
   // 100 x 16-byte requests to the same server region vs 1 x 1600-byte one.
   double t_small = 0.0;
   for (int i = 0; i < 100; ++i)
-    t_small = f.Write(static_cast<std::uint64_t>(i) * 16,
+    t_small = f.HarnessWrite(static_cast<std::uint64_t>(i) * 16,
                       Pattern(16, 8), t_small);
   fs.ResetTime();
-  const double t_big = f.Write(0, Pattern(1600, 9), 0.0);
+  const double t_big = f.HarnessWrite(0, Pattern(1600, 9), 0.0);
   EXPECT_GT(t_small, 10.0 * t_big);
 }
 
@@ -145,13 +145,13 @@ TEST(TimeModel, StripingSpreadsLoadAcrossServers) {
   FileSystem fs(cfg);
   auto f = fs.Create("t", false).value();
   const std::uint64_t n = 4 * 1024;  // exactly one stripe per server
-  const double striped = f.Write(0, Pattern(n, 10), 0.0);
+  const double striped = f.HarnessWrite(0, Pattern(n, 10), 0.0);
   fs.ResetTime();
   // Four separate writes into stripes 0, 4, 8, 12 — all map to server 0.
   double same_server = 0.0;
   double t = 0.0;
   for (int i = 0; i < 4; ++i) {
-    t = f.Write(static_cast<std::uint64_t>(i) * 4 * 1024, Pattern(1024, 11), t);
+    t = f.HarnessWrite(static_cast<std::uint64_t>(i) * 4 * 1024, Pattern(1024, 11), t);
     same_server = t;
   }
   EXPECT_GT(same_server, 2.0 * striped);
@@ -164,8 +164,8 @@ TEST(TimeModel, ConcurrentClientsContendForServers) {
   cfg.num_servers = 1;
   FileSystem fs(cfg);
   auto f = fs.Create("t", false).value();
-  const double a = f.Write(0, Pattern(1000, 12), 0.0);
-  const double b = f.Write(10000, Pattern(1000, 13), 0.0);
+  const double a = f.HarnessWrite(0, Pattern(1000, 12), 0.0);
+  const double b = f.HarnessWrite(10000, Pattern(1000, 13), 0.0);
   EXPECT_GE(b, a + 1000.0);  // serialized on the single server
 }
 
@@ -176,10 +176,10 @@ TEST(TimeModel, ReadsAndWritesUseDifferentRates) {
   FileSystem fs(cfg);
   auto f = fs.Create("t", false).value();
   auto data = Pattern(100000, 14);
-  const double w = f.Write(0, data, 0.0);
+  const double w = f.HarnessWrite(0, data, 0.0);
   fs.ResetTime();
   std::vector<std::byte> out(100000);
-  const double r = f.Read(0, out, 0.0);
+  const double r = f.HarnessRead(0, out, 0.0);
   EXPECT_GT(w, 5.0 * r);
 }
 
@@ -187,9 +187,9 @@ TEST(TimeModel, CompletionMonotoneInStartTime) {
   FileSystem fs(FastConfig());
   auto f = fs.Create("t", false).value();
   auto data = Pattern(4096, 15);
-  const double t1 = f.Write(0, data, 0.0);
+  const double t1 = f.HarnessWrite(0, data, 0.0);
   fs.ResetTime();
-  const double t2 = f.Write(0, data, 5e6);
+  const double t2 = f.HarnessWrite(0, data, 5e6);
   EXPECT_GT(t2, t1);
   EXPECT_GE(t2, 5e6);
 }
@@ -201,13 +201,13 @@ TEST(TimeModel, DataIntegrityUnderConcurrentDisjointWrites) {
   for (int i = 0; i < 8; ++i) {
     threads.emplace_back([&f, i] {
       auto data = Pattern(10000, 100 + static_cast<std::uint64_t>(i));
-      f.Write(static_cast<std::uint64_t>(i) * 10000, data, 0.0);
+      f.HarnessWrite(static_cast<std::uint64_t>(i) * 10000, data, 0.0);
     });
   }
   for (auto& t : threads) t.join();
   for (int i = 0; i < 8; ++i) {
     std::vector<std::byte> out(10000);
-    f.Read(static_cast<std::uint64_t>(i) * 10000, out, 0.0);
+    f.HarnessRead(static_cast<std::uint64_t>(i) * 10000, out, 0.0);
     EXPECT_EQ(out, Pattern(10000, 100 + static_cast<std::uint64_t>(i))) << i;
   }
 }

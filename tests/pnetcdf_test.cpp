@@ -518,7 +518,7 @@ TEST(OpenErrors, NotANetcdfFile) {
   {
     auto f = fs.Create("junk.bin", false).value();
     std::vector<std::byte> junk(512, std::byte{0x77});
-    f.Write(0, junk, 0.0);
+    f.HarnessWrite(0, junk, 0.0);
   }
   simmpi::Run(2, [&](Comm& c) {
     auto r = Dataset::Open(c, fs, "junk.bin", false, simmpi::NullInfo());

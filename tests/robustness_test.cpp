@@ -21,6 +21,7 @@ using pnc_test::MakeValidFile;
 TEST(Corruption, BadMagicRejectedBySerialOpen) {
   pfs::FileSystem fs;
   MakeValidFile(fs, "f.nc");
+  pnc_test::DropJournal(fs, "f.nc");  // corruption sans journal: must reject
   CorruptByte(fs, "f.nc", 0, std::byte{'X'});
   auto r = netcdf::Dataset::Open(fs, "f.nc", false);
   ASSERT_FALSE(r.ok());
@@ -30,6 +31,7 @@ TEST(Corruption, BadMagicRejectedBySerialOpen) {
 TEST(Corruption, BadVersionRejected) {
   pfs::FileSystem fs;
   MakeValidFile(fs, "f.nc");
+  pnc_test::DropJournal(fs, "f.nc");  // corruption sans journal: must reject
   CorruptByte(fs, "f.nc", 3, std::byte{9});
   EXPECT_FALSE(netcdf::Dataset::Open(fs, "f.nc", false).ok());
 }
@@ -37,6 +39,7 @@ TEST(Corruption, BadVersionRejected) {
 TEST(Corruption, GarbageListTagRejected) {
   pfs::FileSystem fs;
   MakeValidFile(fs, "f.nc");
+  pnc_test::DropJournal(fs, "f.nc");  // corruption sans journal: must reject
   // The dim_list tag lives at offset 8; stomp it with a bogus tag value.
   CorruptByte(fs, "f.nc", 11, std::byte{0x77});
   EXPECT_FALSE(netcdf::Dataset::Open(fs, "f.nc", false).ok());
@@ -45,6 +48,7 @@ TEST(Corruption, GarbageListTagRejected) {
 TEST(Corruption, ParallelOpenFailsOnAllRanks) {
   pfs::FileSystem fs;
   MakeValidFile(fs, "f.nc");
+  pnc_test::DropJournal(fs, "f.nc");  // corruption sans journal: must reject
   CorruptByte(fs, "f.nc", 0, std::byte{0});
   simmpi::Run(4, [&](simmpi::Comm& c) {
     auto r = pnetcdf::Dataset::Open(c, fs, "f.nc", false, simmpi::NullInfo());
@@ -57,6 +61,7 @@ TEST(Corruption, ParallelOpenFailsOnAllRanks) {
 TEST(Corruption, TruncatedFileDetected) {
   pfs::FileSystem fs;
   MakeValidFile(fs, "f.nc");
+  pnc_test::DropJournal(fs, "f.nc");  // corruption sans journal: must reject
   auto f = fs.Open(fs.Open("f.nc").value().path()).value();
   f.Truncate(10);  // keep the magic, cut the rest of the header
   auto r = netcdf::Dataset::Open(fs, "f.nc", false);
@@ -77,7 +82,7 @@ TEST(Corruption, InsaneCountsRejectedNotAllocated) {
   enc.PutU32(0);           // numrecs
   enc.PutI32(0x0A);        // dim tag
   enc.PutI32(0x7FFFFFFF);  // preposterous count
-  f.Write(0, evil, 0.0);
+  f.HarnessWrite(0, evil, 0.0);
   auto r = netcdf::Dataset::Open(fs, "evil.nc", false);
   ASSERT_FALSE(r.ok());
 }
@@ -153,7 +158,7 @@ TEST(BufferedFile, CoherentAcrossFlushBoundaries) {
   ASSERT_TRUE(io.Flush().ok());
   std::vector<std::byte> raw(ref.size());
   auto f2 = fs.Open("b.dat").value();
-  f2.Read(0, raw, 0.0);
+  f2.HarnessRead(0, raw, 0.0);
   EXPECT_EQ(raw, ref);
 }
 
@@ -175,7 +180,7 @@ TEST(BufferedFile, ReadModifyWriteWithinBlock) {
   auto file = fs.Create("d.dat", false).value();
   {
     std::vector<std::byte> bg(8192, std::byte{0xAB});
-    file.Write(0, bg, 0.0);
+    file.HarnessWrite(0, bg, 0.0);
   }
   simmpi::VirtualClock clock;
   netcdf::BufferedFile io(file, &clock, 4096);
@@ -183,7 +188,7 @@ TEST(BufferedFile, ReadModifyWriteWithinBlock) {
   ASSERT_TRUE(io.WriteAt(100, pnc::ConstByteSpan(patch, 3)).ok());
   ASSERT_TRUE(io.Flush().ok());
   std::vector<std::byte> out(8192);
-  file.Read(0, out, 0.0);
+  file.HarnessRead(0, out, 0.0);
   EXPECT_EQ(out[99], std::byte{0xAB});
   EXPECT_EQ(out[100], std::byte{1});
   EXPECT_EQ(out[102], std::byte{3});
@@ -198,8 +203,8 @@ TEST(Discard, TimingPreservedWithoutStorage) {
   auto fa = fs_a.Create("t", false).value();
   auto fb = fs_b.Create("t", false).value();
   std::vector<std::byte> data(1 << 20, std::byte{7});
-  const double ta = fa.Write(12345, data, 0.0);
-  const double tb = fb.Write(12345, data, 0.0);
+  const double ta = fa.HarnessWrite(12345, data, 0.0);
+  const double tb = fb.HarnessWrite(12345, data, 0.0);
   EXPECT_DOUBLE_EQ(ta, tb);
   EXPECT_EQ(fa.size(), fb.size());
   EXPECT_EQ(fs_b.stats().bytes_written, data.size());

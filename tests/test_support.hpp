@@ -7,10 +7,65 @@
 #include <string>
 #include <vector>
 
+#include "format/commit.hpp"
 #include "netcdf/dataset.hpp"
 #include "pfs/pfs.hpp"
 
 namespace pnc_test {
+
+/// One-line reproduction recipe for a fault/crash schedule, for use in
+/// failure messages (SCOPED_TRACE / assertion <<): a failing seeded or swept
+/// case can be re-run directly from the log line.
+inline std::string DescribePolicy(const pfs::FaultPolicy& p) {
+  std::string s = "FaultPolicy{seed=0x";
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%llX",
+                static_cast<unsigned long long>(p.seed));
+  s += hex;
+  if (p.crash_op != pfs::FaultPolicy::kNever)
+    s += " crash_op=" + std::to_string(p.crash_op) +
+         " crash_write_bytes=" + std::to_string(p.crash_write_bytes);
+  if (p.crash_after_write_bytes != pfs::FaultPolicy::kNever)
+    s += " crash_after_write_bytes=" +
+         std::to_string(p.crash_after_write_bytes);
+  if (!p.transient_ops.empty()) {
+    s += " transient_ops={";
+    for (std::size_t i = 0; i < p.transient_ops.size(); ++i)
+      s += (i ? "," : "") + std::to_string(p.transient_ops[i]);
+    s += "}";
+  }
+  if (!p.permanent_ops.empty()) {
+    s += " permanent_ops={";
+    for (std::size_t i = 0; i < p.permanent_ops.size(); ++i)
+      s += (i ? "," : "") + std::to_string(p.permanent_ops[i]);
+    s += "}";
+  }
+  if (p.permanent_from != pfs::FaultPolicy::kNever)
+    s += " permanent_from=" + std::to_string(p.permanent_from);
+  for (const auto& o : p.outages)
+    s += " outage={server=" + std::to_string(o.server) + " [" +
+         std::to_string(o.begin_ns) + "," + std::to_string(o.end_ns) + ")}";
+  if (p.transient_every_nth != 0)
+    s += " transient_every_nth=" + std::to_string(p.transient_every_nth);
+  if (p.transient_read_prob > 0)
+    s += " transient_read_prob=" + std::to_string(p.transient_read_prob);
+  if (p.transient_write_prob > 0)
+    s += " transient_write_prob=" + std::to_string(p.transient_write_prob);
+  if (p.short_read_prob > 0)
+    s += " short_read_prob=" + std::to_string(p.short_read_prob);
+  if (p.short_write_prob > 0)
+    s += " short_write_prob=" + std::to_string(p.short_write_prob);
+  if (p.bitflip_read_prob > 0)
+    s += " bitflip_read_prob=" + std::to_string(p.bitflip_read_prob);
+  s += "}";
+  return s;
+}
+
+/// Remove `path`'s commit-journal sidecar, turning it into a "legacy"
+/// dataset: corruption is then unrecoverable and opens must reject it.
+inline void DropJournal(pfs::FileSystem& fs, const std::string& path) {
+  (void)fs.Remove(ncformat::JournalPath(path));
+}
 
 /// Write a small valid dataset (dim x=8, double var "a" of eight 1.0s) and
 /// return its total size in bytes.
@@ -43,7 +98,7 @@ inline std::byte ByteAt(pfs::FileSystem& fs, const std::string& path,
                         std::uint64_t offset) {
   auto f = fs.Open(path).value();
   std::byte b{};
-  f.Read(offset, pnc::ByteSpan(&b, 1), 0.0);
+  f.HarnessRead(offset, pnc::ByteSpan(&b, 1), 0.0);
   return b;
 }
 
