@@ -62,15 +62,26 @@ double RunOne(int nprocs, bool collective) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bench::Recorder rec(args, "ablation_collective");
   std::printf("Ablation: collective (_all) vs independent data mode\n");
   std::printf("Y-partitioned 8 MB write of u(128,128,64) doubles, 12-server "
               "platform\n\n");
   std::printf("%-8s %14s %14s %9s\n", "nprocs", "collective", "independent",
               "speedup");
   for (int np : {2, 4, 8, 16}) {
+    const auto config = [np](const char* mode) {
+      return bench::JsonObj()
+          .Int("nprocs", static_cast<std::uint64_t>(np))
+          .Str("mode", mode);
+    };
+    rec.BeginConfig();
     const double c = RunOne(np, true);
+    rec.EndConfig(config("collective"), bench::JsonObj().Num("mbps", c));
+    rec.BeginConfig();
     const double i = RunOne(np, false);
+    rec.EndConfig(config("independent"), bench::JsonObj().Num("mbps", i));
     std::printf("%-8d %14.1f %14.1f %8.2fx\n", np, c, i, i > 0 ? c / i : 0.0);
   }
   return 0;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
 #include "hdf5lite/h5file.hpp"
 #include "pnetcdf/dataset.hpp"
@@ -99,13 +100,25 @@ double Hdf5liteTouchAll(int nvars) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bench::Recorder rec(args, "ablation_header");
   std::printf("Ablation: header caching vs per-object collective opens\n");
   std::printf("locating every variable once, 8 processes\n\n");
   std::printf("%-8s %16s %18s\n", "nvars", "PnetCDF (ms)", "hdf5lite (ms)");
   for (int n : {4, 16, 64, 256}) {
-    std::printf("%-8d %16.3f %18.1f\n", n, PnetcdfTouchAll(n),
-                Hdf5liteTouchAll(n));
+    const auto config = [n](const char* lib) {
+      return bench::JsonObj()
+          .Int("nvars", static_cast<std::uint64_t>(n))
+          .Str("lib", lib);
+    };
+    rec.BeginConfig();
+    const double pnc_ms = PnetcdfTouchAll(n);
+    rec.EndConfig(config("pnetcdf"), bench::JsonObj().Num("ms", pnc_ms));
+    rec.BeginConfig();
+    const double h5_ms = Hdf5liteTouchAll(n);
+    rec.EndConfig(config("hdf5lite"), bench::JsonObj().Num("ms", h5_ms));
+    std::printf("%-8d %16.3f %18.1f\n", n, pnc_ms, h5_ms);
   }
   std::printf("\nPnetCDF's cost is flat and essentially zero (local memory); "
               "the dispersed-\nmetadata design pays per-object file reads and "

@@ -81,15 +81,30 @@ Outcome RunOne(int nvars, bool aggregated) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bench::Recorder rec(args, "ablation_nonblocking");
   std::printf("Ablation: nonblocking aggregation across record variables\n");
   std::printf("one record of N record variables (512 KB each), 8 procs\n\n");
   std::printf("%-8s | %14s %10s | %14s %10s | %8s\n", "nvars",
               "iput+waitall", "requests", "per-var colls", "requests",
               "speedup");
   for (int n : {2, 8, 24, 64}) {
+    const auto config = [n](const char* mode) {
+      return bench::JsonObj()
+          .Int("nvars", static_cast<std::uint64_t>(n))
+          .Str("mode", mode);
+    };
+    const auto metrics = [](const Outcome& o) {
+      return bench::JsonObj().Num("ms", o.ms).Int("pfs_write_requests",
+                                                  o.requests);
+    };
+    rec.BeginConfig();
     const Outcome agg = RunOne(n, true);
+    rec.EndConfig(config("iput_waitall"), metrics(agg));
+    rec.BeginConfig();
     const Outcome sep = RunOne(n, false);
+    rec.EndConfig(config("per_var_collective"), metrics(sep));
     std::printf("%-8d | %14.2f %10llu | %14.2f %10llu | %7.2fx\n", n, agg.ms,
                 static_cast<unsigned long long>(agg.requests), sep.ms,
                 static_cast<unsigned long long>(sep.requests),

@@ -52,7 +52,9 @@ double RunOne(int num_servers, int nprocs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bench::Recorder rec(args, "ablation_servers");
   std::printf("Ablation: number of I/O servers (the Fig.6 vs Fig.7 platform "
               "difference)\n");
   std::printf("Z-partitioned 16 MB collective write, MB/s\n\n");
@@ -61,7 +63,15 @@ int main() {
   std::printf("\n");
   for (int np : {1, 4, 16}) {
     std::printf("%-10d", np);
-    for (int s : {1, 2, 4, 8, 12, 24}) std::printf(" %11.1f", RunOne(s, np));
+    for (int s : {1, 2, 4, 8, 12, 24}) {
+      rec.BeginConfig();
+      const double bw = RunOne(s, np);
+      rec.EndConfig(bench::JsonObj()
+                        .Int("nprocs", static_cast<std::uint64_t>(np))
+                        .Int("num_servers", static_cast<std::uint64_t>(s)),
+                    bench::JsonObj().Num("mbps", bw));
+      std::printf(" %11.1f", bw);
+    }
     std::printf("\n");
   }
   std::printf("\nAt low server counts extra clients cannot help (the pool is "

@@ -66,15 +66,31 @@ Outcome RunOne(std::uint64_t ncols_selected, bool sieve, bool is_write) {
   return out;
 }
 
-void Chart(bool is_write) {
+void Chart(bool is_write, const bench::Recorder& rec) {
   std::printf("\n--- independent strided %s of m(2048,512) doubles ---\n",
               is_write ? "write" : "read");
   std::printf("%-12s | %12s %10s %12s | %12s %10s %12s | %8s\n",
               "cols selected", "sieved(ms)", "reqs", "bytes", "naive(ms)",
               "reqs", "bytes", "speedup");
   for (std::uint64_t n : {256, 64, 16, 4}) {
+    const auto config = [&](const char* ds) {
+      return bench::JsonObj()
+          .Str("op", is_write ? "write" : "read")
+          .Int("cols_selected", n)
+          .Str("sieving", ds);
+    };
+    const auto metrics = [](const Outcome& o) {
+      return bench::JsonObj()
+          .Num("ms", o.ms)
+          .Int("pfs_requests", o.requests)
+          .Int("pfs_bytes", o.bytes);
+    };
+    rec.BeginConfig();
     const Outcome s = RunOne(n, true, is_write);
+    rec.EndConfig(config("enable"), metrics(s));
+    rec.BeginConfig();
     const Outcome d = RunOne(n, false, is_write);
+    rec.EndConfig(config("disable"), metrics(d));
     std::printf("%-12llu | %12.2f %10llu %12llu | %12.2f %10llu %12llu | %7.1fx\n",
                 static_cast<unsigned long long>(n), s.ms,
                 static_cast<unsigned long long>(s.requests),
@@ -87,10 +103,12 @@ void Chart(bool is_write) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bench::Recorder rec(args, "ablation_sieving");
   std::printf("Ablation: data sieving (romio_ds_read / romio_ds_write)\n");
-  Chart(/*is_write=*/false);
-  Chart(/*is_write=*/true);
+  Chart(/*is_write=*/false, rec);
+  Chart(/*is_write=*/true, rec);
   std::printf("\nSieving trades extra transferred bytes for far fewer "
               "requests; the naive path\npays one request per noncontiguous "
               "piece.\n");

@@ -59,14 +59,23 @@ double RunOne(unsigned mask, bool cb_enabled) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bench::Recorder rec(args, "ablation_twophase");
   std::printf("Ablation: two-phase collective buffering (romio_cb_write)\n");
   std::printf("4 MB write of u(128,64,64) doubles on 8 procs, by partition\n\n");
   std::printf("%-10s %14s %14s %9s\n", "partition", "two-phase(ms)",
               "disabled(ms)", "speedup");
   for (const auto& p : bench::kPartitions) {
+    const auto config = [&p](const char* cb) {
+      return bench::JsonObj().Str("partition", p.name).Str("cb_write", cb);
+    };
+    rec.BeginConfig();
     const double on = RunOne(p.mask, true);
+    rec.EndConfig(config("enable"), bench::JsonObj().Num("ms", on));
+    rec.BeginConfig();
     const double off = RunOne(p.mask, false);
+    rec.EndConfig(config("disable"), bench::JsonObj().Num("ms", off));
     std::printf("%-10s %14.2f %14.2f %8.2fx\n", p.name, on, off,
                 on > 0 ? off / on : 0.0);
   }

@@ -1,10 +1,14 @@
 // Shared helpers for the paper-figure benchmark drivers.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "iostat/iostat.hpp"
+#include "iostat/report.hpp"
 
 namespace bench {
 
@@ -63,5 +67,86 @@ inline void Decompose(int nprocs, unsigned mask, int factors[3]) {
 inline double MBps(std::uint64_t bytes, double ns) {
   return ns <= 0 ? 0.0 : static_cast<double>(bytes) / ns * 1e3;
 }
+
+/// Tiny JSON-object builder for the config/metrics halves of a bench record.
+class JsonObj {
+ public:
+  JsonObj& Str(const char* key, const std::string& v) {
+    std::string esc;
+    for (char c : v) {
+      if (c == '"' || c == '\\') esc.push_back('\\');
+      esc.push_back(c);
+    }
+    return Raw(key, "\"" + esc + "\"");
+  }
+  JsonObj& Int(const char* key, std::uint64_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonObj& Num(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return Raw(key, buf);
+  }
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObj& Raw(const char* key, const std::string& value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"";
+    body_ += key;
+    body_ += "\":";
+    body_ += value;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Machine-readable results channel shared by every bench driver: with
+/// --json=PATH (or "-" for stdout) each configuration appends one line
+///
+///   {"schema":"pnc-bench-v1","bench":...,"config":{...},"metrics":{...},
+///    "iostat":{..."schema":"pnc-iostat-v1"...}}
+///
+/// The embedded iostat report is the cross-rank reduction for exactly that
+/// configuration (the registry is reset at BeginConfig), so `ncstat --report`
+/// can inspect any line of a BENCH_*.json file directly.
+class Recorder {
+ public:
+  Recorder(const Args& args, const char* bench_name)
+      : bench_(bench_name), path_(args.Get("json", "")) {}
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Start a configuration: zero every counter and drop accumulated spans so
+  /// the emitted report covers only this run.
+  void BeginConfig() const {
+    if (enabled()) iostat::Registry::Get().Reset();
+  }
+
+  /// Finish a configuration: append its record line.
+  void EndConfig(const JsonObj& config, const JsonObj& metrics) const {
+    if (!enabled()) return;
+    std::string line = "{\"schema\":\"pnc-bench-v1\",\"bench\":\"" + bench_ +
+                       "\",\"config\":" + config.str() +
+                       ",\"metrics\":" + metrics.str() +
+                       ",\"iostat\":" + iostat::ToJson(iostat::BuildReport()) +
+                       "}\n";
+    if (path_ == "-") {
+      std::fwrite(line.data(), 1, line.size(), stdout);
+      std::fflush(stdout);
+      return;
+    }
+    if (FILE* f = std::fopen(path_.c_str(), "a")) {
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench: cannot append to %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+};
 
 }  // namespace bench

@@ -9,6 +9,7 @@
 //
 // Usage: bench_fig6_scalability [--size=64mb|1gb|all] [--op=read|write|all]
 //                               [--procs=1,2,4,8,16] [--quick]
+//                               [--json=BENCH_fig6.json]
 #include <cstdio>
 #include <numeric>
 
@@ -126,7 +127,7 @@ double RunParallel(const Case& cse, unsigned mask, int nprocs, bool is_write) {
   return bw;
 }
 
-void RunChart(const Case& cse, bool is_write) {
+void RunChart(const Case& cse, bool is_write, const bench::Recorder& rec) {
   std::printf("\n=== Figure 6: %s %s ===\n", is_write ? "Write" : "Read",
               cse.label);
   std::printf("(bandwidth in MB/s; first column is the serial netCDF "
@@ -135,7 +136,15 @@ void RunChart(const Case& cse, bool is_write) {
   for (const auto& p : kPartitions) std::printf(" %9s", p.name);
   std::printf("\n");
 
+  const char* op = is_write ? "write" : "read";
+  rec.BeginConfig();
   const double serial_bw = RunSerial(cse, is_write);
+  rec.EndConfig(bench::JsonObj()
+                    .Str("op", op)
+                    .Str("case", cse.label)
+                    .Str("partition", "serial")
+                    .Int("nprocs", 1),
+                bench::JsonObj().Num("mbps", serial_bw));
   bool first = true;
   for (int np : cse.procs) {
     if (first) {
@@ -144,7 +153,14 @@ void RunChart(const Case& cse, bool is_write) {
       std::printf("%-8d %10s", np, "-");
     }
     for (const auto& p : kPartitions) {
+      rec.BeginConfig();
       const double bw = RunParallel(cse, p.mask, np, is_write);
+      rec.EndConfig(bench::JsonObj()
+                        .Str("op", op)
+                        .Str("case", cse.label)
+                        .Str("partition", p.name)
+                        .Int("nprocs", static_cast<std::uint64_t>(np)),
+                    bench::JsonObj().Num("mbps", bw));
       std::printf(" %9.1f", bw);
     }
     std::printf("\n");
@@ -177,9 +193,10 @@ int main(int argc, char** argv) {
   std::printf("PnetCDF reproduction - Figure 6 scalability benchmark\n");
   std::printf("Platform: SDSC Blue Horizon-like (12 I/O servers, GPFS-style "
               "striping)\n");
+  const bench::Recorder rec(args, "fig6_scalability");
   for (const auto& cse : cases) {
-    if (op == "write" || op == "all") RunChart(cse, /*is_write=*/true);
-    if (op == "read" || op == "all") RunChart(cse, /*is_write=*/false);
+    if (op == "write" || op == "all") RunChart(cse, /*is_write=*/true, rec);
+    if (op == "read" || op == "all") RunChart(cse, /*is_write=*/false, rec);
   }
   return 0;
 }

@@ -10,12 +10,18 @@
 //
 // Usage: bench_fig7_flashio [--file=checkpoint|plotfile|corners|all]
 //                           [--block=8|16|all] [--procs=4,8,16,32,64]
-//                           [--quick]
+//                           [--quick] [--json=BENCH_fig7.json]
+//                           [--trace=flash.trace.json]
+//
+// --trace enables span recording and writes a Chrome trace-event timeline
+// (chrome://tracing / Perfetto) of the most recent PnetCDF configuration.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
 #include "flash/flash.hpp"
+#include "iostat/trace.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace {
@@ -68,7 +74,8 @@ const char* KindName(FileKind k) {
   return "?";
 }
 
-void RunChart(FileKind kind, int block, const std::vector<int>& procs) {
+void RunChart(FileKind kind, int block, const std::vector<int>& procs,
+              const bench::Recorder& rec, const std::string& trace) {
   FlashConfig cfg;
   cfg.nxb = cfg.nyb = cfg.nzb = block;
   std::printf("\n=== Figure 7: Flash I/O Benchmark (%s, %dx%dx%d) ===\n",
@@ -80,9 +87,22 @@ void RunChart(FileKind kind, int block, const std::vector<int>& procs) {
                   (1 << 20));
   std::printf("%-8s %12s %12s %8s\n", "nprocs", "PnetCDF", "HDF5(lite)",
               "ratio");
+  const auto config = [&](int np, const char* lib) {
+    return bench::JsonObj()
+        .Str("file", KindName(kind))
+        .Int("block", static_cast<std::uint64_t>(block))
+        .Int("nprocs", static_cast<std::uint64_t>(np))
+        .Str("lib", lib);
+  };
   for (int np : procs) {
+    rec.BeginConfig();
+    if (!trace.empty()) iostat::Registry::Get().Reset();
     const double pnc_bw = RunOne(cfg, kind, np, /*use_pnetcdf=*/true);
+    if (!trace.empty()) (void)iostat::WriteChromeTrace(trace);
+    rec.EndConfig(config(np, "pnetcdf"), bench::JsonObj().Num("mbps", pnc_bw));
+    rec.BeginConfig();
     const double h5_bw = RunOne(cfg, kind, np, /*use_pnetcdf=*/false);
+    rec.EndConfig(config(np, "hdf5lite"), bench::JsonObj().Num("mbps", h5_bw));
     std::printf("%-8d %12.1f %12.1f %7.2fx\n", np, pnc_bw, h5_bw,
                 h5_bw > 0 ? pnc_bw / h5_bw : 0.0);
     std::fflush(stdout);
@@ -119,6 +139,10 @@ int main(int argc, char** argv) {
   std::printf("PnetCDF reproduction - Figure 7 FLASH I/O benchmark\n");
   std::printf("Platform: ASCI White Frost-like (2-node GPFS I/O system)\n");
 
+  const bench::Recorder rec(args, "fig7_flashio");
+  const std::string trace = args.Get("trace", "");
+  if (!trace.empty()) iostat::Registry::Get().SetSpansEnabled(true);
+
   std::vector<FileKind> kinds;
   if (file == "checkpoint" || file == "all")
     kinds.push_back(FileKind::kCheckpoint);
@@ -136,7 +160,7 @@ int main(int argc, char** argv) {
       if (b == 16 && k == FileKind::kCheckpoint && !args.Has("procs")) {
         while (!p.empty() && p.back() > 32) p.pop_back();
       }
-      RunChart(k, b, p);
+      RunChart(k, b, p, rec, trace);
     }
   return 0;
 }

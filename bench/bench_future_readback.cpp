@@ -123,9 +123,25 @@ int main(int argc, char** argv) {
               "platform\n\n", block, block, block);
   std::printf("%-8s | %11s %11s %7s | %11s %11s %7s\n", "nprocs",
               "pnc wr", "h5l wr", "ratio", "pnc rd", "h5l rd", "ratio");
+  const bench::Recorder rec(args, "future_readback");
   for (int np : {4, 8, 16, 32}) {
+    const auto config = [&](const char* lib) {
+      return bench::JsonObj()
+          .Int("block", static_cast<std::uint64_t>(block))
+          .Int("nprocs", static_cast<std::uint64_t>(np))
+          .Str("lib", lib);
+    };
+    const auto metrics = [](const Rates& r) {
+      return bench::JsonObj()
+          .Num("write_mbps", r.write_bw)
+          .Num("read_mbps", r.read_bw);
+    };
+    rec.BeginConfig();
     const Rates p = RunOne(cfg, np, true);
+    rec.EndConfig(config("pnetcdf"), metrics(p));
+    rec.BeginConfig();
     const Rates h = RunOne(cfg, np, false);
+    rec.EndConfig(config("hdf5lite"), metrics(h));
     std::printf("%-8d | %11.1f %11.1f %6.2fx | %11.1f %11.1f %6.2fx\n", np,
                 p.write_bw, h.write_bw,
                 h.write_bw > 0 ? p.write_bw / h.write_bw : 0.0, p.read_bw,

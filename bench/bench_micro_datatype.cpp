@@ -1,10 +1,12 @@
 // Microbenchmarks (google-benchmark): datatype construction/flattening and
 // pack/unpack throughput — the CPU-side costs of the flexible API and the
-// file-view machinery.
+// file-view machinery — plus the per-event cost of the iostat hooks in both
+// runtime states (the disabled path must be a load+branch, nothing more).
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "simmpi/datatype.hpp"
 
 namespace {
@@ -83,6 +85,36 @@ void BM_ContiguousPackIsMemcpySpeed(benchmark::State& state) {
 }
 BENCHMARK(BM_ContiguousPackIsMemcpySpeed);
 
+// The iostat hot-path hook itself: Arg(0) measures PNC_IOSTAT_ADD with
+// counters disabled at runtime (the zero-overhead claim: one relaxed load
+// and a predictable branch), Arg(1) with counters enabled (one relaxed
+// fetch_add on a per-rank slot). With PNC_IOSTAT=OFF at configure time both
+// compile to nothing.
+void BM_IostatCounterAdd(benchmark::State& state) {
+#if PNC_IOSTAT_ENABLED
+  iostat::Registry::Get().SetCountersEnabled(state.range(0) != 0);
+#endif
+  for (auto _ : state) {
+    PNC_IOSTAT_ADD(kPfsReadOps, 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+#if PNC_IOSTAT_ENABLED
+  iostat::Registry::Get().SetCountersEnabled(true);
+  iostat::Registry::Get().Reset();
+#endif
+}
+BENCHMARK(BM_IostatCounterAdd)->Arg(0)->Arg(1);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bench::Recorder rec(args, "micro_datatype");
+  benchmark::Initialize(&argc, argv);
+  rec.BeginConfig();
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  rec.EndConfig(bench::JsonObj().Str("suite", "google-benchmark"),
+                bench::JsonObj().Int("benchmarks_run", ran));
+  benchmark::Shutdown();
+  return 0;
+}

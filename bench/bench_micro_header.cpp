@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "format/header.hpp"
 
 namespace {
@@ -78,4 +79,14 @@ BENCHMARK(BM_VarIdLookup)->Arg(8)->Arg(64)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bench::Recorder rec(args, "micro_header");
+  benchmark::Initialize(&argc, argv);
+  rec.BeginConfig();
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  rec.EndConfig(bench::JsonObj().Str("suite", "google-benchmark"),
+                bench::JsonObj().Int("benchmarks_run", ran));
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Cross-layer I/O statistics and tracing (the observability subsystem).
+//
+// The paper's argument (§4–§5) is entirely about *where* I/O time goes —
+// header vs data bytes, independent vs collective paths, two-phase exchange
+// vs file access. This module makes those quantities observable: a
+// process-wide registry of per-rank counters plus opt-in virtual-time span
+// events, populated by instrumentation points in every layer (pfs, mpiio,
+// netcdf/pnetcdf, simmpi) and reduced into an iostat::Report
+// (min/max/sum/mean across ranks) at the end of a run.
+//
+// Layering: iostat sits at the very bottom of the dependency graph (it links
+// only pnc_util), so every other layer can record into it without cycles.
+// Ranks are threads inside one process (simmpi), so "per rank" is a
+// thread-local slot index bound by the simmpi runtime when it spawns rank
+// threads; serial code records as rank 0.
+//
+// Cost discipline:
+//   * Compile-time: building with -DPNC_IOSTAT_DISABLED (CMake option
+//     PNC_IOSTAT=OFF) expands every PNC_IOSTAT_* macro to nothing.
+//   * Runtime: counters are ON by default and disabled with PNC_IOSTAT=0 in
+//     the environment; spans are OFF by default and enabled with
+//     PNC_IOSTAT_SPANS=1. A disabled counter add is one relaxed atomic load
+//     and a branch; an enabled one adds one relaxed fetch_add.
+//
+// Production layers must use only the PNC_IOSTAT_* macros below — a grep
+// lint (tests/CMakeLists.txt) rejects direct `iostat::` references and raw
+// stdout instrumentation in those trees.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#if defined(PNC_IOSTAT_DISABLED)
+#define PNC_IOSTAT_ENABLED 0
+#else
+#define PNC_IOSTAT_ENABLED 1
+#endif
+
+namespace iostat {
+
+/// Counter taxonomy, grouped by layer. Names (CtrName) are the stable JSON
+/// schema keys — append new counters at the end of a group, never reorder.
+enum class Ctr : unsigned {
+  // --- pfs: the simulated striped file system ---
+  kPfsReadOps = 0,        ///< read requests served (incl. zero-length)
+  kPfsWriteOps,           ///< write requests served (incl. sync round trips)
+  kPfsBytesRead,          ///< payload bytes actually transferred by reads
+  kPfsBytesWritten,       ///< payload bytes actually transferred by writes
+  kPfsFaultsInjected,     ///< failed Try* attempts (transient/permanent/crash)
+  kPfsRetries,            ///< retries recorded by client layers
+
+  // --- mpiio: the MPI-IO subset ---
+  kMpiioIndepReads,       ///< ReadAt calls entering the independent path
+  kMpiioIndepWrites,      ///< WriteAt calls entering the independent path
+  kMpiioCollReads,        ///< ReadAtAll calls (per rank)
+  kMpiioCollWrites,       ///< WriteAtAll calls (per rank)
+  kMpiioBytesRead,        ///< bytes moved from storage by this layer
+  kMpiioBytesWritten,     ///< bytes moved to storage by this layer
+  kMpiioSieveBytesWanted, ///< useful payload bytes through SievedTransfer
+  kMpiioSieveBytesFile,   ///< bytes SievedTransfer moved at the file (>= wanted)
+  kMpiioCollPayloadBytes, ///< payload bytes routed through two-phase I/O
+  kMpiioAggBytes,         ///< bytes aggregators moved at the file
+  kMpiioExchangeMsgs,     ///< two-phase exchange messages (excl. self)
+  kMpiioExchangeNs,       ///< two-phase exchange-phase virtual time
+  kMpiioIoPhaseNs,        ///< two-phase aggregator I/O-phase virtual time
+  kMpiioRetries,          ///< transient-fault retries consumed by RetryIo
+
+  // --- netcdf/pnetcdf: the library layer (serial + parallel share keys) ---
+  kNcDataCalls,           ///< data-access API calls reaching the I/O engine
+  kNcHeaderBytesRead,     ///< file-header bytes read (incl. numrecs probes)
+  kNcHeaderBytesWritten,  ///< file-header bytes written (incl. numrecs)
+  kNcDataBytesRead,       ///< variable-data bytes requested by callers
+  kNcDataBytesWritten,    ///< variable-data bytes supplied by callers
+  kNcModeSwitches,        ///< EndDef/Redef/BeginIndepData/EndIndepData
+  kNcReqsCoalesced,       ///< nonblocking requests merged by WaitAll
+
+  // --- simmpi: the thread-backed message layer ---
+  kMpiMessages,           ///< point-to-point messages delivered
+  kMpiMessageBytes,       ///< point-to-point payload bytes
+  kMpiCollectives,        ///< collective entry calls (composites count parts)
+
+  kCount
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Ctr::kCount);
+
+/// Stable "layer.name" key for the JSON schema (e.g. "pfs.bytes_written").
+const char* CtrName(Ctr c);
+
+/// Most rank slots a process can address; BindRank clamps beyond this.
+inline constexpr int kMaxRanks = 1024;
+
+/// A closed span on one rank's virtual timeline.
+struct Span {
+  const char* cat;   ///< static string: layer ("mpiio", "pfs", "pnetcdf")
+  const char* name;  ///< static string: phase ("exchange", "io", "write")
+  double start_ns;
+  double end_ns;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry.
+  static Registry& Get();
+
+  // ---- runtime gates (cached once from PNC_IOSTAT / PNC_IOSTAT_SPANS) ----
+  static bool counters_on() {
+    return Get().counters_on_.load(std::memory_order_relaxed);
+  }
+  static bool spans_on() {
+    return Get().spans_on_.load(std::memory_order_relaxed);
+  }
+  void SetCountersEnabled(bool on) {
+    counters_on_.store(on, std::memory_order_relaxed);
+  }
+  void SetSpansEnabled(bool on) {
+    spans_on_.store(on, std::memory_order_relaxed);
+  }
+
+  // ---- per-thread rank binding ----
+  /// Bind the calling thread to a rank slot. The simmpi runtime binds every
+  /// rank thread it spawns; unbound threads (serial code, main) are rank 0.
+  static void BindRank(int rank);
+  [[nodiscard]] static int rank();
+
+  // ---- recording (hot paths; call through the macros) ----
+  void Add(Ctr c, std::uint64_t n);
+  void AddSpan(const char* cat, const char* name, double start_ns,
+               double end_ns);
+
+  // ---- inspection ----
+  /// Ranks observed so far (max bound rank + 1; at least 1).
+  [[nodiscard]] int nranks() const;
+  [[nodiscard]] std::uint64_t Value(int rank, Ctr c) const;
+  [[nodiscard]] std::vector<Span> SpansOfRank(int rank) const;
+
+  /// Zero every counter, drop every span, and forget bound ranks (slots stay
+  /// allocated). Benchmarks call this between configurations.
+  void Reset();
+
+  /// If PNC_IOSTAT_REPORT names a file (or "-" for stdout), write the JSON
+  /// report there. Called by Dataset::Close on rank 0 — after the collective
+  /// close barrier, so every rank's counters are final ("produced
+  /// collectively at Close"). Harmless no-op otherwise.
+  void AutoReportAtClose();
+
+ private:
+  Registry();
+
+  struct RankSlot {
+    std::atomic<std::uint64_t> c[kNumCounters] = {};
+    std::mutex span_mu;
+    std::vector<Span> spans;
+  };
+
+  std::unique_ptr<RankSlot[]> slots_;
+  std::atomic<int> max_rank_{0};
+  std::atomic<bool> counters_on_{true};
+  std::atomic<bool> spans_on_{false};
+  std::mutex report_mu_;  ///< serializes AutoReportAtClose writers
+};
+
+}  // namespace iostat
+
+// ---------------------------------------------------------------- macro API
+// The only instrumentation surface production layers may use. `ctr` is the
+// bare enumerator name (e.g. kPfsBytesRead); the macro qualifies it.
+#if PNC_IOSTAT_ENABLED
+
+/// Add `n` to counter `ctr` (bare enumerator, e.g. kPfsBytesRead) on the
+/// calling thread's rank.
+#define PNC_IOSTAT_ADD(ctr, n)                                       \
+  do {                                                               \
+    if (::iostat::Registry::counters_on())                           \
+      ::iostat::Registry::Get().Add(::iostat::Ctr::ctr,              \
+                                    static_cast<std::uint64_t>(n));  \
+  } while (0)
+
+/// Record a [start_ns, end_ns] span on the calling thread's rank timeline.
+/// `cat`/`name` must be string literals (stored by pointer).
+#define PNC_IOSTAT_SPAN(cat, name, start_ns, end_ns)                     \
+  do {                                                                   \
+    if (::iostat::Registry::spans_on())                                  \
+      ::iostat::Registry::Get().AddSpan(cat, name, start_ns, end_ns);    \
+  } while (0)
+
+/// Bind the calling thread to rank `r` (simmpi runtime only).
+#define PNC_IOSTAT_BIND_RANK(r) ::iostat::Registry::BindRank(r)
+
+/// Emit the JSON report if PNC_IOSTAT_REPORT requests one (Close hook).
+#define PNC_IOSTAT_AUTO_REPORT() ::iostat::Registry::Get().AutoReportAtClose()
+
+#else  // compiled out: zero cost, no iostat symbols referenced
+// sizeof keeps the operands syntactically alive (no unused-variable
+// warnings) without evaluating them.
+
+#define PNC_IOSTAT_ADD(ctr, n) ((void)sizeof(n))
+#define PNC_IOSTAT_SPAN(cat, name, start_ns, end_ns) \
+  ((void)sizeof(start_ns), (void)sizeof(end_ns))
+#define PNC_IOSTAT_BIND_RANK(r) ((void)sizeof(r))
+#define PNC_IOSTAT_AUTO_REPORT() ((void)0)
+
+#endif  // PNC_IOSTAT_ENABLED

@@ -1,0 +1,300 @@
+#include "iostat/report.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace iostat {
+
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+Report BuildReport() {
+  const Registry& reg = Registry::Get();
+  Report rep;
+  rep.nranks = reg.nranks();
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    auto& agg = rep.counters[i];
+    agg.min = ~0ULL;
+    for (int r = 0; r < rep.nranks; ++r) {
+      const std::uint64_t v = reg.Value(r, static_cast<Ctr>(i));
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+      agg.sum += v;
+    }
+    if (rep.nranks > 0)
+      agg.mean = static_cast<double>(agg.sum) / rep.nranks;
+    else
+      agg.min = 0;
+  }
+
+  const auto sum = [&](Ctr c) {
+    return static_cast<double>(rep[c].sum);
+  };
+  const double wanted = sum(Ctr::kMpiioSieveBytesWanted);
+  const double filed = sum(Ctr::kMpiioSieveBytesFile);
+  rep.sieve_amplification = wanted > 0 ? filed / wanted : 1.0;
+  const double payload = sum(Ctr::kMpiioCollPayloadBytes);
+  const double agg_bytes = sum(Ctr::kMpiioAggBytes);
+  rep.twophase_amplification = payload > 0 ? agg_bytes / payload : 1.0;
+  const double ex = sum(Ctr::kMpiioExchangeNs);
+  const double io = sum(Ctr::kMpiioIoPhaseNs);
+  rep.exchange_frac = (ex + io) > 0 ? ex / (ex + io) : 0.0;
+  return rep;
+}
+
+std::string ToJson(const Report& rep) {
+  std::string out;
+  out.reserve(2048);
+  AppendF(out, "{\"schema\":\"pnc-iostat-v1\",\"nranks\":%d,\"counters\":{",
+          rep.nranks);
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto& a = rep.counters[i];
+    AppendF(out,
+            "%s\"%s\":{\"min\":%" PRIu64 ",\"max\":%" PRIu64 ",\"sum\":%" PRIu64
+            ",\"mean\":%.17g}",
+            i == 0 ? "" : ",", CtrName(static_cast<Ctr>(i)), a.min, a.max,
+            a.sum, a.mean);
+  }
+  AppendF(out,
+          "},\"derived\":{\"sieve_amplification\":%.17g,"
+          "\"twophase_amplification\":%.17g,\"exchange_frac\":%.17g}}",
+          rep.sieve_amplification, rep.twophase_amplification,
+          rep.exchange_frac);
+  return out;
+}
+
+// --------------------------------------------------------------- parsing
+// A minimal JSON reader for the schema ToJson emits. Unknown keys are
+// skipped (SkipValue handles arbitrary nesting), so records that embed the
+// report alongside other members still parse.
+
+namespace {
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  void SkipWs() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\' && p + 1 < end) ++p;  // keep escaped char verbatim
+      out->push_back(*p++);
+    }
+    if (p >= end) return false;
+    ++p;
+    return true;
+  }
+  bool ParseNumber(double* out) {
+    SkipWs();
+    char* after = nullptr;
+    *out = std::strtod(p, &after);
+    if (after == p) return false;
+    p = after;
+    return true;
+  }
+  bool SkipValue() {
+    SkipWs();
+    if (p >= end) return false;
+    if (*p == '"') {
+      std::string s;
+      return ParseString(&s);
+    }
+    if (*p == '{' || *p == '[') {
+      const char open = *p;
+      const char close = open == '{' ? '}' : ']';
+      ++p;
+      int depth = 1;
+      while (p < end && depth > 0) {
+        if (*p == '"') {
+          std::string s;
+          if (!ParseString(&s)) return false;
+          continue;
+        }
+        if (*p == open) ++depth;
+        if (*p == close) --depth;
+        ++p;
+      }
+      return depth == 0;
+    }
+    // number / true / false / null
+    while (p < end && *p != ',' && *p != '}' && *p != ']' &&
+           !std::isspace(static_cast<unsigned char>(*p)))
+      ++p;
+    return true;
+  }
+};
+
+bool LookupCtr(const std::string& name, Ctr* out) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (name == CtrName(static_cast<Ctr>(i))) {
+      *out = static_cast<Ctr>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseAgg(Cursor& cur, Report::Agg* agg) {
+  if (!cur.Eat('{')) return false;
+  if (cur.Eat('}')) return true;
+  do {
+    std::string key;
+    double v = 0;
+    if (!cur.ParseString(&key) || !cur.Eat(':') || !cur.ParseNumber(&v))
+      return false;
+    if (key == "min") agg->min = static_cast<std::uint64_t>(v);
+    else if (key == "max") agg->max = static_cast<std::uint64_t>(v);
+    else if (key == "sum") agg->sum = static_cast<std::uint64_t>(v);
+    else if (key == "mean") agg->mean = v;
+  } while (cur.Eat(','));
+  return cur.Eat('}');
+}
+
+}  // namespace
+
+pnc::Result<Report> ParseReportJson(std::string_view text) {
+  Cursor cur{text.data(), text.data() + text.size()};
+  const auto fail = [](const char* what) {
+    return pnc::Status(pnc::Err::kNotNc, std::string("iostat report: ") + what);
+  };
+  // The report may be nested inside a bench record: scan forward to the
+  // schema marker and parse the object that contains it.
+  const char* marker = nullptr;
+  for (const char* q = cur.p; q + 14 <= cur.end; ++q) {
+    if (std::memcmp(q, "pnc-iostat-v1", 13) == 0) {
+      marker = q;
+      break;
+    }
+  }
+  if (marker == nullptr) return fail("schema marker not found");
+  // Walk back to the '{' that opens the object holding "schema".
+  int depth = 0;
+  const char* open = nullptr;
+  for (const char* q = marker; q >= text.data(); --q) {
+    if (*q == '}') ++depth;
+    if (*q == '{') {
+      if (depth == 0) {
+        open = q;
+        break;
+      }
+      --depth;
+    }
+  }
+  if (open == nullptr) return fail("malformed enclosing object");
+  cur.p = open;
+
+  Report rep;
+  if (!cur.Eat('{')) return fail("expected object");
+  if (!cur.Eat('}')) {
+    do {
+      std::string key;
+      if (!cur.ParseString(&key) || !cur.Eat(':')) return fail("bad member");
+      if (key == "nranks") {
+        double v = 0;
+        if (!cur.ParseNumber(&v)) return fail("bad nranks");
+        rep.nranks = static_cast<int>(v);
+      } else if (key == "counters") {
+        if (!cur.Eat('{')) return fail("bad counters");
+        if (!cur.Eat('}')) {
+          do {
+            std::string name;
+            if (!cur.ParseString(&name) || !cur.Eat(':'))
+              return fail("bad counter");
+            Report::Agg agg;
+            if (!ParseAgg(cur, &agg)) return fail("bad counter aggregate");
+            Ctr c;
+            if (LookupCtr(name, &c))
+              rep.counters[static_cast<std::size_t>(c)] = agg;
+          } while (cur.Eat(','));
+          if (!cur.Eat('}')) return fail("unterminated counters");
+        }
+      } else if (key == "derived") {
+        if (!cur.Eat('{')) return fail("bad derived");
+        if (!cur.Eat('}')) {
+          do {
+            std::string name;
+            double v = 0;
+            if (!cur.ParseString(&name) || !cur.Eat(':') ||
+                !cur.ParseNumber(&v))
+              return fail("bad derived member");
+            if (name == "sieve_amplification") rep.sieve_amplification = v;
+            else if (name == "twophase_amplification")
+              rep.twophase_amplification = v;
+            else if (name == "exchange_frac") rep.exchange_frac = v;
+          } while (cur.Eat(','));
+          if (!cur.Eat('}')) return fail("unterminated derived");
+        }
+      } else {
+        if (!cur.SkipValue()) return fail("bad value");
+      }
+    } while (cur.Eat(','));
+    if (!cur.Eat('}')) return fail("unterminated object");
+  }
+  return rep;
+}
+
+// --------------------------------------------------------- pretty printer
+
+std::string PrettyPrint(const Report& rep) {
+  std::string out;
+  out.reserve(2048);
+  AppendF(out, "iostat report (%d rank%s)\n", rep.nranks,
+          rep.nranks == 1 ? "" : "s");
+
+  const char* last_layer = "";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const char* name = CtrName(static_cast<Ctr>(i));
+    const char* dot = std::strchr(name, '.');
+    const std::size_t layer_len =
+        dot ? static_cast<std::size_t>(dot - name) : std::strlen(name);
+    if (std::strncmp(last_layer, name, layer_len) != 0 ||
+        last_layer[layer_len] != '.') {
+      AppendF(out, "  [%.*s]\n", static_cast<int>(layer_len), name);
+      last_layer = name;
+    }
+    const auto& a = rep.counters[i];
+    AppendF(out,
+            "    %-24s sum %14" PRIu64 "  mean %14.1f  min %12" PRIu64
+            "  max %12" PRIu64 "\n",
+            dot ? dot + 1 : name, a.sum, a.mean, a.min, a.max);
+  }
+  AppendF(out, "  [derived]\n");
+  AppendF(out, "    %-24s %.4f\n", "sieve_amplification",
+          rep.sieve_amplification);
+  AppendF(out, "    %-24s %.4f\n", "twophase_amplification",
+          rep.twophase_amplification);
+  AppendF(out, "    %-24s %.4f\n", "exchange_frac", rep.exchange_frac);
+  return out;
+}
+
+}  // namespace iostat

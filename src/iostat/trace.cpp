@@ -1,0 +1,69 @@
+#include "iostat/trace.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace iostat {
+
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::string ToChromeTrace() {
+  const Registry& reg = Registry::Get();
+  const int nranks = reg.nranks();
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (int r = 0; r < nranks; ++r) {
+    AppendF(out,
+            "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+            "\"args\":{\"name\":\"rank %d\"}}",
+            first ? "" : ",", r, r);
+    first = false;
+  }
+  for (int r = 0; r < nranks; ++r) {
+    const std::vector<Span> spans = reg.SpansOfRank(r);
+    for (const Span& s : spans) {
+      // Trace-event timestamps are microseconds; spans carry virtual ns.
+      const double ts_us = s.start_ns / 1000.0;
+      const double dur_us = (s.end_ns - s.start_ns) / 1000.0;
+      AppendF(out,
+              "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+              "\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
+              first ? "" : ",", s.name, s.cat, ts_us, dur_us, r);
+      first = false;
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+pnc::Status WriteChromeTrace(const std::string& path) {
+  const std::string json = ToChromeTrace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return pnc::Status(pnc::Err::kIo, "cannot open trace file: " + path);
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  if (n != json.size() || rc != 0)
+    return pnc::Status(pnc::Err::kIo, "short write to trace file: " + path);
+  return pnc::Status::Ok();
+}
+
+}  // namespace iostat

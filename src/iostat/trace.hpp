@@ -1,0 +1,26 @@
+// Chrome trace-event (chrome://tracing / Perfetto) export of the span
+// timeline recorded in the iostat registry. Spans are keyed by virtual time
+// (simmpi::VirtualClock nanoseconds), so the exported timeline shows the
+// simulated schedule, not wall time.
+#pragma once
+
+#include <string>
+
+#include "iostat/iostat.hpp"
+#include "util/status.hpp"
+
+namespace iostat {
+
+/// Encode every recorded span as trace-event JSON:
+///   {"traceEvents":[{"name":..,"cat":..,"ph":"X","ts":..,"dur":..,
+///                    "pid":0,"tid":<rank>}, ...],
+///    "displayTimeUnit":"ms"}
+/// One "M" thread_name metadata event per rank gives each rank a named
+/// track ("rank 0", "rank 1", ...). Timestamps are microseconds (trace-event
+/// convention), converted from virtual nanoseconds.
+std::string ToChromeTrace();
+
+/// ToChromeTrace() written to `path`. Fails only on file-system errors.
+pnc::Status WriteChromeTrace(const std::string& path);
+
+}  // namespace iostat

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "iostat/iostat.hpp"
 #include "mpiio/file_impl.hpp"
 
 namespace mpiio {
@@ -147,6 +148,10 @@ pnc::Status File::Impl::RetryIo(bool is_write, std::uint64_t off,
                            clk.now());
     clk.AdvanceTo(r.done_ns);
     if (r.ok()) {
+      if (is_write)
+        PNC_IOSTAT_ADD(kMpiioBytesWritten, r.transferred);
+      else
+        PNC_IOSTAT_ADD(kMpiioBytesRead, r.transferred);
       // Short transfers resume from the transferred count (POSIX semantics);
       // they do not consume the retry budget because progress was made.
       done += r.transferred;
@@ -156,6 +161,7 @@ pnc::Status File::Impl::RetryIo(bool is_write, std::uint64_t off,
       if (attempts >= hints.retry_max)
         return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
       ++attempts;
+      PNC_IOSTAT_ADD(kMpiioRetries, 1);
       file.RecordRetry(is_write);
       clk.Advance(backoff);
       backoff *= 2;
@@ -198,6 +204,10 @@ pnc::Status File::IndependentIo(std::uint64_t offset_etypes, void* buf,
                                 const simmpi::Datatype& memtype,
                                 bool is_write) {
   if (!impl_ || !impl_->open) return pnc::Status(pnc::Err::kBadId, "io");
+  if (is_write)
+    PNC_IOSTAT_ADD(kMpiioIndepWrites, 1);
+  else
+    PNC_IOSTAT_ADD(kMpiioIndepReads, 1);
   auto& im = *impl_;
   const std::uint64_t bytes = count * memtype.size();
   if (bytes == 0) return pnc::Status::Ok();
@@ -235,9 +245,12 @@ pnc::Status File::SievedTransfer(const std::vector<pnc::Extent>& segments,
   clk.Advance(cost.sw_overhead_ns);
   if (segments.empty()) return pnc::Status::Ok();
 
-  // Fast path: one contiguous request.
+  // Fast path: one contiguous request. (Both sieve counters advance by the
+  // same amount on the non-sieving paths, so amplification stays 1.0.)
   if (segments.size() == 1) {
     const auto& s = segments[0];
+    PNC_IOSTAT_ADD(kMpiioSieveBytesWanted, s.len);
+    PNC_IOSTAT_ADD(kMpiioSieveBytesFile, s.len);
     return im.RetryIo(is_write, s.offset, data, s.len);
   }
 
@@ -247,6 +260,8 @@ pnc::Status File::SievedTransfer(const std::vector<pnc::Extent>& segments,
     // related work (data sieving) exists to avoid.
     std::uint64_t dpos = 0;
     for (const auto& s : segments) {
+      PNC_IOSTAT_ADD(kMpiioSieveBytesWanted, s.len);
+      PNC_IOSTAT_ADD(kMpiioSieveBytesFile, s.len);
       PNC_RETURN_IF_ERROR(im.RetryIo(is_write, s.offset, data + dpos, s.len));
       dpos += s.len;
     }
@@ -300,6 +315,8 @@ pnc::Status File::SievedTransfer(const std::vector<pnc::Extent>& segments,
     const std::uint64_t span_start = wstart;
     const std::uint64_t span_len = last - wstart;
     if (span_len == 0) break;
+    PNC_IOSTAT_ADD(kMpiioSieveBytesWanted, covered);
+    PNC_IOSTAT_ADD(kMpiioSieveBytesFile, span_len);
 
     if (is_write) {
       const bool holes = covered != span_len;
@@ -309,6 +326,7 @@ pnc::Status File::SievedTransfer(const std::vector<pnc::Extent>& segments,
       std::unique_lock<std::mutex> rmw_lock;
       if (holes) {
         rmw_lock = im.file.LockForRmw();
+        PNC_IOSTAT_ADD(kMpiioSieveBytesFile, span_len);  // RMW pre-read
         PNC_RETURN_IF_ERROR(
             im.RetryIo(/*is_write=*/false, span_start, window.data(), span_len));
       }

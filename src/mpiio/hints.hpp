@@ -34,13 +34,28 @@ struct Hints {
   int retry_max = 4;                 ///< pnc_retry_max
   double retry_backoff_ns = 1e6;     ///< pnc_retry_backoff_ns
 
+  // Documented clamp bounds. Buffer-size hints are clamped into
+  // [kMinBufferSize, kMaxBufferSize] — zero and negative values count as
+  // below-minimum (a negative value must never wrap into a huge unsigned
+  // size), and anything past 2 GiB is treated as a typo rather than an
+  // allocation request. Retry counts clamp into [0, kMaxRetries]; backoffs
+  // clamp at zero.
+  static constexpr std::uint64_t kMinBufferSize = 4096;
+  static constexpr std::uint64_t kMaxBufferSize = 2ULL << 30;
+  static constexpr int kMaxRetries = 1000;
+
   /// Parse from an Info object; unknown keys are ignored (and remain
   /// available to higher layers), per the MPI hint contract.
   static Hints Parse(const simmpi::Info& info, int comm_size,
                      int num_io_servers) {
     Hints h;
-    h.cb_buffer_size = static_cast<std::uint64_t>(
-        info.GetInt("cb_buffer_size", static_cast<std::int64_t>(h.cb_buffer_size)));
+    const auto buffer_size = [&info](const char* key, std::uint64_t def) {
+      const std::int64_t v = info.GetInt(key, static_cast<std::int64_t>(def));
+      if (v < static_cast<std::int64_t>(kMinBufferSize)) return kMinBufferSize;
+      if (v > static_cast<std::int64_t>(kMaxBufferSize)) return kMaxBufferSize;
+      return static_cast<std::uint64_t>(v);
+    };
+    h.cb_buffer_size = buffer_size("cb_buffer_size", h.cb_buffer_size);
     // ROMIO defaults cb_nodes to the number of distinct hosts; the closest
     // analogue here is one aggregator per I/O server, capped by comm size.
     h.cb_nodes = static_cast<int>(info.GetInt(
@@ -50,16 +65,13 @@ struct Hints {
     h.cb_write = info.GetFlag("romio_cb_write", h.cb_write);
     h.ds_read = info.GetFlag("romio_ds_read", h.ds_read);
     h.ds_write = info.GetFlag("romio_ds_write", h.ds_write);
-    h.ind_rd_buffer_size = static_cast<std::uint64_t>(info.GetInt(
-        "ind_rd_buffer_size", static_cast<std::int64_t>(h.ind_rd_buffer_size)));
-    h.ind_wr_buffer_size = static_cast<std::uint64_t>(info.GetInt(
-        "ind_wr_buffer_size", static_cast<std::int64_t>(h.ind_wr_buffer_size)));
-    if (h.cb_buffer_size < 4096) h.cb_buffer_size = 4096;
-    if (h.ind_rd_buffer_size < 4096) h.ind_rd_buffer_size = 4096;
-    if (h.ind_wr_buffer_size < 4096) h.ind_wr_buffer_size = 4096;
-    h.retry_max = static_cast<int>(
-        info.GetInt("pnc_retry_max", h.retry_max));
-    if (h.retry_max < 0) h.retry_max = 0;
+    h.ind_rd_buffer_size =
+        buffer_size("ind_rd_buffer_size", h.ind_rd_buffer_size);
+    h.ind_wr_buffer_size =
+        buffer_size("ind_wr_buffer_size", h.ind_wr_buffer_size);
+    h.retry_max = std::clamp(
+        static_cast<int>(info.GetInt("pnc_retry_max", h.retry_max)), 0,
+        kMaxRetries);
     h.retry_backoff_ns = static_cast<double>(info.GetInt(
         "pnc_retry_backoff_ns", static_cast<std::int64_t>(h.retry_backoff_ns)));
     if (h.retry_backoff_ns < 0) h.retry_backoff_ns = 0;

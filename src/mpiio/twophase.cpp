@@ -16,6 +16,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "iostat/iostat.hpp"
 #include "mpiio/file_impl.hpp"
 
 namespace mpiio {
@@ -94,6 +95,10 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
                                std::uint64_t count,
                                const simmpi::Datatype& memtype, bool is_write) {
   if (!impl_ || !impl_->open) return pnc::Status(pnc::Err::kBadId, "coll io");
+  if (is_write)
+    PNC_IOSTAT_ADD(kMpiioCollWrites, 1);
+  else
+    PNC_IOSTAT_ADD(kMpiioCollReads, 1);
   auto& im = *impl_;
   auto& comm = im.comm;
   auto& clk = comm.clock();
@@ -116,6 +121,8 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
     comm.SyncClocksToMax();
     return st;
   }
+
+  PNC_IOSTAT_ADD(kMpiioCollPayloadBytes, bytes);
 
   // Flatten this rank's file access.
   std::vector<pnc::Extent> segs;
@@ -190,6 +197,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
   pnc::Status st;
 
   for (std::uint64_t w = 0; w < rounds; ++w) {
+    const double exchange_start = clk.now();
     // ---- build this round's per-aggregator messages ----
     // Message layout: u64 n, then n * (u64 off, u64 len), then the bytes
     // (writes only; for reads the extents alone form the request).
@@ -244,7 +252,14 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
       }
     }
 
+    for (int r = 0; r < p; ++r) {
+      if (r != comm.rank() && !sendbufs[static_cast<std::size_t>(r)].empty())
+        PNC_IOSTAT_ADD(kMpiioExchangeMsgs, 1);
+    }
     auto recvbufs = comm.Alltoall(std::move(sendbufs));
+    PNC_IOSTAT_ADD(kMpiioExchangeNs, clk.now() - exchange_start);
+    PNC_IOSTAT_SPAN("mpiio", "exchange", exchange_start, clk.now());
+    const double io_start = clk.now();
 
     // ---- aggregator services its window ----
     std::vector<std::vector<std::byte>> replies(static_cast<std::size_t>(p));
@@ -295,6 +310,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
             const bool holes = covered < span_len;
             pnc::Status wst;
             if (holes && st.ok()) {
+              PNC_IOSTAT_ADD(kMpiioAggBytes, span_len);  // RMW pre-read
               wst = im.RetryIo(/*is_write=*/false, span_start, window.data(),
                                span_len);
             }
@@ -303,6 +319,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
                 std::memcpy(window.data() + (pc.file_off - span_start), pc.src,
                             pc.len);
               clk.Advance(cost.CopyCost(covered));
+              PNC_IOSTAT_ADD(kMpiioAggBytes, span_len);
               wst = im.RetryIo(/*is_write=*/true, span_start, window.data(),
                                span_len);
             }
@@ -315,9 +332,11 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
               replies[static_cast<std::size_t>(r)].assign(
                   reply_bytes[static_cast<std::size_t>(r)], std::byte{0});
             pnc::Status rst;
-            if (st.ok())
+            if (st.ok()) {
+              PNC_IOSTAT_ADD(kMpiioAggBytes, span_len);
               rst = im.RetryIo(/*is_write=*/false, span_start, window.data(),
                                span_len);
+            }
             if (rst.ok() && st.ok()) {
               for (const auto& pc : pieces)
                 std::memcpy(
@@ -333,8 +352,12 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
       }
     }
 
+    PNC_IOSTAT_ADD(kMpiioIoPhaseNs, clk.now() - io_start);
+    PNC_IOSTAT_SPAN("mpiio", "io", io_start, clk.now());
+
     // ---- reads: ship the bytes back into each requester's packed buffer ----
     if (!is_write) {
+      const double reply_start = clk.now();
       auto returned = comm.Alltoall(std::move(replies));
       for (std::size_t d = 0; d < naggs; ++d) {
         if (round_data_len[d] == 0) continue;
@@ -355,6 +378,8 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
         std::memcpy(data + round_data_start[d], blob.data(), n);
         clk.Advance(cost.CopyCost(n));
       }
+      PNC_IOSTAT_ADD(kMpiioExchangeNs, clk.now() - reply_start);
+      PNC_IOSTAT_SPAN("mpiio", "exchange", reply_start, clk.now());
     }
   }
 

@@ -6,6 +6,7 @@
 #include "format/commit.hpp"
 #include "format/commit_pfs.hpp"
 #include "format/header_io.hpp"
+#include "iostat/iostat.hpp"
 
 namespace netcdf {
 
@@ -104,6 +105,7 @@ pnc::Result<Dataset> Dataset::Open(pfs::FileSystem& fs, const std::string& path,
   }
   auto hdr = ncformat::ReadHeader(
       im.io.size(), [&im](std::uint64_t off, pnc::ByteSpan out) {
+        PNC_IOSTAT_ADD(kNcHeaderBytesRead, out.size());
         return im.io.ReadAt(off, out);
       });
   if (!hdr.ok()) return hdr.status();
@@ -118,6 +120,7 @@ pnc::Status Dataset::Redef() {
   if (!im.writable) return pnc::Status(pnc::Err::kPermission);
   im.pre_redef = im.header;
   im.defining = true;
+  PNC_IOSTAT_ADD(kNcModeSwitches, 1);
   return pnc::Status::Ok();
 }
 
@@ -150,6 +153,7 @@ pnc::Status Dataset::EndDef() {
   im.defining = false;
   im.fresh = false;
   im.pre_redef.reset();
+  PNC_IOSTAT_ADD(kNcModeSwitches, 1);
   return pnc::Status::Ok();
 }
 
@@ -395,6 +399,8 @@ pnc::Status Dataset::PutExternal(int varid,
     }
   }
 
+  PNC_IOSTAT_ADD(kNcDataCalls, 1);
+  PNC_IOSTAT_ADD(kNcDataBytesWritten, external.size());
   std::vector<pnc::Extent> regions;
   ncformat::AccessRegions(h, varid, start, count, stride, regions);
   std::uint64_t pos = 0;
@@ -411,6 +417,8 @@ pnc::Status Dataset::GetExternal(int varid,
                                  std::span<const std::uint64_t> stride,
                                  pnc::ByteSpan external) {
   auto& im = *impl_;
+  PNC_IOSTAT_ADD(kNcDataCalls, 1);
+  PNC_IOSTAT_ADD(kNcDataBytesRead, external.size());
   std::vector<pnc::Extent> regions;
   ncformat::AccessRegions(im.header, varid, start, count, stride, regions);
   std::uint64_t pos = 0;
@@ -441,6 +449,7 @@ pnc::Status Dataset::WriteHeader() {
   } else {
     PNC_RETURN_IF_ERROR(im.io.WriteAt(0, bytes));
   }
+  PNC_IOSTAT_ADD(kNcHeaderBytesWritten, bytes.size());
   im.numrecs_dirty = false;
   return pnc::Status::Ok();
 }
@@ -459,6 +468,7 @@ pnc::Status Dataset::WriteNumrecs() {
   const auto v = pnc::xdr::ToBig(static_cast<std::uint32_t>(im.header.numrecs));
   std::memcpy(buf, &v, 4);
   PNC_RETURN_IF_ERROR(im.io.WriteAt(4, pnc::ConstByteSpan(buf, 4)));
+  PNC_IOSTAT_ADD(kNcHeaderBytesWritten, 4);
   if (im.journal) PNC_RETURN_IF_ERROR(im.io.Sync());
   im.numrecs_dirty = false;
   return pnc::Status::Ok();

@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "iostat/iostat.hpp"
+
 namespace pfs {
 
 // ---------------------------------------------------------------- MemStore
@@ -159,6 +161,7 @@ IoResult File::TryRead(std::uint64_t offset, pnc::ByteSpan out,
     oc = node_->faulty->FaultedRead(offset, out, fs_->PrimaryServer(offset),
                                     start_ns);
   }
+  if (!oc.status.ok()) PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
   // A failed attempt still costs a (zero-payload) round trip: the request
   // reached the servers before the error came back.
   const double done = fs_->ServeRequest(offset, oc.status.ok() ? oc.transferred
@@ -199,6 +202,7 @@ IoResult File::TryWrite(std::uint64_t offset, pnc::ConstByteSpan data,
                                        start_ns);
     }
   }
+  if (!oc.status.ok()) PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
   const double done = fs_->ServeRequest(offset, oc.status.ok() ? oc.transferred
                                                                : 0,
                                         /*is_write=*/true, start_ns);
@@ -209,6 +213,8 @@ IoResult File::TrySync(double start_ns) {
   const FaultDecision d =
       fs_->injector_->Decide(/*is_write=*/true, 0, /*server=*/0, start_ns);
   const double done = fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns);
+  if (d.kind != FaultDecision::Kind::kOk)
+    PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
   if (d.kind == FaultDecision::Kind::kTransient)
     return {pnc::Status(pnc::Err::kIoTransient, "injected transient fault"), 0,
             done};
@@ -356,6 +362,7 @@ int FileSystem::PrimaryServer(std::uint64_t offset) const {
 }
 
 void FileSystem::RecordRetry(bool is_write) {
+  PNC_IOSTAT_ADD(kPfsRetries, 1);
   std::lock_guard<std::mutex> lk(mu_);
   (is_write ? stats_.write_retries : stats_.read_retries) += 1;
 }
@@ -401,6 +408,14 @@ double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
   const double client_done = start_ns + cfg_.client_request_ns +
                              client_ns_per_byte * static_cast<double>(len);
   const double arrival = start_ns + cfg_.client_request_ns;
+
+  if (is_write) {
+    PNC_IOSTAT_ADD(kPfsWriteOps, 1);
+    PNC_IOSTAT_ADD(kPfsBytesWritten, len);
+  } else {
+    PNC_IOSTAT_ADD(kPfsReadOps, 1);
+    PNC_IOSTAT_ADD(kPfsBytesRead, len);
+  }
 
   double completion = client_done;
   {

@@ -5,6 +5,7 @@
 
 #include "format/commit.hpp"
 #include "format/commit_pfs.hpp"
+#include "iostat/iostat.hpp"
 
 namespace pnetcdf {
 
@@ -173,6 +174,7 @@ pnc::Result<Dataset> Dataset::Open(simmpi::Comm comm, pfs::FileSystem& fs,
       bytes.assign(n, std::byte{0});
       pnc::Status rs =
           im.file.ReadAt(0, bytes.data(), n, simmpi::ByteType());
+      PNC_IOSTAT_ADD(kNcHeaderBytesRead, n);
       if (!rs.ok()) {
         err = rs.raw();
         break;
@@ -211,6 +213,7 @@ pnc::Status Dataset::Redef() {
   if (im.indep) return pnc::Status(pnc::Err::kInIndep);
   im.pre_redef = im.header;
   im.defining = true;
+  PNC_IOSTAT_ADD(kNcModeSwitches, 1);
   im.comm.Barrier();
   return pnc::Status::Ok();
 }
@@ -245,6 +248,7 @@ pnc::Status Dataset::WriteHeaderCollective() {
     } else {
       st = im.file.WriteAt(0, bytes.data(), bytes.size(), simmpi::ByteType());
     }
+    if (st.ok()) PNC_IOSTAT_ADD(kNcHeaderBytesWritten, bytes.size());
     err = st.raw();
   }
   im.comm.BcastValue(err, 0);
@@ -283,6 +287,7 @@ pnc::Status Dataset::EndDef() {
   im.defining = false;
   im.fresh = false;
   im.pre_redef.reset();
+  PNC_IOSTAT_ADD(kNcModeSwitches, 1);
   return pnc::Status::Ok();
 }
 
@@ -299,7 +304,11 @@ pnc::Status Dataset::Close() {
   auto& im = *impl_;
   if (im.defining) PNC_RETURN_IF_ERROR(EndDef());
   PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));
-  return im.file.Close();
+  pnc::Status st = im.file.Close();
+  // The collective close barrier has passed: every rank's counters are
+  // final, so the reduction in the report is well defined.
+  if (im.comm.rank() == 0) PNC_IOSTAT_AUTO_REPORT();
+  return st;
 }
 
 pnc::Status Dataset::Abort() {
@@ -333,6 +342,7 @@ pnc::Status Dataset::BeginIndepData() {
   if (im.indep) return pnc::Status(pnc::Err::kInIndep);
   im.comm.Barrier();
   im.indep = true;
+  PNC_IOSTAT_ADD(kNcModeSwitches, 1);
   return pnc::Status::Ok();
 }
 
@@ -341,6 +351,7 @@ pnc::Status Dataset::EndIndepData() {
   auto& im = *impl_;
   if (!im.indep) return pnc::Status(pnc::Err::kNotIndep);
   im.indep = false;
+  PNC_IOSTAT_ADD(kNcModeSwitches, 1);
   // Record counts may have diverged across ranks during independent writes;
   // converge on the maximum and persist it.
   PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));
@@ -559,6 +570,12 @@ pnc::Status Dataset::MoveExternal(int varid,
   }
   auto filetype = simmpi::Datatype::Hindexed(lens, offs, simmpi::ByteType());
 
+  PNC_IOSTAT_ADD(kNcDataCalls, 1);
+  if (is_write)
+    PNC_IOSTAT_ADD(kNcDataBytesWritten, ext.size());
+  else
+    PNC_IOSTAT_ADD(kNcDataBytesRead, ext.size());
+
   pnc::Status io;
   if (collective) {
     PNC_RETURN_IF_ERROR(im.file.SetView(0, simmpi::ByteType(), filetype));
@@ -626,6 +643,7 @@ pnc::Status Dataset::SyncNumrecs(std::uint64_t local_numrecs, bool collective) {
       } else {
         st = im.file.WriteAt(4, buf, 4, simmpi::ByteType());
       }
+      if (st.ok()) PNC_IOSTAT_ADD(kNcHeaderBytesWritten, 4);
       err = st.raw();
     }
     // Agree on the root's status so all ranks return the same result and the
@@ -819,6 +837,12 @@ pnc::Status Dataset::BatchAccess(std::span<BatchItem> items, bool is_write) {
   }
   if (is_write && total > 0) clk.Advance(im.comm.cost().CopyCost(total));
   auto filetype = simmpi::Datatype::Hindexed(lens, offs, simmpi::ByteType());
+
+  PNC_IOSTAT_ADD(kNcDataCalls, 1);
+  if (is_write)
+    PNC_IOSTAT_ADD(kNcDataBytesWritten, total);
+  else
+    PNC_IOSTAT_ADD(kNcDataBytesRead, total);
 
   PNC_RETURN_IF_ERROR(im.file.SetView(0, simmpi::ByteType(), filetype));
   pnc::Status io =

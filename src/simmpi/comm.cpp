@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "iostat/iostat.hpp"
+
 namespace simmpi {
 
 namespace detail {
@@ -77,6 +79,8 @@ void Comm::Send(int dst, int tag, pnc::ConstByteSpan data) {
 
 void Comm::SendInternal(int dst, int tag, pnc::ConstByteSpan data) {
   assert(dst >= 0 && dst < size());
+  PNC_IOSTAT_ADD(kMpiMessages, 1);
+  PNC_IOSTAT_ADD(kMpiMessageBytes, data.size());
   auto& clk = clock();
   clk.Advance(state_->cost.sw_overhead_ns);
   detail::Message msg;
@@ -151,6 +155,7 @@ std::vector<std::byte> Comm::RecvInternal(int src, int tag) {
 }
 
 void Comm::Barrier() {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (p == 1) return;
   // Dissemination barrier: log2(P) rounds of ring-distance exchanges. Clock
@@ -163,6 +168,7 @@ void Comm::Barrier() {
 }
 
 void Comm::Bcast(pnc::ByteSpan buf, int root) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (p == 1) return;
   const int r = (rank_ - root + p) % p;
@@ -186,6 +192,7 @@ void Comm::Bcast(pnc::ByteSpan buf, int root) {
 }
 
 void Comm::Bcast(std::vector<std::byte>& buf, int root) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (p == 1) return;
   const int r = (rank_ - root + p) % p;
@@ -206,6 +213,7 @@ void Comm::Bcast(std::vector<std::byte>& buf, int root) {
 
 std::vector<std::vector<std::byte>> Comm::Gather(pnc::ConstByteSpan mine,
                                                  int root) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   std::vector<std::vector<std::byte>> result;
   if (rank_ == root) {
@@ -222,6 +230,7 @@ std::vector<std::vector<std::byte>> Comm::Gather(pnc::ConstByteSpan mine,
 }
 
 std::vector<std::vector<std::byte>> Comm::Allgather(pnc::ConstByteSpan mine) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   auto gathered = Gather(mine, 0);
   // Root frames all pieces into one buffer and broadcasts it.
@@ -264,6 +273,7 @@ std::vector<std::vector<std::byte>> Comm::Allgather(pnc::ConstByteSpan mine) {
 
 std::vector<std::byte> Comm::Scatter(
     std::vector<std::vector<std::byte>> pieces, int root) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (rank_ == root) {
     assert(static_cast<int>(pieces.size()) == p);
@@ -278,6 +288,7 @@ std::vector<std::byte> Comm::Scatter(
 
 std::vector<std::vector<std::byte>> Comm::Alltoall(
     std::vector<std::vector<std::byte>> send) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   assert(static_cast<int>(send.size()) == p);
   std::vector<std::vector<std::byte>> result(p);
@@ -293,6 +304,7 @@ std::vector<std::vector<std::byte>> Comm::Alltoall(
 }
 
 void Comm::Reduce(pnc::ByteSpan inout, const ReduceFn& fn, int root) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (p == 1) return;
   const int r = (rank_ - root + p) % p;
@@ -312,11 +324,13 @@ void Comm::Reduce(pnc::ByteSpan inout, const ReduceFn& fn, int root) {
 }
 
 void Comm::Allreduce(pnc::ByteSpan inout, const ReduceFn& fn) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   Reduce(inout, fn, 0);
   Bcast(inout, 0);
 }
 
 bool Comm::AllAgree(pnc::ConstByteSpan bytes) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
   auto gathered = Gather(bytes, 0);
   std::uint8_t same = 1;
   if (rank_ == 0) {

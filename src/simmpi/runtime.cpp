@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "iostat/iostat.hpp"
+
 namespace simmpi {
 
 RunResult Run(int nprocs, const std::function<void(Comm&)>& body,
@@ -21,6 +23,7 @@ RunResult Run(int nprocs, const std::function<void(Comm&)>& body,
   threads.reserve(nprocs);
   for (int r = 0; r < nprocs; ++r) {
     threads.emplace_back([&, r] {
+      PNC_IOSTAT_BIND_RANK(r);
       Comm comm = detail::MakeComm(state, members, r);
       try {
         body(comm);

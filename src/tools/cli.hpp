@@ -1,0 +1,99 @@
+// Shared command-line parsing for the tool mains (ncverify, ncstat).
+//
+// The tools follow one exit-code contract (documented in docs/API.md):
+//   0  success (ncverify: clean or repaired; ncstat: report produced)
+//   1  condition detected (ncverify: torn but recoverable; ncstat: reserved)
+//   2  usage error, I/O error, or corrupt/unparseable input
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nctools {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitCondition = 1;
+inline constexpr int kExitError = 2;
+
+/// Tiny argv scanner: "-q"/"--flag" switches, "--key=value" options, and
+/// positionals. Tools declare what they accept by querying Flag()/Value();
+/// anything never queried shows up in Unknown(), which mains turn into a
+/// usage error instead of silently ignoring a typo.
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.size() > 1 && a[0] == '-') {
+        const auto eq = a.find('=');
+        Entry e;
+        e.name = a.substr(0, eq);
+        if (eq != std::string::npos) {
+          e.value = a.substr(eq + 1);
+          e.has_value = true;
+        }
+        entries_.push_back(std::move(e));
+      } else {
+        positionals_.push_back(a);
+      }
+    }
+  }
+
+  /// Boolean switch ("--repair", "-q"): true if present without a value.
+  bool Flag(const std::string& name) {
+    bool found = false;
+    for (auto& e : entries_)
+      if (e.name == name && !e.has_value) {
+        e.queried = true;
+        found = true;
+      }
+    return found;
+  }
+
+  /// Valued option ("--report=FILE"); returns `def` when absent. The last
+  /// occurrence wins.
+  std::string Value(const std::string& name, const std::string& def) {
+    std::string v = def;
+    for (auto& e : entries_)
+      if (e.name == name && e.has_value) {
+        e.queried = true;
+        v = e.value;
+      }
+    return v;
+  }
+
+  /// True if the option occurred at all (valued or not); counts as queried.
+  bool Has(const std::string& name) {
+    bool found = false;
+    for (auto& e : entries_)
+      if (e.name == name) {
+        e.queried = true;
+        found = true;
+      }
+    return found;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  /// Option names no Flag()/Value()/Has() call recognized.
+  [[nodiscard]] std::vector<std::string> Unknown() const {
+    std::vector<std::string> u;
+    for (const auto& e : entries_)
+      if (!e.queried) u.push_back(e.name);
+    return u;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    bool queried = false;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace nctools

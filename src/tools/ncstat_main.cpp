@@ -1,0 +1,209 @@
+// ncstat — inspect the cross-layer I/O statistics subsystem (iostat).
+//
+// Modes:
+//   ncstat --report=FILE   pretty-print every iostat report found in FILE:
+//                          a PNC_IOSTAT_REPORT dump, or a BENCH_*.json file
+//                          whose records embed an "iostat" object per line
+//                          ("-" reads stdin)
+//   ncstat --run           run a synthetic collective workload through the
+//                          full pnetcdf -> mpiio -> pfs stack and print the
+//                          per-layer breakdown
+//
+// Workload options (with --run):
+//   --procs=N                  ranks (default 4)
+//   --size=MB                  total payload in MiB (default 8)
+//   --pattern=contig|strided   file access pattern (default contig)
+//   --op=write|read            measured operation (default write; read runs
+//                              a populating write first and resets counters)
+//   --json=PATH                also dump the report JSON ("-" = stdout)
+//   --trace=PATH               record spans, write a Chrome trace timeline
+//
+// Exit status: 0 success, 2 usage/IO/parse error (1 is reserved; its sibling
+// ncverify uses it for torn-but-recoverable files). See src/tools/cli.hpp.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "iostat/iostat.hpp"
+#include "iostat/report.hpp"
+#include "iostat/trace.hpp"
+#include "pnetcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+#include "tools/cli.hpp"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ncstat --report=FILE\n"
+               "       ncstat --run [--procs=N] [--size=MB]\n"
+               "              [--pattern=contig|strided] [--op=write|read]\n"
+               "              [--json=PATH] [--trace=PATH]\n");
+  return nctools::kExitError;
+}
+
+int ReportMode(const std::string& path) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "ncstat: cannot open %s\n", path.c_str());
+      return nctools::kExitError;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  // One report per line (PNC_IOSTAT_REPORT dumps and bench records are both
+  // line-oriented); fall back to scanning the whole buffer once.
+  std::vector<iostat::Report> reports;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto r = iostat::ParseReportJson(line);
+    if (r.ok()) reports.push_back(r.value());
+  }
+  if (reports.empty()) {
+    auto r = iostat::ParseReportJson(text);
+    if (r.ok()) reports.push_back(r.value());
+  }
+  if (reports.empty()) {
+    std::fprintf(stderr, "ncstat: no pnc-iostat-v1 report found in %s\n",
+                 path.c_str());
+    return nctools::kExitError;
+  }
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports.size() > 1)
+      std::printf("%s--- record %zu of %zu ---\n", i ? "\n" : "", i + 1,
+                  reports.size());
+    std::fputs(iostat::PrettyPrint(reports[i]).c_str(), stdout);
+  }
+  return nctools::kExitOk;
+}
+
+int RunMode(nctools::Cli& cli) {
+  const int procs =
+      std::max(1, std::atoi(cli.Value("--procs", "4").c_str()));
+  const std::uint64_t mb = static_cast<std::uint64_t>(
+      std::max(1, std::atoi(cli.Value("--size", "8").c_str())));
+  const std::string pattern = cli.Value("--pattern", "contig");
+  const std::string op = cli.Value("--op", "write");
+  const std::string json = cli.Value("--json", "");
+  const std::string trace = cli.Value("--trace", "");
+  if ((pattern != "contig" && pattern != "strided") ||
+      (op != "write" && op != "read"))
+    return Usage();
+  if (!trace.empty()) iostat::Registry::Get().SetSpansEnabled(true);
+
+  const std::uint64_t total_elems = (mb << 20) / 8;
+  const std::uint64_t per =
+      total_elems / static_cast<std::uint64_t>(procs);
+  const bool is_read = op == "read";
+  bool failed = false;
+
+  pfs::FileSystem fs;
+  simmpi::Run(procs, [&](simmpi::Comm& comm) {
+    auto dsr =
+        pnetcdf::Dataset::Create(comm, fs, "ncstat.nc", simmpi::NullInfo());
+    if (!dsr.ok()) {
+      if (comm.rank() == 0) failed = true;
+      return;
+    }
+    auto ds = std::move(dsr).value();
+    std::uint64_t start[2], count[2];
+    int v;
+    if (pattern == "contig") {
+      // u(total): each rank one contiguous block.
+      const int xd = ds.DefDim("x", total_elems).value();
+      v = ds.DefVar("u", ncformat::NcType::kDouble, {xd}).value();
+      start[0] = per * static_cast<std::uint64_t>(comm.rank());
+      count[0] = per;
+    } else {
+      // m(rows, procs): each rank one column — fully interleaved at the
+      // file, the pattern that exercises sieving and two-phase exchange.
+      const int rd = ds.DefDim("row", per).value();
+      const int cd =
+          ds.DefDim("col", static_cast<std::uint64_t>(procs)).value();
+      v = ds.DefVar("m", ncformat::NcType::kDouble, {rd, cd}).value();
+      start[0] = 0;
+      start[1] = static_cast<std::uint64_t>(comm.rank());
+      count[0] = per;
+      count[1] = 1;
+    }
+    if (!ds.EndDef().ok()) {
+      if (comm.rank() == 0) failed = true;
+      return;
+    }
+    std::vector<double> mine(per, 1.0);
+    pnc::Status st = ds.PutVaraAll<double>(v, start, count, mine);
+    if (is_read && st.ok()) {
+      // Drop the populating write from the report: read stats only.
+      comm.Barrier();
+      if (comm.rank() == 0) iostat::Registry::Get().Reset();
+      comm.Barrier();
+      iostat::Registry::BindRank(comm.rank());
+      st = ds.GetVaraAll<double>(v, start, count, mine);
+    }
+    if (!st.ok() && comm.rank() == 0) failed = true;
+    (void)ds.Close();
+  });
+  if (failed) {
+    std::fprintf(stderr, "ncstat: workload failed\n");
+    return nctools::kExitError;
+  }
+
+  const iostat::Report rep = iostat::BuildReport();
+  std::printf("ncstat: %s %s, %d ranks, %llu MiB total\n", pattern.c_str(),
+              op.c_str(), procs, static_cast<unsigned long long>(mb));
+  std::fputs(iostat::PrettyPrint(rep).c_str(), stdout);
+
+  if (!json.empty()) {
+    const std::string out = iostat::ToJson(rep) + "\n";
+    if (json == "-") {
+      std::fwrite(out.data(), 1, out.size(), stdout);
+    } else if (FILE* f = std::fopen(json.c_str(), "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "ncstat: cannot write %s\n", json.c_str());
+      return nctools::kExitError;
+    }
+  }
+  if (!trace.empty()) {
+    const pnc::Status ts = iostat::WriteChromeTrace(trace);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "ncstat: %s\n", ts.message().c_str());
+      return nctools::kExitError;
+    }
+  }
+  return nctools::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nctools::Cli cli(argc, argv);
+  const std::string report = cli.Value("--report", "");
+  const bool run = cli.Flag("--run");
+  if (run) {
+    // Mark the workload options as recognized, then reject typos before
+    // spending time on the workload itself.
+    for (const char* k :
+         {"--procs", "--size", "--pattern", "--op", "--json", "--trace"})
+      (void)cli.Has(k);
+    if (!cli.Unknown().empty() || !cli.positionals().empty()) return Usage();
+    return RunMode(cli);
+  }
+  if (report.empty() || !cli.Unknown().empty() || !cli.positionals().empty())
+    return Usage();
+  return ReportMode(report);
+}

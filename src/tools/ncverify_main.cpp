@@ -5,53 +5,44 @@
 //   --repair  roll a torn file back to its last committed state, in place
 //   -q        quiet: no per-file report, exit status only
 //
-// Exit status: 0 clean (or repaired), 1 torn but recoverable, 2 corrupt or
-// usage/IO error.
+// Exit status (the shared tool contract, src/tools/cli.hpp): 0 clean (or
+// repaired), 1 torn but recoverable, 2 corrupt or usage/IO error.
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <string>
 
+#include "tools/cli.hpp"
 #include "tools/verify.hpp"
 
 int main(int argc, char** argv) {
+  nctools::Cli cli(argc, argv);
   nctools::VerifyOptions opts;
-  bool quiet = false;
-  const char* path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--repair") == 0) {
-      opts.repair = true;
-    } else if (std::strcmp(argv[i], "-q") == 0) {
-      quiet = true;
-    } else if (path == nullptr) {
-      path = argv[i];
-    } else {
-      path = nullptr;
-      break;
-    }
-  }
-  if (path == nullptr) {
+  opts.repair = cli.Flag("--repair");
+  const bool quiet = cli.Flag("-q");
+  if (!cli.Unknown().empty() || cli.positionals().size() != 1) {
     std::fprintf(stderr, "usage: ncverify [--repair] [-q] file.nc\n");
-    return 2;
+    return nctools::kExitError;
   }
+  const std::string& path_s = cli.positionals()[0];
+  const char* path = path_s.c_str();
 
   pfs::FileSystem fs;
   if (!fs.AttachDisk(path, path).ok()) {
     std::fprintf(stderr, "ncverify: cannot open %s\n", path);
-    return 2;
+    return nctools::kExitError;
   }
   const std::string jpath = ncformat::JournalPath(path);
   std::error_code ec;
   if (std::filesystem::exists(jpath, ec) &&
       !fs.AttachDisk(jpath, jpath).ok()) {
     std::fprintf(stderr, "ncverify: cannot open %s\n", jpath.c_str());
-    return 2;
+    return nctools::kExitError;
   }
 
   auto r = nctools::VerifyFile(fs, path, opts);
   if (!r.ok()) {
     std::fprintf(stderr, "ncverify: %s\n", r.status().message().c_str());
-    return 2;
+    return nctools::kExitError;
   }
   const nctools::VerifyResult& v = r.value();
   if (!quiet) {
@@ -68,11 +59,11 @@ int main(int argc, char** argv) {
   }
   switch (v.state) {
     case ncformat::FileState::kClean:
-      return 0;
+      return nctools::kExitOk;
     case ncformat::FileState::kTornRecoverable:
-      return 1;
+      return nctools::kExitCondition;
     case ncformat::FileState::kCorrupt:
     default:
-      return 2;
+      return nctools::kExitError;
   }
 }
