@@ -11,12 +11,13 @@
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
+#include "bench/registry.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace {
 
-double RunOne(int nprocs, bool collective) {
+double RunOne(int nprocs, bool collective, const simmpi::Info& info) {
   pfs::Config pcfg = bench::SdscBlueHorizon();
   pcfg.discard_data = true;
   pfs::FileSystem fs(pcfg);
@@ -26,9 +27,7 @@ double RunOne(int nprocs, bool collective) {
   simmpi::Run(
       nprocs,
       [&](simmpi::Comm& comm) {
-        auto ds = pnetcdf::Dataset::Create(comm, fs, "a.nc",
-                                           simmpi::NullInfo())
-                      .value();
+        auto ds = pnetcdf::Dataset::Create(comm, fs, "a.nc", info).value();
         const int zd = ds.DefDim("z", kZ).value();
         const int yd = ds.DefDim("y", kY).value();
         const int xd = ds.DefDim("x", kX).value();
@@ -60,29 +59,43 @@ double RunOne(int nprocs, bool collective) {
   return bw;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  const bench::Recorder rec(args, "ablation_collective");
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  const std::string mode = args.Get("mode", "both");
+  simmpi::Info info;
+  bench::ApplyHintOverrides(args, info);
   std::printf("Ablation: collective (_all) vs independent data mode\n");
   std::printf("Y-partitioned 8 MB write of u(128,128,64) doubles, 12-server "
               "platform\n\n");
   std::printf("%-8s %14s %14s %9s\n", "nprocs", "collective", "independent",
               "speedup");
-  for (int np : {2, 4, 8, 16}) {
-    const auto config = [np](const char* mode) {
+  for (int np : bench::ProcsList(args, {2, 4, 8, 16})) {
+    const auto config = [np](const char* m) {
       return bench::JsonObj()
           .Int("nprocs", static_cast<std::uint64_t>(np))
-          .Str("mode", mode);
+          .Str("mode", m);
     };
-    rec.BeginConfig();
-    const double c = RunOne(np, true);
-    rec.EndConfig(config("collective"), bench::JsonObj().Num("mbps", c));
-    rec.BeginConfig();
-    const double i = RunOne(np, false);
-    rec.EndConfig(config("independent"), bench::JsonObj().Num("mbps", i));
+    double c = 0.0, i = 0.0;
+    if (mode == "collective" || mode == "both") {
+      rec.BeginConfig();
+      c = RunOne(np, true, info);
+      rec.EndConfig(config("collective"), bench::JsonObj().Num("mbps", c));
+    }
+    if (mode == "independent" || mode == "both") {
+      rec.BeginConfig();
+      i = RunOne(np, false, info);
+      rec.EndConfig(config("independent"), bench::JsonObj().Num("mbps", i));
+    }
     std::printf("%-8d %14.1f %14.1f %8.2fx\n", np, c, i, i > 0 ? c / i : 0.0);
   }
   return 0;
 }
+
+const bench::BenchDef kBench{
+    "ablation_collective",
+    "collective (_all) vs independent data mode on an interleaved write",
+    {"mode", "procs"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

@@ -13,6 +13,7 @@
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
+#include "bench/registry.hpp"
 #include "hdf5lite/h5file.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
@@ -21,7 +22,7 @@ namespace {
 
 constexpr int kProcs = 8;
 
-double PnetcdfTouchAll(int nvars) {
+double PnetcdfTouchAll(int nvars, const simmpi::Info& info) {
   pfs::Config pcfg = bench::AsciFrost();
   pfs::FileSystem fs(pcfg);
   double ms = 0.0;
@@ -29,9 +30,7 @@ double PnetcdfTouchAll(int nvars) {
       kProcs,
       [&](simmpi::Comm& comm) {
         {
-          auto ds = pnetcdf::Dataset::Create(comm, fs, "h.nc",
-                                             simmpi::NullInfo())
-                        .value();
+          auto ds = pnetcdf::Dataset::Create(comm, fs, "h.nc", info).value();
           const int xd = ds.DefDim("x", 16).value();
           for (int v = 0; v < nvars; ++v)
             (void)ds.DefVar("v" + std::to_string(v), ncformat::NcType::kFloat,
@@ -39,8 +38,7 @@ double PnetcdfTouchAll(int nvars) {
           (void)ds.EndDef();
           (void)ds.Close();
         }
-        auto ds = pnetcdf::Dataset::Open(comm, fs, "h.nc", false,
-                                         simmpi::NullInfo())
+        auto ds = pnetcdf::Dataset::Open(comm, fs, "h.nc", false, info)
                       .value();
         comm.SyncClocksToMax();
         const double t0 = comm.clock().now();
@@ -59,7 +57,7 @@ double PnetcdfTouchAll(int nvars) {
   return ms;
 }
 
-double Hdf5liteTouchAll(int nvars) {
+double Hdf5liteTouchAll(int nvars, const simmpi::Info& info) {
   pfs::Config pcfg = bench::AsciFrost();
   pfs::FileSystem fs(pcfg);
   double ms = 0.0;
@@ -67,9 +65,7 @@ double Hdf5liteTouchAll(int nvars) {
       kProcs,
       [&](simmpi::Comm& comm) {
         {
-          auto f = hdf5lite::File::Create(comm, fs, "h.h5l",
-                                          simmpi::NullInfo())
-                       .value();
+          auto f = hdf5lite::File::Create(comm, fs, "h.h5l", info).value();
           const std::uint64_t dims[] = {16};
           for (int v = 0; v < nvars; ++v) {
             auto ds = f.CreateDataset("v" + std::to_string(v),
@@ -79,9 +75,7 @@ double Hdf5liteTouchAll(int nvars) {
           }
           (void)f.Close();
         }
-        auto f = hdf5lite::File::Open(comm, fs, "h.h5l", false,
-                                      simmpi::NullInfo())
-                     .value();
+        auto f = hdf5lite::File::Open(comm, fs, "h.h5l", false, info).value();
         comm.SyncClocksToMax();
         const double t0 = comm.clock().now();
         // Locate every dataset: collective opens with namespace iteration
@@ -98,26 +92,30 @@ double Hdf5liteTouchAll(int nvars) {
   return ms;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  const bench::Recorder rec(args, "ablation_header");
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  const std::string lib = args.Get("lib", "both");
+  simmpi::Info info;
+  bench::ApplyHintOverrides(args, info);
   std::printf("Ablation: header caching vs per-object collective opens\n");
   std::printf("locating every variable once, 8 processes\n\n");
   std::printf("%-8s %16s %18s\n", "nvars", "PnetCDF (ms)", "hdf5lite (ms)");
   for (int n : {4, 16, 64, 256}) {
-    const auto config = [n](const char* lib) {
+    const auto config = [n](const char* l) {
       return bench::JsonObj()
           .Int("nvars", static_cast<std::uint64_t>(n))
-          .Str("lib", lib);
+          .Str("lib", l);
     };
-    rec.BeginConfig();
-    const double pnc_ms = PnetcdfTouchAll(n);
-    rec.EndConfig(config("pnetcdf"), bench::JsonObj().Num("ms", pnc_ms));
-    rec.BeginConfig();
-    const double h5_ms = Hdf5liteTouchAll(n);
-    rec.EndConfig(config("hdf5lite"), bench::JsonObj().Num("ms", h5_ms));
+    double pnc_ms = 0.0, h5_ms = 0.0;
+    if (lib == "pnetcdf" || lib == "both") {
+      rec.BeginConfig();
+      pnc_ms = PnetcdfTouchAll(n, info);
+      rec.EndConfig(config("pnetcdf"), bench::JsonObj().Num("ms", pnc_ms));
+    }
+    if (lib == "hdf5lite" || lib == "both") {
+      rec.BeginConfig();
+      h5_ms = Hdf5liteTouchAll(n, info);
+      rec.EndConfig(config("hdf5lite"), bench::JsonObj().Num("ms", h5_ms));
+    }
     std::printf("%-8d %16.3f %18.1f\n", n, pnc_ms, h5_ms);
   }
   std::printf("\nPnetCDF's cost is flat and essentially zero (local memory); "
@@ -125,3 +123,13 @@ int main(int argc, char** argv) {
               "synchronization, quadratic in\nthe namespace scan.\n");
   return 0;
 }
+
+const bench::BenchDef kBench{
+    "ablation_header",
+    "header caching vs per-object collective opens (nvars sweep)",
+    {"lib"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

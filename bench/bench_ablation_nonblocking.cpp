@@ -14,6 +14,7 @@
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
+#include "bench/registry.hpp"
 #include "pnetcdf/nonblocking.hpp"
 #include "simmpi/runtime.hpp"
 
@@ -24,7 +25,7 @@ struct Outcome {
   std::uint64_t requests = 0;
 };
 
-Outcome RunOne(int nvars, bool aggregated) {
+Outcome RunOne(int nvars, bool aggregated, const simmpi::Info& info) {
   pfs::Config pcfg = bench::SdscBlueHorizon();
   pcfg.discard_data = true;
   pfs::FileSystem fs(pcfg);
@@ -35,9 +36,7 @@ Outcome RunOne(int nvars, bool aggregated) {
   simmpi::Run(
       nprocs,
       [&](simmpi::Comm& comm) {
-        auto ds = pnetcdf::Dataset::Create(comm, fs, "nb.nc",
-                                           simmpi::NullInfo())
-                      .value();
+        auto ds = pnetcdf::Dataset::Create(comm, fs, "nb.nc", info).value();
         const int t = ds.DefDim("time", pnetcdf::kUnlimited).value();
         const int x = ds.DefDim("x", kX).value();
         std::vector<int> vars;
@@ -79,11 +78,9 @@ Outcome RunOne(int nvars, bool aggregated) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  const bench::Recorder rec(args, "ablation_nonblocking");
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  simmpi::Info info;
+  bench::ApplyHintOverrides(args, info);
   std::printf("Ablation: nonblocking aggregation across record variables\n");
   std::printf("one record of N record variables (512 KB each), 8 procs\n\n");
   std::printf("%-8s | %14s %10s | %14s %10s | %8s\n", "nvars",
@@ -100,10 +97,10 @@ int main(int argc, char** argv) {
                                                   o.requests);
     };
     rec.BeginConfig();
-    const Outcome agg = RunOne(n, true);
+    const Outcome agg = RunOne(n, true, info);
     rec.EndConfig(config("iput_waitall"), metrics(agg));
     rec.BeginConfig();
-    const Outcome sep = RunOne(n, false);
+    const Outcome sep = RunOne(n, false, info);
     rec.EndConfig(config("per_var_collective"), metrics(sep));
     std::printf("%-8d | %14.2f %10llu | %14.2f %10llu | %7.2fx\n", n, agg.ms,
                 static_cast<unsigned long long>(agg.requests), sep.ms,
@@ -115,3 +112,13 @@ int main(int argc, char** argv) {
               "layout (Figure 1).\n");
   return 0;
 }
+
+const bench::BenchDef kBench{
+    "ablation_nonblocking",
+    "iput/wait_all aggregation vs per-variable collectives over records",
+    {},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

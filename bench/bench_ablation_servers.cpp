@@ -8,12 +8,13 @@
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
+#include "bench/registry.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace {
 
-double RunOne(int num_servers, int nprocs) {
+double RunOne(int num_servers, int nprocs, const simmpi::Info& info) {
   pfs::Config pcfg = bench::SdscBlueHorizon();
   pcfg.num_servers = num_servers;
   pcfg.discard_data = true;
@@ -24,9 +25,7 @@ double RunOne(int num_servers, int nprocs) {
   simmpi::Run(
       nprocs,
       [&](simmpi::Comm& comm) {
-        auto ds = pnetcdf::Dataset::Create(comm, fs, "srv.nc",
-                                           simmpi::NullInfo())
-                      .value();
+        auto ds = pnetcdf::Dataset::Create(comm, fs, "srv.nc", info).value();
         const int zd = ds.DefDim("z", kZ).value();
         const int yd = ds.DefDim("y", kY).value();
         const int xd = ds.DefDim("x", kX).value();
@@ -50,22 +49,20 @@ double RunOne(int num_servers, int nprocs) {
   return bw;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  const bench::Recorder rec(args, "ablation_servers");
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  simmpi::Info info;
+  bench::ApplyHintOverrides(args, info);
   std::printf("Ablation: number of I/O servers (the Fig.6 vs Fig.7 platform "
               "difference)\n");
   std::printf("Z-partitioned 16 MB collective write, MB/s\n\n");
   std::printf("%-10s", "nprocs");
   for (int s : {1, 2, 4, 8, 12, 24}) std::printf(" %8dsrv", s);
   std::printf("\n");
-  for (int np : {1, 4, 16}) {
+  for (int np : bench::ProcsList(args, {1, 4, 16})) {
     std::printf("%-10d", np);
     for (int s : {1, 2, 4, 8, 12, 24}) {
       rec.BeginConfig();
-      const double bw = RunOne(s, np);
+      const double bw = RunOne(s, np, info);
       rec.EndConfig(bench::JsonObj()
                         .Int("nprocs", static_cast<std::uint64_t>(np))
                         .Int("num_servers", static_cast<std::uint64_t>(s)),
@@ -79,3 +76,13 @@ int main(int argc, char** argv) {
               "links bind.\n");
   return 0;
 }
+
+const bench::BenchDef kBench{
+    "ablation_servers",
+    "I/O-server pool sweep: where the saturation ceiling comes from",
+    {"procs"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

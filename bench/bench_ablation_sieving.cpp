@@ -9,6 +9,7 @@
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
+#include "bench/registry.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
 
@@ -20,7 +21,8 @@ struct Outcome {
   std::uint64_t bytes = 0;
 };
 
-Outcome RunOne(std::uint64_t ncols_selected, bool sieve, bool is_write) {
+Outcome RunOne(std::uint64_t ncols_selected, bool sieve, bool is_write,
+               const bench::Args& args) {
   pfs::Config pcfg = bench::SdscBlueHorizon();
   pcfg.discard_data = true;
   pfs::FileSystem fs(pcfg);
@@ -33,6 +35,7 @@ Outcome RunOne(std::uint64_t ncols_selected, bool sieve, bool is_write) {
         simmpi::Info info;
         info.Set("romio_ds_read", sieve ? "enable" : "disable");
         info.Set("romio_ds_write", sieve ? "enable" : "disable");
+        bench::ApplyHintOverrides(args, info);
         auto ds = pnetcdf::Dataset::Create(comm, fs, "s.nc", info).value();
         const int rd = ds.DefDim("row", kRows).value();
         const int cd = ds.DefDim("col", kCols).value();
@@ -66,7 +69,7 @@ Outcome RunOne(std::uint64_t ncols_selected, bool sieve, bool is_write) {
   return out;
 }
 
-void Chart(bool is_write, const bench::Recorder& rec) {
+void Chart(bool is_write, bench::Recorder& rec, const bench::Args& args) {
   std::printf("\n--- independent strided %s of m(2048,512) doubles ---\n",
               is_write ? "write" : "read");
   std::printf("%-12s | %12s %10s %12s | %12s %10s %12s | %8s\n",
@@ -86,10 +89,10 @@ void Chart(bool is_write, const bench::Recorder& rec) {
           .Int("pfs_bytes", o.bytes);
     };
     rec.BeginConfig();
-    const Outcome s = RunOne(n, true, is_write);
+    const Outcome s = RunOne(n, true, is_write, args);
     rec.EndConfig(config("enable"), metrics(s));
     rec.BeginConfig();
-    const Outcome d = RunOne(n, false, is_write);
+    const Outcome d = RunOne(n, false, is_write, args);
     rec.EndConfig(config("disable"), metrics(d));
     std::printf("%-12llu | %12.2f %10llu %12llu | %12.2f %10llu %12llu | %7.1fx\n",
                 static_cast<unsigned long long>(n), s.ms,
@@ -101,16 +104,23 @@ void Chart(bool is_write, const bench::Recorder& rec) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  const bench::Recorder rec(args, "ablation_sieving");
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  const std::string op = args.Get("op", "all");
   std::printf("Ablation: data sieving (romio_ds_read / romio_ds_write)\n");
-  Chart(/*is_write=*/false, rec);
-  Chart(/*is_write=*/true, rec);
+  if (op == "read" || op == "all") Chart(/*is_write=*/false, rec, args);
+  if (op == "write" || op == "all") Chart(/*is_write=*/true, rec, args);
   std::printf("\nSieving trades extra transferred bytes for far fewer "
               "requests; the naive path\npays one request per noncontiguous "
               "piece.\n");
   return 0;
 }
+
+const bench::BenchDef kBench{
+    "ablation_sieving",
+    "data sieving on/off for single-process strided access",
+    {"op"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

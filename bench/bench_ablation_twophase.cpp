@@ -7,12 +7,13 @@
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
+#include "bench/registry.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace {
 
-double RunOne(unsigned mask, bool cb_enabled) {
+double RunOne(unsigned mask, bool cb_enabled, const bench::Args& args) {
   pfs::Config pcfg = bench::SdscBlueHorizon();
   pcfg.discard_data = true;
   pfs::FileSystem fs(pcfg);
@@ -25,6 +26,7 @@ double RunOne(unsigned mask, bool cb_enabled) {
       [&](simmpi::Comm& comm) {
         simmpi::Info info;
         info.Set("romio_cb_write", cb_enabled ? "enable" : "disable");
+        bench::ApplyHintOverrides(args, info);
         auto ds = pnetcdf::Dataset::Create(comm, fs, "t.nc", info).value();
         const int zd = ds.DefDim("z", kZ).value();
         const int yd = ds.DefDim("y", kY).value();
@@ -57,25 +59,27 @@ double RunOne(unsigned mask, bool cb_enabled) {
   return ms;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  const bench::Recorder rec(args, "ablation_twophase");
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  const std::string cb = args.Get("cb", "both");
   std::printf("Ablation: two-phase collective buffering (romio_cb_write)\n");
   std::printf("4 MB write of u(128,64,64) doubles on 8 procs, by partition\n\n");
   std::printf("%-10s %14s %14s %9s\n", "partition", "two-phase(ms)",
               "disabled(ms)", "speedup");
   for (const auto& p : bench::kPartitions) {
-    const auto config = [&p](const char* cb) {
-      return bench::JsonObj().Str("partition", p.name).Str("cb_write", cb);
+    const auto config = [&p](const char* mode) {
+      return bench::JsonObj().Str("partition", p.name).Str("cb_write", mode);
     };
-    rec.BeginConfig();
-    const double on = RunOne(p.mask, true);
-    rec.EndConfig(config("enable"), bench::JsonObj().Num("ms", on));
-    rec.BeginConfig();
-    const double off = RunOne(p.mask, false);
-    rec.EndConfig(config("disable"), bench::JsonObj().Num("ms", off));
+    double on = 0.0, off = 0.0;
+    if (cb == "enable" || cb == "both") {
+      rec.BeginConfig();
+      on = RunOne(p.mask, true, args);
+      rec.EndConfig(config("enable"), bench::JsonObj().Num("ms", on));
+    }
+    if (cb == "disable" || cb == "both") {
+      rec.BeginConfig();
+      off = RunOne(p.mask, false, args);
+      rec.EndConfig(config("disable"), bench::JsonObj().Num("ms", off));
+    }
     std::printf("%-10s %14.2f %14.2f %8.2fx\n", p.name, on, off,
                 on > 0 ? off / on : 0.0);
   }
@@ -84,3 +88,13 @@ int main(int argc, char** argv) {
               "MPI-IO collectives.\n");
   return 0;
 }
+
+const bench::BenchDef kBench{
+    "ablation_twophase",
+    "two-phase collective buffering on/off across partition interleavings",
+    {"cb"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

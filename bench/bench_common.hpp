@@ -9,15 +9,23 @@
 
 #include "iostat/iostat.hpp"
 #include "iostat/report.hpp"
+#include "simmpi/info.hpp"
 
 namespace bench {
 
 /// Tiny --key=value argument parser.
+///
+/// Flag acceptance is declared, not inferred: every bench lists the keys it
+/// understands in its BenchDef (bench/registry.hpp) and the drivers call
+/// UnknownFlags() before running, so a typo'd flag (`--proc=8`) is a usage
+/// error instead of a silently ignored no-op running the wrong config.
 class Args {
  public:
+  Args() = default;
   Args(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
   }
+  explicit Args(std::vector<std::string> args) : args_(std::move(args)) {}
 
   [[nodiscard]] std::string Get(const std::string& key,
                                 const std::string& def) const {
@@ -32,9 +40,56 @@ class Args {
     return false;
   }
 
+  /// Arguments not covered by `allowed`: anything that is not "--key" or
+  /// "--key=value" with `key` in the list. An entry ending in '*' is a
+  /// prefix wildcard (e.g. "benchmark_*" admits google-benchmark flags).
+  [[nodiscard]] std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& allowed) const {
+    std::vector<std::string> unknown;
+    for (const auto& a : args_) {
+      if (a.rfind("--", 0) != 0) {
+        unknown.push_back(a);
+        continue;
+      }
+      const std::string key = a.substr(2, a.find('=') - 2);
+      bool ok = false;
+      for (const auto& pat : allowed) {
+        if (!pat.empty() && pat.back() == '*'
+                ? key.rfind(pat.substr(0, pat.size() - 1), 0) == 0
+                : key == pat) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) unknown.push_back(a);
+    }
+    return unknown;
+  }
+
+  /// The raw argument strings (for passthrough, e.g. to google-benchmark).
+  [[nodiscard]] const std::vector<std::string>& raw() const { return args_; }
+
  private:
   std::vector<std::string> args_;
 };
+
+/// Merge `--hints=key=value[,key=value...]` into `info`. Benches call this
+/// after setting their own hints, so a suite- or CLI-level override (e.g.
+/// `--hints=cb_nodes=1` for deterministic single-aggregator runs, or a
+/// deliberately degraded `cb_buffer_size` to demo the regression gate) wins.
+inline void ApplyHintOverrides(const Args& args, simmpi::Info& info) {
+  const std::string s = args.Get("hints", "");
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string kv = s.substr(pos, comma - pos);
+    const std::size_t eq = kv.find('=');
+    if (eq != std::string::npos && eq > 0)
+      info.Set(kv.substr(0, eq), kv.substr(eq + 1));
+    pos = comma + 1;
+  }
+}
 
 /// The seven array partitions of Figure 5, encoded as axis bitmasks
 /// (bit 0 = Z, bit 1 = Y, bit 2 = X).
@@ -63,6 +118,23 @@ inline void Decompose(int nprocs, unsigned mask, int factors[3]) {
   }
 }
 
+/// Parse a comma-separated process-count list ("1,4,16"); keeps `def` when
+/// the flag is absent or yields no positive entries.
+inline std::vector<int> ProcsList(const Args& args, std::vector<int> def) {
+  const std::string s = args.Get("procs", "");
+  if (s.empty()) return def;
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const int v = std::atoi(s.c_str() + pos);
+    if (v > 0) out.push_back(v);
+    pos = s.find(',', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  return out.empty() ? def : out;
+}
+
 /// MB/s from bytes and virtual nanoseconds.
 inline double MBps(std::uint64_t bytes, double ns) {
   return ns <= 0 ? 0.0 : static_cast<double>(bytes) / ns * 1e3;
@@ -73,9 +145,25 @@ class JsonObj {
  public:
   JsonObj& Str(const char* key, const std::string& v) {
     std::string esc;
-    for (char c : v) {
-      if (c == '"' || c == '\\') esc.push_back('\\');
-      esc.push_back(c);
+    for (const char ch : v) {
+      const auto c = static_cast<unsigned char>(ch);
+      switch (c) {
+        case '"': esc += "\\\""; break;
+        case '\\': esc += "\\\\"; break;
+        case '\n': esc += "\\n"; break;
+        case '\t': esc += "\\t"; break;
+        case '\r': esc += "\\r"; break;
+        case '\b': esc += "\\b"; break;
+        case '\f': esc += "\\f"; break;
+        default:
+          if (c < 0x20) {  // remaining control bytes: \u00XX
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            esc += buf;
+          } else {
+            esc.push_back(ch);
+          }
+      }
     }
     return Raw(key, "\"" + esc + "\"");
   }
@@ -110,12 +198,21 @@ class JsonObj {
 /// The embedded iostat report is the cross-rank reduction for exactly that
 /// configuration (the registry is reset at BeginConfig), so `ncstat --report`
 /// can inspect any line of a BENCH_*.json file directly.
+///
+/// The drivers construct the Recorder and pass it into the bench's Run()
+/// entry point; a failed append is sticky (io_failed()) and turned into a
+/// nonzero exit by bench::RunBench, so a suite run cannot "succeed" while
+/// silently dropping its output.
 class Recorder {
  public:
   Recorder(const Args& args, const char* bench_name)
       : bench_(bench_name), path_(args.Get("json", "")) {}
+  Recorder(std::string path, std::string bench_name)
+      : bench_(std::move(bench_name)), path_(std::move(path)) {}
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] bool io_failed() const { return io_failed_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
 
   /// Start a configuration: zero every counter and drop accumulated spans so
   /// the emitted report covers only this run.
@@ -123,9 +220,10 @@ class Recorder {
     if (enabled()) iostat::Registry::Get().Reset();
   }
 
-  /// Finish a configuration: append its record line.
-  void EndConfig(const JsonObj& config, const JsonObj& metrics) const {
-    if (!enabled()) return;
+  /// Finish a configuration: append its record line. Returns false (and
+  /// latches io_failed()) when the line cannot be written.
+  bool EndConfig(const JsonObj& config, const JsonObj& metrics) {
+    if (!enabled()) return true;
     std::string line = "{\"schema\":\"pnc-bench-v1\",\"bench\":\"" + bench_ +
                        "\",\"config\":" + config.str() +
                        ",\"metrics\":" + metrics.str() +
@@ -134,19 +232,29 @@ class Recorder {
     if (path_ == "-") {
       std::fwrite(line.data(), 1, line.size(), stdout);
       std::fflush(stdout);
-      return;
+      return true;
     }
-    if (FILE* f = std::fopen(path_.c_str(), "a")) {
-      std::fwrite(line.data(), 1, line.size(), f);
-      std::fclose(f);
-    } else {
+    FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
       std::fprintf(stderr, "bench: cannot append to %s\n", path_.c_str());
+      io_failed_ = true;
+      return false;
     }
+    const bool wrote = std::fwrite(line.data(), 1, line.size(), f) ==
+                       line.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+      std::fprintf(stderr, "bench: short write to %s\n", path_.c_str());
+      io_failed_ = true;
+      return false;
+    }
+    return true;
   }
 
  private:
   std::string bench_;
   std::string path_;
+  bool io_failed_ = false;
 };
 
 }  // namespace bench

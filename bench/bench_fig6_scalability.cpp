@@ -9,12 +9,13 @@
 //
 // Usage: bench_fig6_scalability [--size=64mb|1gb|all] [--op=read|write|all]
 //                               [--procs=1,2,4,8,16] [--quick]
-//                               [--json=BENCH_fig6.json]
+//                               [--hints=k=v,...] [--json=BENCH_fig6.json]
 #include <cstdio>
 #include <numeric>
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
+#include "bench/registry.hpp"
 #include "netcdf/dataset.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
@@ -72,7 +73,8 @@ double RunSerial(const Case& cse, bool is_write) {
 }
 
 /// PnetCDF collective access with the given partition.
-double RunParallel(const Case& cse, unsigned mask, int nprocs, bool is_write) {
+double RunParallel(const Case& cse, unsigned mask, int nprocs, bool is_write,
+                   const simmpi::Info& info) {
   pfs::Config pcfg = bench::SdscBlueHorizon();
   pcfg.discard_data = true;
   pfs::FileSystem fs(pcfg);
@@ -82,9 +84,7 @@ double RunParallel(const Case& cse, unsigned mask, int nprocs, bool is_write) {
   simmpi::Run(
       nprocs,
       [&](simmpi::Comm& comm) {
-        auto ds = pnetcdf::Dataset::Create(comm, fs, "tt.nc",
-                                           simmpi::NullInfo())
-                      .value();
+        auto ds = pnetcdf::Dataset::Create(comm, fs, "tt.nc", info).value();
         const int zd = ds.DefDim("level", cse.z).value();
         const int yd = ds.DefDim("latitude", cse.y).value();
         const int xd = ds.DefDim("longitude", cse.x).value();
@@ -127,7 +127,8 @@ double RunParallel(const Case& cse, unsigned mask, int nprocs, bool is_write) {
   return bw;
 }
 
-void RunChart(const Case& cse, bool is_write, const bench::Recorder& rec) {
+void RunChart(const Case& cse, bool is_write, bench::Recorder& rec,
+              const simmpi::Info& info) {
   std::printf("\n=== Figure 6: %s %s ===\n", is_write ? "Write" : "Read",
               cse.label);
   std::printf("(bandwidth in MB/s; first column is the serial netCDF "
@@ -154,7 +155,7 @@ void RunChart(const Case& cse, bool is_write, const bench::Recorder& rec) {
     }
     for (const auto& p : kPartitions) {
       rec.BeginConfig();
-      const double bw = RunParallel(cse, p.mask, np, is_write);
+      const double bw = RunParallel(cse, p.mask, np, is_write, info);
       rec.EndConfig(bench::JsonObj()
                         .Str("op", op)
                         .Str("case", cse.label)
@@ -169,13 +170,12 @@ void RunChart(const Case& cse, bool is_write, const bench::Recorder& rec) {
   std::fflush(stdout);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args(argc, argv);
+int Run(const Args& args, bench::Recorder& rec) {
   const std::string size = args.Get("size", "all");
   const std::string op = args.Get("op", "all");
   const bool quick = args.Has("quick");
+  simmpi::Info info;
+  bench::ApplyHintOverrides(args, info);
 
   // 64 MB: 256 x 256 x 128 doubles; 1 GB: 512^3 doubles (as in §5.1 the
   // most significant dimension is Z = level, least significant X =
@@ -183,20 +183,34 @@ int main(int argc, char** argv) {
   std::vector<Case> cases;
   if (size == "64mb" || size == "all")
     cases.push_back({"64 MB (tt 256x256x128, double)", 256, 256, 128,
-                     quick ? std::vector<int>{1, 4, 16}
-                           : std::vector<int>{1, 2, 4, 8, 16}});
+                     bench::ProcsList(args, quick ? std::vector<int>{1, 4, 16}
+                                                  : std::vector<int>{1, 2, 4,
+                                                                     8, 16})});
   if (size == "1gb" || size == "all")
     cases.push_back({"1 GB (tt 512x512x512, double)", 512, 512, 512,
-                     quick ? std::vector<int>{1, 16}
-                           : std::vector<int>{1, 4, 16, 32}});
+                     bench::ProcsList(args, quick
+                                                ? std::vector<int>{1, 16}
+                                                : std::vector<int>{1, 4, 16,
+                                                                   32})});
 
   std::printf("PnetCDF reproduction - Figure 6 scalability benchmark\n");
   std::printf("Platform: SDSC Blue Horizon-like (12 I/O servers, GPFS-style "
               "striping)\n");
-  const bench::Recorder rec(args, "fig6_scalability");
   for (const auto& cse : cases) {
-    if (op == "write" || op == "all") RunChart(cse, /*is_write=*/true, rec);
-    if (op == "read" || op == "all") RunChart(cse, /*is_write=*/false, rec);
+    if (op == "write" || op == "all")
+      RunChart(cse, /*is_write=*/true, rec, info);
+    if (op == "read" || op == "all")
+      RunChart(cse, /*is_write=*/false, rec, info);
   }
   return 0;
 }
+
+const bench::BenchDef kBench{
+    "fig6_scalability",
+    "Figure 6: serial vs parallel netCDF scalability (LBL tt(Z,Y,X) sweep)",
+    {"size", "op", "procs", "quick"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

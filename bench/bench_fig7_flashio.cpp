@@ -10,7 +10,8 @@
 //
 // Usage: bench_fig7_flashio [--file=checkpoint|plotfile|corners|all]
 //                           [--block=8|16|all] [--procs=4,8,16,32,64]
-//                           [--quick] [--json=BENCH_fig7.json]
+//                           [--lib=pnetcdf|hdf5lite|both] [--quick]
+//                           [--hints=k=v,...] [--json=BENCH_fig7.json]
 //                           [--trace=flash.trace.json]
 //
 // --trace enables span recording and writes a Chrome trace-event timeline
@@ -20,6 +21,7 @@
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
+#include "bench/registry.hpp"
 #include "flash/flash.hpp"
 #include "iostat/trace.hpp"
 #include "simmpi/runtime.hpp"
@@ -33,7 +35,7 @@ using flashio::FlashConfig;
 using flashio::FlashData;
 
 double RunOne(const FlashConfig& cfg, FileKind kind, int nprocs,
-              bool use_pnetcdf) {
+              bool use_pnetcdf, const simmpi::Info& info) {
   pfs::Config pcfg = bench::AsciFrost();
   pcfg.discard_data = true;
   pfs::FileSystem fs(pcfg);
@@ -50,9 +52,9 @@ double RunOne(const FlashConfig& cfg, FileKind kind, int nprocs,
         pnc::Status st =
             use_pnetcdf
                 ? flashio::WriteFlashPnetcdf(comm, fs, "flash.out", data, kind,
-                                             simmpi::NullInfo())
+                                             info)
                 : flashio::WriteFlashHdf5lite(comm, fs, "flash.out", data,
-                                              kind, simmpi::NullInfo());
+                                              kind, info);
         if (!st.ok()) {
           if (comm.rank() == 0)
             std::fprintf(stderr, "write failed: %s\n", st.message().c_str());
@@ -75,7 +77,8 @@ const char* KindName(FileKind k) {
 }
 
 void RunChart(FileKind kind, int block, const std::vector<int>& procs,
-              const bench::Recorder& rec, const std::string& trace) {
+              bench::Recorder& rec, const std::string& trace,
+              bool run_pnetcdf, bool run_hdf5lite, const simmpi::Info& info) {
   FlashConfig cfg;
   cfg.nxb = cfg.nyb = cfg.nzb = block;
   std::printf("\n=== Figure 7: Flash I/O Benchmark (%s, %dx%dx%d) ===\n",
@@ -95,51 +98,43 @@ void RunChart(FileKind kind, int block, const std::vector<int>& procs,
         .Str("lib", lib);
   };
   for (int np : procs) {
-    rec.BeginConfig();
-    if (!trace.empty()) iostat::Registry::Get().Reset();
-    const double pnc_bw = RunOne(cfg, kind, np, /*use_pnetcdf=*/true);
-    if (!trace.empty()) (void)iostat::WriteChromeTrace(trace);
-    rec.EndConfig(config(np, "pnetcdf"), bench::JsonObj().Num("mbps", pnc_bw));
-    rec.BeginConfig();
-    const double h5_bw = RunOne(cfg, kind, np, /*use_pnetcdf=*/false);
-    rec.EndConfig(config(np, "hdf5lite"), bench::JsonObj().Num("mbps", h5_bw));
+    double pnc_bw = 0.0, h5_bw = 0.0;
+    if (run_pnetcdf) {
+      rec.BeginConfig();
+      if (!trace.empty()) iostat::Registry::Get().Reset();
+      pnc_bw = RunOne(cfg, kind, np, /*use_pnetcdf=*/true, info);
+      if (!trace.empty()) (void)iostat::WriteChromeTrace(trace);
+      rec.EndConfig(config(np, "pnetcdf"), bench::JsonObj().Num("mbps", pnc_bw));
+    }
+    if (run_hdf5lite) {
+      rec.BeginConfig();
+      h5_bw = RunOne(cfg, kind, np, /*use_pnetcdf=*/false, info);
+      rec.EndConfig(config(np, "hdf5lite"), bench::JsonObj().Num("mbps", h5_bw));
+    }
     std::printf("%-8d %12.1f %12.1f %7.2fx\n", np, pnc_bw, h5_bw,
                 h5_bw > 0 ? pnc_bw / h5_bw : 0.0);
     std::fflush(stdout);
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args(argc, argv);
+int Run(const Args& args, bench::Recorder& rec) {
   const std::string file = args.Get("file", "all");
   const std::string block = args.Get("block", "all");
+  const std::string lib = args.Get("lib", "both");
   const bool quick = args.Has("quick");
+  simmpi::Info info;
+  bench::ApplyHintOverrides(args, info);
 
   // The paper sweeps 16..512 processes on 1024-way hardware; the default
   // here stops at 64 thread-backed ranks to keep host memory and wall time
   // in check (--procs extends it; the virtual-time model is the same).
-  std::vector<int> procs = quick ? std::vector<int>{4, 16}
-                                 : std::vector<int>{4, 8, 16, 32, 64};
-  {
-    const std::string s = args.Get("procs", "");
-    if (!s.empty()) {
-      procs.clear();
-      std::size_t pos = 0;
-      while (pos < s.size()) {
-        procs.push_back(std::atoi(s.c_str() + pos));
-        pos = s.find(',', pos);
-        if (pos == std::string::npos) break;
-        ++pos;
-      }
-    }
-  }
+  const std::vector<int> procs = bench::ProcsList(
+      args, quick ? std::vector<int>{4, 16}
+                  : std::vector<int>{4, 8, 16, 32, 64});
 
   std::printf("PnetCDF reproduction - Figure 7 FLASH I/O benchmark\n");
   std::printf("Platform: ASCI White Frost-like (2-node GPFS I/O system)\n");
 
-  const bench::Recorder rec(args, "fig7_flashio");
   const std::string trace = args.Get("trace", "");
   if (!trace.empty()) iostat::Registry::Get().SetSpansEnabled(true);
 
@@ -160,7 +155,18 @@ int main(int argc, char** argv) {
       if (b == 16 && k == FileKind::kCheckpoint && !args.Has("procs")) {
         while (!p.empty() && p.back() > 32) p.pop_back();
       }
-      RunChart(k, b, p, rec, trace);
+      RunChart(k, b, p, rec, trace, lib != "hdf5lite", lib != "pnetcdf",
+               info);
     }
   return 0;
 }
+
+const bench::BenchDef kBench{
+    "fig7_flashio",
+    "Figure 7: FLASH I/O checkpoint/plotfile writes, PnetCDF vs hdf5lite",
+    {"file", "block", "procs", "lib", "quick", "trace"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

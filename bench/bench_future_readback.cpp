@@ -10,11 +10,12 @@
 // writes (reads skip the write-time metadata synchronization, though
 // per-object collective opens and hyperslab packing remain).
 //
-// Usage: bench_future_readback [--block=8|16] [--procs=4,8,16,32]
+// Usage: future_readback [--block=8|16] [--procs=4,8,16,32]
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
 #include "bench/platforms.hpp"
+#include "bench/registry.hpp"
 #include "flash/flash.hpp"
 #include "simmpi/runtime.hpp"
 
@@ -30,7 +31,8 @@ struct Rates {
   double read_bw = 0;
 };
 
-Rates RunOne(const FlashConfig& cfg, int nprocs, bool use_pnetcdf) {
+Rates RunOne(const FlashConfig& cfg, int nprocs, bool use_pnetcdf,
+             const simmpi::Info& info) {
   // Reads must parse real headers, so the file is actually materialized
   // here (unlike the write-only sweeps).
   pfs::Config pcfg = bench::AsciFrost();
@@ -50,28 +52,23 @@ Rates RunOne(const FlashConfig& cfg, int nprocs, bool use_pnetcdf) {
         pnc::Status st =
             use_pnetcdf
                 ? flashio::WriteFlashPnetcdf(comm, fs, "chk", data,
-                                             FileKind::kCheckpoint,
-                                             simmpi::NullInfo())
+                                             FileKind::kCheckpoint, info)
                 : flashio::WriteFlashHdf5lite(comm, fs, "chk", data,
-                                              FileKind::kCheckpoint,
-                                              simmpi::NullInfo());
+                                              FileKind::kCheckpoint, info);
         if (!st.ok()) return;
         comm.SyncClocksToMax();
         const double t1 = comm.clock().now();
 
         // ---- restart read of every unknown ----
         if (use_pnetcdf) {
-          auto ds = pnetcdf::Dataset::Open(comm, fs, "chk", false,
-                                           simmpi::NullInfo())
-                        .value();
+          auto ds =
+              pnetcdf::Dataset::Open(comm, fs, "chk", false, info).value();
           std::vector<double> guarded;
           for (int v = 0; v < cfg.nvar; ++v)
             (void)flashio::RestartReadUnk(comm, ds, cfg, v, guarded);
           (void)ds.Close();
         } else {
-          auto f = hdf5lite::File::Open(comm, fs, "chk", false,
-                                        simmpi::NullInfo())
-                       .value();
+          auto f = hdf5lite::File::Open(comm, fs, "chk", false, info).value();
           const auto blocks =
               static_cast<std::uint64_t>(cfg.blocks_per_proc);
           const std::uint64_t b0 =
@@ -109,13 +106,12 @@ Rates RunOne(const FlashConfig& cfg, int nprocs, bool use_pnetcdf) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::Args args(argc, argv);
+int Run(const bench::Args& args, bench::Recorder& rec) {
   FlashConfig cfg;
   const int block = std::atoi(args.Get("block", "8").c_str());
   cfg.nxb = cfg.nyb = cfg.nzb = block;
+  simmpi::Info info;
+  bench::ApplyHintOverrides(args, info);
 
   std::printf("Future work (paper section 6): checkpoint read-back, PnetCDF "
               "vs HDF5(lite)\n");
@@ -123,8 +119,7 @@ int main(int argc, char** argv) {
               "platform\n\n", block, block, block);
   std::printf("%-8s | %11s %11s %7s | %11s %11s %7s\n", "nprocs",
               "pnc wr", "h5l wr", "ratio", "pnc rd", "h5l rd", "ratio");
-  const bench::Recorder rec(args, "future_readback");
-  for (int np : {4, 8, 16, 32}) {
+  for (int np : bench::ProcsList(args, {4, 8, 16, 32})) {
     const auto config = [&](const char* lib) {
       return bench::JsonObj()
           .Int("block", static_cast<std::uint64_t>(block))
@@ -137,10 +132,10 @@ int main(int argc, char** argv) {
           .Num("read_mbps", r.read_bw);
     };
     rec.BeginConfig();
-    const Rates p = RunOne(cfg, np, true);
+    const Rates p = RunOne(cfg, np, true, info);
     rec.EndConfig(config("pnetcdf"), metrics(p));
     rec.BeginConfig();
-    const Rates h = RunOne(cfg, np, false);
+    const Rates h = RunOne(cfg, np, false, info);
     rec.EndConfig(config("hdf5lite"), metrics(h));
     std::printf("%-8d | %11.1f %11.1f %6.2fx | %11.1f %11.1f %6.2fx\n", np,
                 p.write_bw, h.write_bw,
@@ -154,3 +149,13 @@ int main(int argc, char** argv) {
               "and hyperslab packing still favor PnetCDF).\n");
   return 0;
 }
+
+const bench::BenchDef kBench{
+    "future_readback",
+    "checkpoint read-back bandwidth, PnetCDF vs hdf5lite (paper section 6)",
+    {"block", "procs"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "bench/microbench.hpp"
+#include "bench/registry.hpp"
 #include "simmpi/datatype.hpp"
 
 namespace {
@@ -105,16 +107,19 @@ void BM_IostatCounterAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_IostatCounterAdd)->Arg(0)->Arg(1);
 
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  return bench::RunMicro(
+      args, rec,
+      "BM_SubarrayConstruct|BM_HindexedConstruct|BM_PackSubarray|"
+      "BM_UnpackSubarray|BM_ContiguousPackIsMemcpySpeed|BM_IostatCounterAdd");
+}
+
+const bench::BenchDef kBench{
+    "micro_datatype",
+    "datatype construct/flatten/pack throughput and iostat hook cost",
+    {"benchmark_*"},
+    Run};
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  const bench::Recorder rec(args, "micro_datatype");
-  benchmark::Initialize(&argc, argv);
-  rec.BeginConfig();
-  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
-  rec.EndConfig(bench::JsonObj().Str("suite", "google-benchmark"),
-                bench::JsonObj().Int("benchmarks_run", ran));
-  benchmark::Shutdown();
-  return 0;
-}
+BENCH_REGISTER(kBench)

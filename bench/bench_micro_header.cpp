@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "bench/microbench.hpp"
+#include "bench/registry.hpp"
 #include "format/header.hpp"
 
 namespace {
@@ -77,16 +79,18 @@ void BM_VarIdLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_VarIdLookup)->Arg(8)->Arg(64)->Arg(512);
 
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  return bench::RunMicro(args, rec,
+                         "BM_HeaderEncode|BM_HeaderDecode|BM_ComputeLayout|"
+                         "BM_VarIdLookup");
+}
+
+const bench::BenchDef kBench{
+    "micro_header",
+    "netCDF header encode/decode/layout microbenchmarks",
+    {"benchmark_*"},
+    Run};
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  const bench::Recorder rec(args, "micro_header");
-  benchmark::Initialize(&argc, argv);
-  rec.BeginConfig();
-  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
-  rec.EndConfig(bench::JsonObj().Str("suite", "google-benchmark"),
-                bench::JsonObj().Int("benchmarks_run", ran));
-  benchmark::Shutdown();
-  return 0;
-}
+BENCH_REGISTER(kBench)

@@ -1,0 +1,48 @@
+// Shared glue for google-benchmark-based micro benches under the bench
+// registry. Both micro benches may run inside one ncbench process, where all
+// BENCHMARK() registrations share one global registry — each Run() therefore
+// selects its own benchmarks with a filter spec, and benchmark::Shutdown()
+// is never called mid-process (only Initialize, lazily, per invocation so
+// each bench's --benchmark_* flags take effect).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace bench {
+
+// Runs the google-benchmark subset matching `filter` (regex over benchmark
+// names), honoring any --benchmark_* flags the user passed through. A
+// user-supplied --benchmark_filter wins over the registry default.
+inline int RunMicro(const Args& args, Recorder& rec, const char* filter) {
+  std::vector<std::string> store;
+  store.push_back("ncbench");
+  bool user_filter = false;
+  for (const std::string& a : args.raw()) {
+    if (a.rfind("--benchmark_", 0) == 0) {
+      store.push_back(a);
+      if (a.rfind("--benchmark_filter", 0) == 0) user_filter = true;
+    }
+  }
+  std::vector<char*> argv;
+  argv.reserve(store.size());
+  for (std::string& s : store) argv.push_back(s.data());
+  int argc = static_cast<int>(argv.size());
+  benchmark::Initialize(&argc, argv.data());
+
+  rec.BeginConfig();
+  const std::size_t ran = user_filter
+                              ? benchmark::RunSpecifiedBenchmarks()
+                              : benchmark::RunSpecifiedBenchmarks(filter);
+  const bool ok = rec.EndConfig(
+      bench::JsonObj().Str("suite", "google-benchmark").Str("filter", filter),
+      bench::JsonObj().Int("benchmarks_run", ran));
+  return ok ? 0 : 2;
+}
+
+}  // namespace bench

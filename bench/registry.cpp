@@ -1,0 +1,56 @@
+#include "bench/registry.hpp"
+
+#include <cstdio>
+
+namespace bench {
+
+namespace {
+
+std::vector<const BenchDef*>& MutableBenches() {
+  static std::vector<const BenchDef*> benches;
+  return benches;
+}
+
+void PrintUsage(const BenchDef& def) {
+  std::fprintf(stderr, "%s: %s\nflags:", def.name, def.summary);
+  for (const auto& f : def.flags) std::fprintf(stderr, " --%s", f.c_str());
+  std::fprintf(stderr, " --json --hints\n");
+}
+
+}  // namespace
+
+const std::vector<const BenchDef*>& AllBenches() { return MutableBenches(); }
+
+const BenchDef* FindBench(const std::string& name) {
+  for (const BenchDef* b : MutableBenches())
+    if (name == b->name) return b;
+  return nullptr;
+}
+
+bool RegisterBench(const BenchDef& def) {
+  MutableBenches().push_back(&def);
+  return true;
+}
+
+int RunBench(const BenchDef& def, const Args& args, Recorder& rec) {
+  std::vector<std::string> allowed = def.flags;
+  allowed.emplace_back("json");
+  allowed.emplace_back("hints");
+  const auto unknown = args.UnknownFlags(allowed);
+  if (!unknown.empty()) {
+    for (const auto& u : unknown)
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", def.name, u.c_str());
+    PrintUsage(def);
+    return 2;
+  }
+  const int rc = def.run(args, rec);
+  if (rc != 0) return rc;
+  if (rec.io_failed()) {
+    std::fprintf(stderr, "%s: failed to write results to %s\n", def.name,
+                 rec.path().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace bench

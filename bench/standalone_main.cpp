@@ -1,0 +1,19 @@
+// Shared main() for the per-bench executables: each standalone binary links
+// exactly one bench_*.cpp, whose BENCH_REGISTER hook puts its BenchDef in
+// the registry; this driver validates flags, builds the Recorder, and runs
+// it. Suites across many benches are ncbench's job (src/tools/).
+#include <cstdio>
+
+#include "bench/registry.hpp"
+
+int main(int argc, char** argv) {
+  const auto& benches = bench::AllBenches();
+  if (benches.empty()) {
+    std::fprintf(stderr, "no bench registered in this binary\n");
+    return 2;
+  }
+  const bench::BenchDef& def = *benches.front();
+  const bench::Args args(argc, argv);
+  bench::Recorder rec(args, def.name);
+  return bench::RunBench(def, args, rec);
+}

@@ -96,7 +96,15 @@ pnc::Status File::WriteAtAll(std::uint64_t offset, const void* buf,
 
 pnc::Status File::Sync() {
   if (!impl_ || !impl_->open) return pnc::Status(pnc::Err::kBadId, "sync");
-  // Collective: every rank flushes, then all ranks agree on one status.
+  // Collective: rendezvous first so every rank issues its flush from the
+  // same virtual instant, then flush, then agree on one status. The leading
+  // rendezvous also makes the flushes' completion times independent of the
+  // real-time order in which the rank threads reach the pfs server queue —
+  // with a shared arrival time the queue delay is a deterministic function
+  // of the request count, which is what lets single-writer benchmark
+  // configurations produce byte-identical virtual-time results run to run
+  // (see bench/suites.cpp).
+  impl_->comm.SyncClocksToMax();
   pnc::Status st = impl_->RetrySync();
   st = AgreeStatus(impl_->comm, st);
   impl_->comm.SyncClocksToMax();

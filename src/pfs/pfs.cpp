@@ -427,14 +427,24 @@ double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
       stats_.bytes_read += len;
       stats_.read_requests += 1;
     }
-    for (std::size_t s = 0; s < bytes_per_server.size(); ++s) {
-      if (bytes_per_server[s] == 0 && len != 0) continue;
-      const double begin = std::max(arrival, server_next_free_[s]);
-      const double done = begin + cfg_.server_request_ns +
-                          per_byte * static_cast<double>(bytes_per_server[s]);
-      server_next_free_[s] = done;
+    if (len == 0) {
+      // Zero-length flush: a metadata round-trip to server 0 that does not
+      // occupy the data pipeline. It observes the queue but must not extend
+      // it — collective flushes arrive concurrently from every rank, and a
+      // request that mutated server_next_free_ would make the makespan
+      // depend on real-time arrival order (nondeterministic virtual time).
+      const double done =
+          std::max(arrival, server_next_free_[0]) + cfg_.server_request_ns;
       completion = std::max(completion, done);
-      if (len == 0) break;  // zero-length request: touch one server only
+    } else {
+      for (std::size_t s = 0; s < bytes_per_server.size(); ++s) {
+        if (bytes_per_server[s] == 0) continue;
+        const double begin = std::max(arrival, server_next_free_[s]);
+        const double done = begin + cfg_.server_request_ns +
+                            per_byte * static_cast<double>(bytes_per_server[s]);
+        server_next_free_[s] = done;
+        completion = std::max(completion, done);
+      }
     }
   }
   return completion;

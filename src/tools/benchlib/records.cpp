@@ -1,0 +1,288 @@
+#include "tools/benchlib/records.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace benchlib {
+namespace {
+
+// Line-level scanner for one JSON object. The pnc-bench-v1 writer
+// (bench::JsonObj / bench::Recorder) emits a deterministic flat subset of
+// JSON; this parser accepts ordinary JSON objects over that subset — string,
+// number, and (raw-captured) nested-object values — which is all the format
+// contains.
+struct Cursor {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  [[nodiscard]] bool failed() const { return !err.empty(); }
+  void Fail(const std::string& what) {
+    if (err.empty()) err = what;
+  }
+  void SkipWs() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    Fail(std::string("expected '") + c + "'");
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return p < end && *p == c;
+  }
+
+  std::string ParseString() {
+    if (!Eat('"')) return {};
+    std::string out;
+    while (p < end && *p != '"') {
+      if (*p == '\\' && p + 1 < end) {
+        ++p;
+        switch (*p) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            if (end - p >= 5) {
+              out += static_cast<char>(
+                  std::strtoul(std::string(p + 1, p + 5).c_str(), nullptr,
+                               16));
+              p += 4;
+            } else {
+              Fail("truncated \\u escape");
+            }
+            break;
+          default: out += *p;
+        }
+      } else {
+        out += *p;
+      }
+      ++p;
+    }
+    if (p >= end) {
+      Fail("unterminated string");
+      return {};
+    }
+    ++p;  // closing quote
+    return out;
+  }
+
+  double ParseNumber() {
+    SkipWs();
+    char* num_end = nullptr;
+    const double v = std::strtod(p, &num_end);
+    if (num_end == p) {
+      Fail("expected number");
+      return 0.0;
+    }
+    p = num_end;
+    return v;
+  }
+
+  /// Captures a balanced {...} object verbatim (string-aware).
+  std::string CaptureObject() {
+    SkipWs();
+    if (p >= end || *p != '{') {
+      Fail("expected object");
+      return {};
+    }
+    const char* start = p;
+    int depth = 0;
+    bool in_string = false;
+    while (p < end) {
+      const char c = *p;
+      if (in_string) {
+        if (c == '\\' && p + 1 < end) {
+          ++p;
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          ++p;
+          return std::string(start, p);
+        }
+      }
+      ++p;
+    }
+    Fail("unterminated object");
+    return {};
+  }
+
+  /// Skip any one value (string, number, object, array, literal).
+  void SkipValue() {
+    SkipWs();
+    if (p >= end) {
+      Fail("expected value");
+      return;
+    }
+    if (*p == '"') {
+      (void)ParseString();
+    } else if (*p == '{') {
+      (void)CaptureObject();
+    } else if (*p == '[') {
+      int depth = 0;
+      bool in_string = false;
+      while (p < end) {
+        const char c = *p;
+        if (in_string) {
+          if (c == '\\' && p + 1 < end) ++p;
+          else if (c == '"') in_string = false;
+        } else if (c == '"') {
+          in_string = true;
+        } else if (c == '[') {
+          ++depth;
+        } else if (c == ']') {
+          if (--depth == 0) {
+            ++p;
+            return;
+          }
+        }
+        ++p;
+      }
+      Fail("unterminated array");
+    } else {
+      while (p < end && *p != ',' && *p != '}' && *p != ']') ++p;
+    }
+  }
+};
+
+// Parses the "metrics" object: every numeric member in file order;
+// non-numeric members are skipped.
+void ParseMetrics(const std::string& obj_text,
+                  std::vector<std::pair<std::string, double>>& out,
+                  Cursor& outer) {
+  Cursor c{obj_text.data(), obj_text.data() + obj_text.size(), {}};
+  if (!c.Eat('{')) return;
+  if (!c.Peek('}')) {
+    do {
+      const std::string key = c.ParseString();
+      if (!c.Eat(':')) break;
+      c.SkipWs();
+      if (c.p < c.end &&
+          (*c.p == '-' || std::isdigit(static_cast<unsigned char>(*c.p)))) {
+        out.emplace_back(key, c.ParseNumber());
+      } else {
+        c.SkipValue();
+      }
+    } while (!c.failed() && c.Eat(','));
+    c.err.clear();  // the failed Eat(',') at the last member is expected
+  } else {
+    c.Eat('}');
+  }
+  if (c.failed()) outer.Fail("metrics: " + c.err);
+}
+
+pnc::Status ParseRecordLine(const std::string& line, Record& rec) {
+  Cursor c{line.data(), line.data() + line.size(), {}};
+  std::string schema, iostat_text;
+  if (!c.Eat('{')) return pnc::Status(pnc::Err::kNotNc, "record: " + c.err);
+  do {
+    const std::string key = c.ParseString();
+    if (!c.Eat(':')) break;
+    if (key == "schema") {
+      schema = c.ParseString();
+    } else if (key == "bench") {
+      rec.bench = c.ParseString();
+    } else if (key == "config") {
+      rec.config_text = c.CaptureObject();
+    } else if (key == "metrics") {
+      ParseMetrics(c.CaptureObject(), rec.metrics, c);
+    } else if (key == "iostat") {
+      iostat_text = c.CaptureObject();
+    } else {
+      c.SkipValue();
+    }
+  } while (!c.failed() && c.Peek(',') && c.Eat(','));
+  if (c.failed()) return pnc::Status(pnc::Err::kNotNc, "record: " + c.err);
+  if (schema != "pnc-bench-v1")
+    return pnc::Status(pnc::Err::kNotNc, "record: wrong schema " + schema);
+  if (rec.bench.empty() || rec.config_text.empty())
+    return pnc::Status(pnc::Err::kNotNc, "record: missing bench/config");
+  if (!iostat_text.empty()) {
+    auto rep = iostat::ParseReportJson(iostat_text);
+    if (rep.ok()) {
+      rec.iostat = rep.value();
+      rec.has_iostat = true;
+    }
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status ParseHeaderLine(const std::string& line, SuiteHeader& hdr) {
+  Cursor c{line.data(), line.data() + line.size(), {}};
+  if (!c.Eat('{')) return pnc::Status(pnc::Err::kNotNc, "header: " + c.err);
+  do {
+    const std::string key = c.ParseString();
+    if (!c.Eat(':')) break;
+    if (key == "suite") hdr.suite = c.ParseString();
+    else if (key == "git_sha") hdr.git_sha = c.ParseString();
+    else if (key == "build") hdr.build = c.ParseString();
+    else if (key == "platform") hdr.platform = c.ParseString();
+    else if (key == "config") hdr.config_text = c.CaptureObject();
+    else c.SkipValue();
+  } while (!c.failed() && c.Peek(',') && c.Eat(','));
+  if (c.failed()) return pnc::Status(pnc::Err::kNotNc, "header: " + c.err);
+  hdr.present = true;
+  return pnc::Status::Ok();
+}
+
+}  // namespace
+
+pnc::Result<ResultsFile> ParseResults(const std::string& text) {
+  ResultsFile out;
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    if (line.find("\"pnc-bench-v1\"") != std::string::npos) {
+      Record rec;
+      pnc::Status st = ParseRecordLine(line, rec);
+      if (!st.ok())
+        return pnc::Status(pnc::Err::kNotNc,
+                           "line " + std::to_string(lineno) + ": " +
+                               st.message());
+      out.records.push_back(std::move(rec));
+    } else if (line.find("\"pnc-bench-suite-v1\"") != std::string::npos) {
+      pnc::Status st = ParseHeaderLine(line, out.header);
+      if (!st.ok())
+        return pnc::Status(pnc::Err::kNotNc,
+                           "line " + std::to_string(lineno) + ": " +
+                               st.message());
+    }
+    // Anything else (human-readable bench output, blank lines) is ignored.
+  }
+  return out;
+}
+
+pnc::Result<ResultsFile> LoadResults(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return pnc::Status(pnc::Err::kIo, "cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) return pnc::Status(pnc::Err::kIo, "read error on " + path);
+  return ParseResults(text);
+}
+
+}  // namespace benchlib

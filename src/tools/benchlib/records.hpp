@@ -1,0 +1,62 @@
+// Parsing for the pnc-bench-v1 results format: the line-oriented JSON that
+// bench::Recorder appends (one record per benchmark configuration) plus the
+// pnc-bench-suite-v1 header line ncbench writes at the top of a consolidated
+// suite file. This is the read side of the contract in bench/bench_common.hpp;
+// the baseline comparator (benchlib/baseline.hpp) and `ncstat --diff` are
+// built on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iostat/report.hpp"
+#include "util/status.hpp"
+
+namespace benchlib {
+
+/// One parsed pnc-bench-v1 line.
+struct Record {
+  std::string bench;        ///< "bench" field (registry name)
+  std::string config_text;  ///< raw JSON text of the "config" object
+  /// Numeric members of "metrics", in file order. String members are kept in
+  /// `config_text`-style raw form only if ever needed; the comparator works
+  /// on numbers.
+  std::vector<std::pair<std::string, double>> metrics;
+  bool has_iostat = false;
+  iostat::Report iostat;
+
+  /// Identity for baseline matching: records are matched by what was run
+  /// (bench + exact config object), never by position in the file.
+  [[nodiscard]] std::string Key() const { return bench + " " + config_text; }
+};
+
+/// The suite header line ncbench writes ("pnc-bench-suite-v1"): provenance
+/// for a consolidated results file.
+struct SuiteHeader {
+  bool present = false;
+  std::string suite;
+  std::string git_sha;
+  std::string build;
+  std::string platform;
+  std::string config_text;  ///< raw JSON of the suite "config" member
+};
+
+/// A whole results file: header (if any) + records, non-record lines
+/// (human-readable bench output, blank lines) skipped.
+struct ResultsFile {
+  SuiteHeader header;
+  std::vector<Record> records;
+};
+
+/// Parse the concatenated text of a results file. Lines that do not carry a
+/// pnc-bench-v1 / pnc-bench-suite-v1 schema marker are ignored; a line that
+/// carries the marker but fails to parse is an error (the file is corrupt,
+/// not merely chatty).
+pnc::Result<ResultsFile> ParseResults(const std::string& text);
+
+/// Read + parse a results file from the OS filesystem.
+pnc::Result<ResultsFile> LoadResults(const std::string& path);
+
+}  // namespace benchlib

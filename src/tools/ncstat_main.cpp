@@ -8,6 +8,10 @@
 //   ncstat --run           run a synthetic collective workload through the
 //                          full pnetcdf -> mpiio -> pfs stack and print the
 //                          per-layer breakdown
+//   ncstat --diff A B      compare two BENCH_*.json results files record by
+//                          record ((bench, config) identity, same engine as
+//                          `ncbench --check`); --tolerance=PCT loosens the
+//                          per-metric gate (default 0 = exact)
 //
 // Workload options (with --run):
 //   --procs=N                  ranks (default 4)
@@ -18,8 +22,9 @@
 //   --json=PATH                also dump the report JSON ("-" = stdout)
 //   --trace=PATH               record spans, write a Chrome trace timeline
 //
-// Exit status: 0 success, 2 usage/IO/parse error (1 is reserved; its sibling
-// ncverify uses it for torn-but-recoverable files). See src/tools/cli.hpp.
+// Exit status: 0 success, 1 --diff found differences, 2 usage/IO/parse
+// error. See src/tools/cli.hpp and docs/API.md for the contract shared with
+// ncverify and ncbench.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +38,8 @@
 #include "iostat/trace.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
+#include "tools/benchlib/baseline.hpp"
+#include "tools/benchlib/records.hpp"
 #include "tools/cli.hpp"
 
 namespace {
@@ -42,8 +49,33 @@ int Usage() {
                "usage: ncstat --report=FILE\n"
                "       ncstat --run [--procs=N] [--size=MB]\n"
                "              [--pattern=contig|strided] [--op=write|read]\n"
-               "              [--json=PATH] [--trace=PATH]\n");
+               "              [--json=PATH] [--trace=PATH]\n"
+               "       ncstat --diff A B [--tolerance=PCT]\n");
   return nctools::kExitError;
+}
+
+int DiffMode(const std::string& a, const std::string& b, double tolerance) {
+  auto base = benchlib::LoadResults(a);
+  if (!base.ok()) {
+    std::fprintf(stderr, "ncstat: %s: %s\n", a.c_str(),
+                 base.status().message().c_str());
+    return nctools::kExitError;
+  }
+  auto cur = benchlib::LoadResults(b);
+  if (!cur.ok()) {
+    std::fprintf(stderr, "ncstat: %s: %s\n", b.c_str(),
+                 cur.status().message().c_str());
+    return nctools::kExitError;
+  }
+  if (base.value().records.empty() && cur.value().records.empty()) {
+    std::fprintf(stderr, "ncstat: no pnc-bench-v1 records in %s or %s\n",
+                 a.c_str(), b.c_str());
+    return nctools::kExitError;
+  }
+  const benchlib::CompareResult res =
+      benchlib::Compare(base.value(), cur.value(), tolerance);
+  std::fputs(benchlib::RenderDeltaTable(res).c_str(), stdout);
+  return res.ExitCode();
 }
 
 int ReportMode(const std::string& path) {
@@ -194,6 +226,16 @@ int main(int argc, char** argv) {
   nctools::Cli cli(argc, argv);
   const std::string report = cli.Value("--report", "");
   const bool run = cli.Flag("--run");
+  if (cli.Flag("--diff")) {
+    const std::string tol_s = cli.Value("--tolerance", "0");
+    char* tol_end = nullptr;
+    const double tolerance = std::strtod(tol_s.c_str(), &tol_end);
+    if (run || !report.empty() || !cli.Unknown().empty() ||
+        cli.positionals().size() != 2 || tol_end == tol_s.c_str() ||
+        *tol_end != '\0' || tolerance < 0)
+      return Usage();
+    return DiffMode(cli.positionals()[0], cli.positionals()[1], tolerance);
+  }
   if (run) {
     // Mark the workload options as recognized, then reject typos before
     // spending time on the workload itself.

@@ -1,0 +1,32 @@
+# Lint: every bench driver registers through the bench registry.
+#
+# A bench_*.cpp that forgets BENCH_REGISTER still builds (its standalone
+# executable would just run whichever bench happened to register first), and
+# one that defines its own main() silently bypasses the registry's flag
+# validation and Recorder plumbing — so both are build-breaking here, not
+# style notes. standalone_main.cpp is the one sanctioned main() and is not a
+# bench_*.cpp, so the glob skips it.
+#
+# Usage: cmake -DBENCH_DIR=<repo>/bench -P bench_registry_lint.cmake
+if(NOT DEFINED BENCH_DIR)
+  message(FATAL_ERROR "pass -DBENCH_DIR=<path to bench/>")
+endif()
+
+file(GLOB drivers "${BENCH_DIR}/bench_*.cpp")
+if(NOT drivers)
+  message(FATAL_ERROR "no bench drivers found under ${BENCH_DIR}")
+endif()
+
+foreach(driver ${drivers})
+  file(READ "${driver}" text)
+  if(NOT text MATCHES "BENCH_REGISTER\\(")
+    message(SEND_ERROR
+      "${driver}: does not call BENCH_REGISTER — orphan bench invisible to "
+      "ncbench and the suites")
+  endif()
+  if(text MATCHES "int[ \t\n]+main[ \t\n]*\\(")
+    message(SEND_ERROR
+      "${driver}: defines its own main(); bench drivers expose Run() through "
+      "the registry and link standalone_main.cpp instead")
+  endif()
+endforeach()
