@@ -9,7 +9,9 @@
 
 #include "iostat/iostat.hpp"
 #include "iostat/report.hpp"
+#include "iostat/trace.hpp"
 #include "simmpi/info.hpp"
+#include "util/json.hpp"
 
 namespace bench {
 
@@ -144,28 +146,7 @@ inline double MBps(std::uint64_t bytes, double ns) {
 class JsonObj {
  public:
   JsonObj& Str(const char* key, const std::string& v) {
-    std::string esc;
-    for (const char ch : v) {
-      const auto c = static_cast<unsigned char>(ch);
-      switch (c) {
-        case '"': esc += "\\\""; break;
-        case '\\': esc += "\\\\"; break;
-        case '\n': esc += "\\n"; break;
-        case '\t': esc += "\\t"; break;
-        case '\r': esc += "\\r"; break;
-        case '\b': esc += "\\b"; break;
-        case '\f': esc += "\\f"; break;
-        default:
-          if (c < 0x20) {  // remaining control bytes: \u00XX
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            esc += buf;
-          } else {
-            esc.push_back(ch);
-          }
-      }
-    }
-    return Raw(key, "\"" + esc + "\"");
+    return Raw(key, "\"" + pnc::json::Escape(v) + "\"");
   }
   JsonObj& Int(const char* key, std::uint64_t v) {
     return Raw(key, std::to_string(v));
@@ -203,50 +184,70 @@ class JsonObj {
 /// entry point; a failed append is sticky (io_failed()) and turned into a
 /// nonzero exit by bench::RunBench, so a suite run cannot "succeed" while
 /// silently dropping its output.
+///
+/// With --trace=PATH (any bench; also honored in ncbench suite mode) span
+/// recording is switched on and EndConfig rewrites PATH with a Chrome
+/// trace-event timeline of the configuration that just finished, so the file
+/// holds the most recent configuration of the run.
 class Recorder {
  public:
   Recorder(const Args& args, const char* bench_name)
-      : bench_(bench_name), path_(args.Get("json", "")) {}
-  Recorder(std::string path, std::string bench_name)
-      : bench_(std::move(bench_name)), path_(std::move(path)) {}
+      : bench_(bench_name),
+        path_(args.Get("json", "")),
+        trace_path_(args.Get("trace", "")) {}
+  Recorder(std::string path, std::string bench_name,
+           std::string trace_path = "")
+      : bench_(std::move(bench_name)),
+        path_(std::move(path)),
+        trace_path_(std::move(trace_path)) {}
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
   [[nodiscard]] bool io_failed() const { return io_failed_; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
-  /// Start a configuration: zero every counter and drop accumulated spans so
-  /// the emitted report covers only this run.
+  /// Start a configuration: zero every counter and drop accumulated spans
+  /// and events so the emitted report/trace covers only this run.
   void BeginConfig() const {
-    if (enabled()) iostat::Registry::Get().Reset();
+    if (enabled() || tracing()) iostat::Registry::Get().Reset();
+    if (tracing()) iostat::Registry::Get().SetSpansEnabled(true);
   }
 
-  /// Finish a configuration: append its record line. Returns false (and
-  /// latches io_failed()) when the line cannot be written.
+  /// Finish a configuration: append its record line and rewrite the trace.
+  /// Returns false (and latches io_failed()) when either cannot be written.
   bool EndConfig(const JsonObj& config, const JsonObj& metrics) {
-    if (!enabled()) return true;
-    std::string line = "{\"schema\":\"pnc-bench-v1\",\"bench\":\"" + bench_ +
-                       "\",\"config\":" + config.str() +
-                       ",\"metrics\":" + metrics.str() +
-                       ",\"iostat\":" + iostat::ToJson(iostat::BuildReport()) +
-                       "}\n";
-    if (path_ == "-") {
-      std::fwrite(line.data(), 1, line.size(), stdout);
-      std::fflush(stdout);
-      return true;
+    if (enabled()) {
+      std::string line =
+          "{\"schema\":\"pnc-bench-v1\",\"bench\":\"" + bench_ +
+          "\",\"config\":" + config.str() + ",\"metrics\":" + metrics.str() +
+          ",\"iostat\":" + iostat::ToJson(iostat::BuildReport()) + "}\n";
+      if (path_ == "-") {
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fflush(stdout);
+      } else {
+        FILE* f = std::fopen(path_.c_str(), "a");
+        if (f == nullptr) {
+          std::fprintf(stderr, "bench: cannot append to %s\n", path_.c_str());
+          io_failed_ = true;
+          return false;
+        }
+        const bool wrote =
+            std::fwrite(line.data(), 1, line.size(), f) == line.size();
+        const bool closed = std::fclose(f) == 0;
+        if (!wrote || !closed) {
+          std::fprintf(stderr, "bench: short write to %s\n", path_.c_str());
+          io_failed_ = true;
+          return false;
+        }
+      }
     }
-    FILE* f = std::fopen(path_.c_str(), "a");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench: cannot append to %s\n", path_.c_str());
-      io_failed_ = true;
-      return false;
-    }
-    const bool wrote = std::fwrite(line.data(), 1, line.size(), f) ==
-                       line.size();
-    const bool closed = std::fclose(f) == 0;
-    if (!wrote || !closed) {
-      std::fprintf(stderr, "bench: short write to %s\n", path_.c_str());
-      io_failed_ = true;
-      return false;
+    if (tracing()) {
+      const pnc::Status ts = iostat::WriteChromeTrace(trace_path_);
+      if (!ts.ok()) {
+        std::fprintf(stderr, "bench: %s\n", ts.message().c_str());
+        io_failed_ = true;
+        return false;
+      }
     }
     return true;
   }
@@ -254,6 +255,7 @@ class Recorder {
  private:
   std::string bench_;
   std::string path_;
+  std::string trace_path_;
   bool io_failed_ = false;
 };
 

@@ -14,8 +14,9 @@
 //                           [--hints=k=v,...] [--json=BENCH_fig7.json]
 //                           [--trace=flash.trace.json]
 //
-// --trace enables span recording and writes a Chrome trace-event timeline
-// (chrome://tracing / Perfetto) of the most recent PnetCDF configuration.
+// --trace (a driver-level bench::Recorder flag, available on every bench)
+// writes a Chrome trace-event timeline (chrome://tracing / Perfetto) of the
+// most recent configuration.
 #include <cstdio>
 #include <string>
 
@@ -23,7 +24,6 @@
 #include "bench/platforms.hpp"
 #include "bench/registry.hpp"
 #include "flash/flash.hpp"
-#include "iostat/trace.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace {
@@ -77,8 +77,8 @@ const char* KindName(FileKind k) {
 }
 
 void RunChart(FileKind kind, int block, const std::vector<int>& procs,
-              bench::Recorder& rec, const std::string& trace,
-              bool run_pnetcdf, bool run_hdf5lite, const simmpi::Info& info) {
+              bench::Recorder& rec, bool run_pnetcdf, bool run_hdf5lite,
+              const simmpi::Info& info) {
   FlashConfig cfg;
   cfg.nxb = cfg.nyb = cfg.nzb = block;
   std::printf("\n=== Figure 7: Flash I/O Benchmark (%s, %dx%dx%d) ===\n",
@@ -101,9 +101,7 @@ void RunChart(FileKind kind, int block, const std::vector<int>& procs,
     double pnc_bw = 0.0, h5_bw = 0.0;
     if (run_pnetcdf) {
       rec.BeginConfig();
-      if (!trace.empty()) iostat::Registry::Get().Reset();
       pnc_bw = RunOne(cfg, kind, np, /*use_pnetcdf=*/true, info);
-      if (!trace.empty()) (void)iostat::WriteChromeTrace(trace);
       rec.EndConfig(config(np, "pnetcdf"), bench::JsonObj().Num("mbps", pnc_bw));
     }
     if (run_hdf5lite) {
@@ -135,9 +133,6 @@ int Run(const Args& args, bench::Recorder& rec) {
   std::printf("PnetCDF reproduction - Figure 7 FLASH I/O benchmark\n");
   std::printf("Platform: ASCI White Frost-like (2-node GPFS I/O system)\n");
 
-  const std::string trace = args.Get("trace", "");
-  if (!trace.empty()) iostat::Registry::Get().SetSpansEnabled(true);
-
   std::vector<FileKind> kinds;
   if (file == "checkpoint" || file == "all")
     kinds.push_back(FileKind::kCheckpoint);
@@ -155,8 +150,7 @@ int Run(const Args& args, bench::Recorder& rec) {
       if (b == 16 && k == FileKind::kCheckpoint && !args.Has("procs")) {
         while (!p.empty() && p.back() > 32) p.pop_back();
       }
-      RunChart(k, b, p, rec, trace, lib != "hdf5lite", lib != "pnetcdf",
-               info);
+      RunChart(k, b, p, rec, lib != "hdf5lite", lib != "pnetcdf", info);
     }
   return 0;
 }
@@ -164,7 +158,7 @@ int Run(const Args& args, bench::Recorder& rec) {
 const bench::BenchDef kBench{
     "fig7_flashio",
     "Figure 7: FLASH I/O checkpoint/plotfile writes, PnetCDF vs hdf5lite",
-    {"file", "block", "procs", "lib", "quick", "trace"},
+    {"file", "block", "procs", "lib", "quick"},
     Run};
 
 }  // namespace

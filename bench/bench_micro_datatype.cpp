@@ -9,6 +9,7 @@
 #include "bench/bench_common.hpp"
 #include "bench/microbench.hpp"
 #include "bench/registry.hpp"
+#include "iostat/events.hpp"
 #include "simmpi/datatype.hpp"
 
 namespace {
@@ -107,11 +108,35 @@ void BM_IostatCounterAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_IostatCounterAdd)->Arg(0)->Arg(1);
 
+// The flight-recorder hot path: Arg(0) measures PNC_IOSTAT_EVENT with the
+// recorder disabled at runtime (one relaxed load and a branch), Arg(1) with
+// it enabled (one fetch_add claiming a ring slot plus a fixed-size record
+// fill — the "~10 ns/event" always-on budget). With PNC_IOSTAT=OFF at
+// configure time both compile to nothing.
+void BM_FlightRecorderEvent(benchmark::State& state) {
+#if PNC_IOSTAT_ENABLED
+  PNC_IOSTAT_BIND_RANK(0);
+  iostat::FlightRecorder::Get().SetEnabled(state.range(0) != 0);
+#endif
+  double t = 0.0;
+  for (auto _ : state) {
+    PNC_IOSTAT_EVENT(kIoBegin, t, 0.0, 64, 1, nullptr);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+#if PNC_IOSTAT_ENABLED
+  iostat::FlightRecorder::Get().SetEnabled(true);
+  iostat::FlightRecorder::Get().Reset();
+#endif
+}
+BENCHMARK(BM_FlightRecorderEvent)->Arg(0)->Arg(1);
+
 int Run(const bench::Args& args, bench::Recorder& rec) {
   return bench::RunMicro(
       args, rec,
       "BM_SubarrayConstruct|BM_HindexedConstruct|BM_PackSubarray|"
-      "BM_UnpackSubarray|BM_ContiguousPackIsMemcpySpeed|BM_IostatCounterAdd");
+      "BM_UnpackSubarray|BM_ContiguousPackIsMemcpySpeed|BM_IostatCounterAdd|"
+      "BM_FlightRecorderEvent");
 }
 
 const bench::BenchDef kBench{

@@ -14,7 +14,7 @@ std::vector<const BenchDef*>& MutableBenches() {
 void PrintUsage(const BenchDef& def) {
   std::fprintf(stderr, "%s: %s\nflags:", def.name, def.summary);
   for (const auto& f : def.flags) std::fprintf(stderr, " --%s", f.c_str());
-  std::fprintf(stderr, " --json --hints\n");
+  std::fprintf(stderr, " --json --trace --hints\n");
 }
 
 }  // namespace
@@ -35,6 +35,7 @@ bool RegisterBench(const BenchDef& def) {
 int RunBench(const BenchDef& def, const Args& args, Recorder& rec) {
   std::vector<std::string> allowed = def.flags;
   allowed.emplace_back("json");
+  allowed.emplace_back("trace");
   allowed.emplace_back("hints");
   const auto unknown = args.UnknownFlags(allowed);
   if (!unknown.empty()) {

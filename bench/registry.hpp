@@ -17,7 +17,8 @@ namespace bench {
 struct BenchDef {
   const char* name;     ///< stable id, also the "bench" field of records
   const char* summary;  ///< one line for --list / usage output
-  /// Accepted --key flags beyond the driver-level ones (--json, --hints).
+  /// Accepted --key flags beyond the driver-level ones (--json, --trace,
+  /// --hints).
   /// A trailing '*' is a prefix wildcard (e.g. "benchmark_*").
   std::vector<std::string> flags;
   int (*run)(const Args&, Recorder&);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "iostat/events.hpp"
 #include "util/crc32.hpp"
 #include "util/xdr.hpp"
 
@@ -213,6 +214,7 @@ pnc::Result<VerifyReport> AnalyzeCommit(CommitIo& journal, CommitIo& primary) {
                          std::to_string(s.seq) + ")"
                    : "primary torn; committed header in shadow (seq " +
                          std::to_string(s.seq) + ")";
+    PNC_IOSTAT_EVENT_DUMP_HARD("crash-recovery");
     return r;
   }
   if (prim_crc_ok) {
@@ -222,12 +224,14 @@ pnc::Result<VerifyReport> AnalyzeCommit(CommitIo& journal, CommitIo& primary) {
     r.detail = "shadow torn by a later uncommitted write; primary body "
                "intact, committed numrecs patched (seq " +
                std::to_string(s.seq) + ")";
+    PNC_IOSTAT_EVENT_DUMP_HARD("crash-recovery");
     return r;
   }
 
   r.state = FileState::kCorrupt;
   r.detail = "neither primary nor shadow matches the committed CRC (seq " +
              std::to_string(s.seq) + ")";
+  PNC_IOSTAT_EVENT_DUMP_HARD("crash-recovery");
   return r;
 }
 

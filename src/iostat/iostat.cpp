@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "iostat/events.hpp"
 #include "iostat/report.hpp"
 
 namespace iostat {
@@ -122,6 +123,7 @@ void Registry::Reset() {
     slot.spans.clear();
   }
   max_rank_.store(0, std::memory_order_relaxed);
+  FlightRecorder::Get().Reset();
 }
 
 void Registry::AutoReportAtClose() {

@@ -1,10 +1,10 @@
 #include "iostat/report.hpp"
 
-#include <cctype>
 #include <cstdarg>
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
+
+#include "iostat/json_cursor.hpp"
 
 namespace iostat {
 
@@ -80,79 +80,13 @@ std::string ToJson(const Report& rep) {
 }
 
 // --------------------------------------------------------------- parsing
-// A minimal JSON reader for the schema ToJson emits. Unknown keys are
+// Built on the shared jsoncur reader (json_cursor.hpp). Unknown keys are
 // skipped (SkipValue handles arbitrary nesting), so records that embed the
 // report alongside other members still parse.
 
 namespace {
 
-struct Cursor {
-  const char* p;
-  const char* end;
-
-  void SkipWs() {
-    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
-  }
-  bool Eat(char c) {
-    SkipWs();
-    if (p < end && *p == c) {
-      ++p;
-      return true;
-    }
-    return false;
-  }
-  bool ParseString(std::string* out) {
-    SkipWs();
-    if (p >= end || *p != '"') return false;
-    ++p;
-    out->clear();
-    while (p < end && *p != '"') {
-      if (*p == '\\' && p + 1 < end) ++p;  // keep escaped char verbatim
-      out->push_back(*p++);
-    }
-    if (p >= end) return false;
-    ++p;
-    return true;
-  }
-  bool ParseNumber(double* out) {
-    SkipWs();
-    char* after = nullptr;
-    *out = std::strtod(p, &after);
-    if (after == p) return false;
-    p = after;
-    return true;
-  }
-  bool SkipValue() {
-    SkipWs();
-    if (p >= end) return false;
-    if (*p == '"') {
-      std::string s;
-      return ParseString(&s);
-    }
-    if (*p == '{' || *p == '[') {
-      const char open = *p;
-      const char close = open == '{' ? '}' : ']';
-      ++p;
-      int depth = 1;
-      while (p < end && depth > 0) {
-        if (*p == '"') {
-          std::string s;
-          if (!ParseString(&s)) return false;
-          continue;
-        }
-        if (*p == open) ++depth;
-        if (*p == close) --depth;
-        ++p;
-      }
-      return depth == 0;
-    }
-    // number / true / false / null
-    while (p < end && *p != ',' && *p != '}' && *p != ']' &&
-           !std::isspace(static_cast<unsigned char>(*p)))
-      ++p;
-    return true;
-  }
-};
+using jsoncur::Cursor;
 
 bool LookupCtr(const std::string& name, Ctr* out) {
   for (std::size_t i = 0; i < kNumCounters; ++i) {
@@ -189,29 +123,8 @@ pnc::Result<Report> ParseReportJson(std::string_view text) {
   };
   // The report may be nested inside a bench record: scan forward to the
   // schema marker and parse the object that contains it.
-  const char* marker = nullptr;
-  for (const char* q = cur.p; q + 14 <= cur.end; ++q) {
-    if (std::memcmp(q, "pnc-iostat-v1", 13) == 0) {
-      marker = q;
-      break;
-    }
-  }
-  if (marker == nullptr) return fail("schema marker not found");
-  // Walk back to the '{' that opens the object holding "schema".
-  int depth = 0;
-  const char* open = nullptr;
-  for (const char* q = marker; q >= text.data(); --q) {
-    if (*q == '}') ++depth;
-    if (*q == '{') {
-      if (depth == 0) {
-        open = q;
-        break;
-      }
-      --depth;
-    }
-  }
-  if (open == nullptr) return fail("malformed enclosing object");
-  cur.p = open;
+  if (!jsoncur::SeekObjectWithMarker(cur, "pnc-iostat-v1"))
+    return fail("schema marker not found");
 
   Report rep;
   if (!cur.Eat('{')) return fail("expected object");

@@ -1,8 +1,12 @@
 #include "iostat/trace.hpp"
 
+#include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
 #include <vector>
+
+#include "iostat/events.hpp"
+#include "util/json.hpp"
 
 namespace iostat {
 
@@ -18,6 +22,14 @@ void AppendF(std::string& out, const char* fmt, ...) {
   const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
   va_end(ap);
   if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// Flow-arrow binding ID linking a two-phase exchange send on the source
+/// rank to the aggregator piece it lands in: (src rank, window, dst rank)
+/// is unique within one collective and identical on both ends.
+std::uint64_t FlowId(std::uint64_t src_rank, std::uint64_t window,
+                     std::uint64_t dst_rank) {
+  return (src_rank << 40) ^ (window << 20) ^ dst_rank;
 }
 
 }  // namespace
@@ -43,12 +55,86 @@ std::string ToChromeTrace() {
       // Trace-event timestamps are microseconds; spans carry virtual ns.
       const double ts_us = s.start_ns / 1000.0;
       const double dur_us = (s.end_ns - s.start_ns) / 1000.0;
+      AppendF(out, "%s{\"name\":\"", first ? "" : ",");
+      pnc::json::AppendEscaped(out, s.name);
+      out += "\",\"cat\":\"";
+      pnc::json::AppendEscaped(out, s.cat);
       AppendF(out,
-              "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-              "\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
-              first ? "" : ",", s.name, s.cat, ts_us, dur_us, r);
+              "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,"
+              "\"tid\":%d}",
+              ts_us, dur_us, r);
       first = false;
     }
+  }
+
+  // Flight-recorder overlays: causal flow arrows for the two-phase
+  // exchange (request-ID linked send -> aggregator piece), per-request
+  // instants at the API boundary, and pfs per-server service tracks
+  // (pid 1, one row per server).
+  const std::vector<std::vector<Event>> events =
+      FlightRecorder::Get().Collect();
+  int max_server = -1;
+  for (std::size_t r = 0; r < events.size(); ++r) {
+    const std::uint64_t self = static_cast<std::uint64_t>(r);
+    for (const Event& e : events[r]) {
+      const double ts_us = e.t_ns / 1000.0;
+      switch (e.kind) {
+        case Ev::kApiBegin:
+          AppendF(out, "%s{\"name\":\"", first ? "" : ",");
+          pnc::json::AppendEscaped(out, e.detail);
+          AppendF(out,
+                  "\",\"cat\":\"req\",\"ph\":\"i\",\"s\":\"t\","
+                  "\"ts\":%.3f,\"pid\":0,\"tid\":%zu,"
+                  "\"args\":{\"req\":%" PRIu64 ",\"bytes\":%" PRIu64 "}}",
+                  ts_us, r, e.req, e.a0);
+          first = false;
+          break;
+        case Ev::kXchgSend:
+          // Flow start on the sender (a0=window, a1=dest aggregator rank).
+          AppendF(out,
+                  "%s{\"name\":\"req\",\"cat\":\"flow\",\"ph\":\"s\","
+                  "\"id\":%" PRIu64 ",\"ts\":%.3f,\"pid\":0,\"tid\":%zu,"
+                  "\"args\":{\"req\":%" PRIu64 "}}",
+                  first ? "" : ",", FlowId(self, e.a0, e.a1), ts_us, r,
+                  e.req);
+          first = false;
+          break;
+        case Ev::kAggPiece:
+          // Flow finish on the aggregator (a0=(window<<32)|src rank,
+          // a1=source request ID).
+          AppendF(out,
+                  "%s{\"name\":\"req\",\"cat\":\"flow\",\"ph\":\"f\","
+                  "\"bp\":\"e\",\"id\":%" PRIu64 ",\"ts\":%.3f,\"pid\":0,"
+                  "\"tid\":%zu,\"args\":{\"src_req\":%" PRIu64 "}}",
+                  first ? "" : ",",
+                  FlowId(e.a0 & 0xffffffffULL, e.a0 >> 32, self), ts_us, r,
+                  e.a1);
+          first = false;
+          break;
+        case Ev::kPfsServer: {
+          const int server = static_cast<int>(e.a0 & 0xff);
+          if (server > max_server) max_server = server;
+          AppendF(out,
+                  "%s{\"name\":\"serve\",\"cat\":\"pfs\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"req\":%" PRIu64 ",\"rank\":%d,"
+                  "\"bytes\":%" PRIu64 ",\"queue_ns\":%" PRIu64 "}}",
+                  first ? "" : ",", ts_us, e.d_ns / 1000.0, server, e.req,
+                  static_cast<int>(e.rank), e.a0 >> 8, e.a1);
+          first = false;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  for (int s = 0; s <= max_server; ++s) {
+    AppendF(out,
+            "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+            "\"args\":{\"name\":\"pfs server %d\"}}",
+            first ? "" : ",", s, s);
+    first = false;
   }
   out += "],\"displayTimeUnit\":\"ms\"}\n";
   return out;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 #include "mpiio/file_impl.hpp"
 
@@ -170,6 +171,8 @@ pnc::Status File::Impl::RetryIo(bool is_write, std::uint64_t off,
         return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
       ++attempts;
       PNC_IOSTAT_ADD(kMpiioRetries, 1);
+      PNC_IOSTAT_EVENT(kRetry, clk.now(), backoff, is_write, attempts,
+                       nullptr);
       file.RecordRetry(is_write);
       clk.Advance(backoff);
       backoff *= 2;
@@ -192,6 +195,7 @@ pnc::Status File::Impl::RetrySync() {
     if (attempts >= hints.retry_max)
       return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
     ++attempts;
+    PNC_IOSTAT_EVENT(kRetry, clk.now(), backoff, 1, attempts, nullptr);
     file.RecordRetry(/*is_write=*/true);
     clk.Advance(backoff);
     backoff *= 2;
@@ -218,6 +222,8 @@ pnc::Status File::IndependentIo(std::uint64_t offset_etypes, void* buf,
     PNC_IOSTAT_ADD(kMpiioIndepReads, 1);
   auto& im = *impl_;
   const std::uint64_t bytes = count * memtype.size();
+  PNC_IOSTAT_EVENT(kIndep, im.comm.clock().now(), 0, bytes, is_write,
+                   nullptr);
   if (bytes == 0) return pnc::Status::Ok();
   if (buf == nullptr) return pnc::Status(pnc::Err::kNullBuf, "io");
 

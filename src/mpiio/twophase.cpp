@@ -16,6 +16,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 #include "mpiio/file_impl.hpp"
 
@@ -109,6 +110,9 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
   if (bytes > 0 && buf == nullptr)
     return pnc::Status(pnc::Err::kNullBuf, "coll io");
 
+  PNC_IOSTAT_EVENT(kCollBegin, clk.now(), 0, bytes, is_write, nullptr);
+  const std::uint64_t my_req = PNC_IOSTAT_CURRENT_REQ();
+
   const bool use_cb = is_write ? im.hints.cb_write : im.hints.cb_read;
   if (!use_cb || p == 1) {
     // Collective buffering disabled: every rank does independent I/O, then
@@ -119,6 +123,8 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
                                                 memtype, is_write);
     st = AgreeStatus(comm, st);
     comm.SyncClocksToMax();
+    PNC_IOSTAT_EVENT(kCollEnd, clk.now(), 0, st.ok() ? 1 : 0, is_write,
+                     nullptr);
     return st;
   }
 
@@ -149,6 +155,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
   const std::uint64_t gmax = comm.AllreduceMax(my_max);
   if (gmin >= gmax) {  // nothing to do anywhere
     comm.SyncClocksToMax();
+    PNC_IOSTAT_EVENT(kCollEnd, clk.now(), 0, 1, is_write, nullptr);
     return pnc::Status::Ok();
   }
 
@@ -198,9 +205,12 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
 
   for (std::uint64_t w = 0; w < rounds; ++w) {
     const double exchange_start = clk.now();
+    PNC_IOSTAT_EVENT(kXchgBegin, exchange_start, 0, w, 0, nullptr);
     // ---- build this round's per-aggregator messages ----
-    // Message layout: u64 n, then n * (u64 off, u64 len), then the bytes
-    // (writes only; for reads the extents alone form the request).
+    // Message layout: u64 req (the sender's request ID, for causal
+    // attribution of aggregator I/O), u64 n, then n * (u64 off, u64 len),
+    // then the bytes (writes only; for reads the extents alone form the
+    // request).
     std::vector<std::vector<std::byte>> sendbufs(
         static_cast<std::size_t>(p));
     // For reads: where in the packed buffer this round's slice of each
@@ -242,10 +252,11 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
 
       auto& msg = sendbufs[static_cast<std::size_t>(agg_rank(d))];
       const std::uint64_t n_ext = ext.size();
-      const std::size_t header = 8 + 16 * ext.size();
+      const std::size_t header = 16 + 16 * ext.size();
       msg.resize(header + (is_write ? data_len : 0));
-      std::memcpy(msg.data(), &n_ext, 8);
-      std::memcpy(msg.data() + 8, ext.data(), 16 * ext.size());
+      std::memcpy(msg.data(), &my_req, 8);
+      std::memcpy(msg.data() + 8, &n_ext, 8);
+      std::memcpy(msg.data() + 16, ext.data(), 16 * ext.size());
       if (is_write) {
         std::memcpy(msg.data() + header, data + data_start, data_len);
         clk.Advance(cost.CopyCost(data_len));
@@ -253,13 +264,17 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
     }
 
     for (int r = 0; r < p; ++r) {
-      if (r != comm.rank() && !sendbufs[static_cast<std::size_t>(r)].empty())
+      if (r != comm.rank() && !sendbufs[static_cast<std::size_t>(r)].empty()) {
         PNC_IOSTAT_ADD(kMpiioExchangeMsgs, 1);
+        PNC_IOSTAT_EVENT(kXchgSend, exchange_start, 0, w, r, nullptr);
+      }
     }
     auto recvbufs = comm.Alltoall(std::move(sendbufs));
     PNC_IOSTAT_ADD(kMpiioExchangeNs, clk.now() - exchange_start);
     PNC_IOSTAT_SPAN("mpiio", "exchange", exchange_start, clk.now());
+    PNC_IOSTAT_EVENT(kXchgEnd, clk.now(), 0, w, 0, nullptr);
     const double io_start = clk.now();
+    PNC_IOSTAT_EVENT(kIoBegin, io_start, 0, w, 0, nullptr);
 
     // ---- aggregator services its window ----
     std::vector<std::vector<std::byte>> replies(static_cast<std::size_t>(p));
@@ -273,13 +288,18 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
         for (int r = 0; r < p; ++r) {
           const auto& msg = recvbufs[static_cast<std::size_t>(r)];
           if (msg.empty()) continue;
+          std::uint64_t src_req = 0;
+          std::memcpy(&src_req, msg.data(), 8);
           std::uint64_t n_ext = 0;
-          std::memcpy(&n_ext, msg.data(), 8);
-          const std::byte* payload = msg.data() + 8 + 16 * n_ext;
+          std::memcpy(&n_ext, msg.data() + 8, 8);
+          PNC_IOSTAT_EVENT(kAggPiece, io_start, 0,
+                           (w << 32) | static_cast<std::uint64_t>(r), src_req,
+                           nullptr);
+          const std::byte* payload = msg.data() + 16 + 16 * n_ext;
           std::uint64_t dpos = 0;
           for (std::uint64_t e = 0; e < n_ext; ++e) {
             pnc::Extent x;
-            std::memcpy(&x, msg.data() + 8 + 16 * e, 16);
+            std::memcpy(&x, msg.data() + 16 + 16 * e, 16);
             Piece pc;
             pc.file_off = x.offset;
             pc.len = x.len;
@@ -354,10 +374,12 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
 
     PNC_IOSTAT_ADD(kMpiioIoPhaseNs, clk.now() - io_start);
     PNC_IOSTAT_SPAN("mpiio", "io", io_start, clk.now());
+    PNC_IOSTAT_EVENT(kIoEnd, clk.now(), 0, w, 0, nullptr);
 
     // ---- reads: ship the bytes back into each requester's packed buffer ----
     if (!is_write) {
       const double reply_start = clk.now();
+      PNC_IOSTAT_EVENT(kXchgBegin, reply_start, 0, w, 0, nullptr);
       auto returned = comm.Alltoall(std::move(replies));
       for (std::size_t d = 0; d < naggs; ++d) {
         if (round_data_len[d] == 0) continue;
@@ -380,6 +402,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
       }
       PNC_IOSTAT_ADD(kMpiioExchangeNs, clk.now() - reply_start);
       PNC_IOSTAT_SPAN("mpiio", "exchange", reply_start, clk.now());
+      PNC_IOSTAT_EVENT(kXchgEnd, clk.now(), 0, w, 0, nullptr);
     }
   }
 
@@ -393,6 +416,8 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
     clk.Advance(cost.CopyCost(bytes));
   }
   comm.SyncClocksToMax();
+  PNC_IOSTAT_EVENT(kCollEnd, clk.now(), 0, st.ok() ? 1 : 0, is_write,
+                   nullptr);
   return st;
 }
 

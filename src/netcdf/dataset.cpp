@@ -6,6 +6,7 @@
 #include "format/commit.hpp"
 #include "format/commit_pfs.hpp"
 #include "format/header_io.hpp"
+#include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 
 namespace netcdf {
@@ -382,6 +383,12 @@ pnc::Status Dataset::PutExternal(int varid,
                                  pnc::ConstByteSpan external) {
   auto& im = *impl_;
   auto& h = im.header;
+  const std::string_view put_var =
+      varid >= 0 && varid < static_cast<int>(h.vars.size())
+          ? std::string_view(h.vars[static_cast<std::size_t>(varid)].name)
+          : std::string_view();
+  PNC_IOSTAT_REQ_SCOPE(stride.empty() ? "put_vara" : "put_vars", put_var,
+                       im.clock.now(), external.size(), 1);
 
   // Record growth bookkeeping (and fill of skipped records) first.
   if (h.IsRecordVar(varid) && !count.empty() && count[0] > 0) {
@@ -417,6 +424,13 @@ pnc::Status Dataset::GetExternal(int varid,
                                  std::span<const std::uint64_t> stride,
                                  pnc::ByteSpan external) {
   auto& im = *impl_;
+  const std::string_view get_var =
+      varid >= 0 && varid < static_cast<int>(im.header.vars.size())
+          ? std::string_view(
+                im.header.vars[static_cast<std::size_t>(varid)].name)
+          : std::string_view();
+  PNC_IOSTAT_REQ_SCOPE(stride.empty() ? "get_vara" : "get_vars", get_var,
+                       im.clock.now(), external.size(), 0);
   PNC_IOSTAT_ADD(kNcDataCalls, 1);
   PNC_IOSTAT_ADD(kNcDataBytesRead, external.size());
   std::vector<pnc::Extent> regions;

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 
 namespace pfs {
@@ -161,7 +162,14 @@ IoResult File::TryRead(std::uint64_t offset, pnc::ByteSpan out,
     oc = node_->faulty->FaultedRead(offset, out, fs_->PrimaryServer(offset),
                                     start_ns);
   }
-  if (!oc.status.ok()) PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
+  if (!oc.status.ok()) {
+    PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
+    const bool transient = oc.status.code() == pnc::Err::kIoTransient;
+    PNC_IOSTAT_EVENT(kPfsFault, start_ns, 0, /*is_write=*/0, 0,
+                     transient ? "transient"
+                               : (fs_->crashed() ? "crash" : "permanent"));
+    if (!transient) PNC_IOSTAT_EVENT_DUMP_HARD("pfs-hard-fault");
+  }
   // A failed attempt still costs a (zero-payload) round trip: the request
   // reached the servers before the error came back.
   const double done = fs_->ServeRequest(offset, oc.status.ok() ? oc.transferred
@@ -202,7 +210,14 @@ IoResult File::TryWrite(std::uint64_t offset, pnc::ConstByteSpan data,
                                        start_ns);
     }
   }
-  if (!oc.status.ok()) PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
+  if (!oc.status.ok()) {
+    PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
+    const bool transient = oc.status.code() == pnc::Err::kIoTransient;
+    PNC_IOSTAT_EVENT(kPfsFault, start_ns, 0, /*is_write=*/1, 0,
+                     transient ? "transient"
+                               : (fs_->crashed() ? "crash" : "permanent"));
+    if (!transient) PNC_IOSTAT_EVENT_DUMP_HARD("pfs-hard-fault");
+  }
   const double done = fs_->ServeRequest(offset, oc.status.ok() ? oc.transferred
                                                                : 0,
                                         /*is_write=*/true, start_ns);
@@ -213,8 +228,18 @@ IoResult File::TrySync(double start_ns) {
   const FaultDecision d =
       fs_->injector_->Decide(/*is_write=*/true, 0, /*server=*/0, start_ns);
   const double done = fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns);
-  if (d.kind != FaultDecision::Kind::kOk)
+  if (d.kind != FaultDecision::Kind::kOk) {
     PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
+    const char* kind = "permanent";
+    if (d.kind == FaultDecision::Kind::kTransient) kind = "transient";
+    else if (d.kind == FaultDecision::Kind::kCrash) kind = "crash";
+    else if (d.kind == FaultDecision::Kind::kShort) kind = "short";
+    else if (d.kind == FaultDecision::Kind::kBitFlip) kind = "bitflip";
+    PNC_IOSTAT_EVENT(kPfsFault, start_ns, 0, /*is_write=*/1, 0, kind);
+    if (d.kind == FaultDecision::Kind::kPermanent ||
+        d.kind == FaultDecision::Kind::kCrash)
+      PNC_IOSTAT_EVENT_DUMP_HARD("pfs-hard-fault");
+  }
   if (d.kind == FaultDecision::Kind::kTransient)
     return {pnc::Status(pnc::Err::kIoTransient, "injected transient fault"), 0,
             done};
@@ -433,8 +458,10 @@ double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
       // it — collective flushes arrive concurrently from every rank, and a
       // request that mutated server_next_free_ would make the makespan
       // depend on real-time arrival order (nondeterministic virtual time).
-      const double done =
-          std::max(arrival, server_next_free_[0]) + cfg_.server_request_ns;
+      const double begin = std::max(arrival, server_next_free_[0]);
+      const double done = begin + cfg_.server_request_ns;
+      PNC_IOSTAT_EVENT(kPfsServer, begin, done - begin, 0,
+                       static_cast<std::uint64_t>(begin - arrival), "s");
       completion = std::max(completion, done);
     } else {
       for (std::size_t s = 0; s < bytes_per_server.size(); ++s) {
@@ -444,6 +471,13 @@ double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
                             per_byte * static_cast<double>(bytes_per_server[s]);
         server_next_free_[s] = done;
         completion = std::max(completion, done);
+        // Queue wait (begin - arrival) vs service (done - begin), per
+        // server, attributed to the in-flight request via the thread's
+        // bound request ID.
+        PNC_IOSTAT_EVENT(kPfsServer, begin, done - begin,
+                         (bytes_per_server[s] << 8) | (s & 0xff),
+                         static_cast<std::uint64_t>(begin - arrival),
+                         is_write ? "w" : "r");
       }
     }
   }

@@ -5,6 +5,7 @@
 
 #include "format/commit.hpp"
 #include "format/commit_pfs.hpp"
+#include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 
 namespace pnetcdf {
@@ -220,6 +221,8 @@ pnc::Status Dataset::Redef() {
 
 pnc::Status Dataset::WriteHeaderCollective() {
   auto& im = *impl_;
+  PNC_IOSTAT_REQ_SCOPE("write_header", "", im.comm.clock().now(),
+                       std::uint64_t{0}, 1);
   auto bytes = EncodeHeader(im.header);
   im.file.ClearView();
   // Data first, metadata last: every rank's outstanding data lands before
@@ -555,6 +558,23 @@ pnc::Status Dataset::MoveExternal(int varid,
                                   bool collective) {
   auto& im = *impl_;
 
+  // Mint the causal request ID here — the typed/flexible API funnel — so
+  // every lower-layer event (two-phase phases, pfs server service, faults,
+  // retries, the numrecs sync below) attributes to "api:variable".
+  const char* api =
+      is_write
+          ? (collective ? (stride.empty() ? "put_vara_all" : "put_vars_all")
+                        : (stride.empty() ? "put_vara" : "put_vars"))
+          : (collective ? (stride.empty() ? "get_vara_all" : "get_vars_all")
+                        : (stride.empty() ? "get_vara" : "get_vars"));
+  const std::string_view varname =
+      varid >= 0 && varid < static_cast<int>(im.header.vars.size())
+          ? std::string_view(im.header.vars[static_cast<std::size_t>(varid)]
+                                 .name)
+          : std::string_view();
+  PNC_IOSTAT_REQ_SCOPE(api, varname, im.comm.clock().now(), ext.size(),
+                       is_write);
+
   // §4.2.2: represent the access pattern as an MPI file view constructed
   // from the variable metadata and the start/count/stride arguments. The
   // regions come out sorted, so the hindexed filetype is monotonic as MPI
@@ -778,6 +798,8 @@ pnc::Status Dataset::BatchAccess(std::span<BatchItem> items, bool is_write) {
   PNC_RETURN_IF_ERROR(CheckDataMode(is_write, /*collective=*/true));
   auto& im = *impl_;
   auto& clk = im.comm.clock();
+  PNC_IOSTAT_REQ_SCOPE(is_write ? "wait_all.put" : "wait_all.get", "*batch",
+                       clk.now(), std::uint64_t{0}, is_write);
 
   // Flatten every item into (file extent, source pointer) pieces, then sort
   // by file offset: the combined access becomes one monotonic file view —

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 
 namespace simmpi {
@@ -50,6 +51,9 @@ void SharedState::DumpHangAndAbort(int world_rank) {
     }
   }
   std::fflush(stderr);
+  // Black box: dump every rank's flight-recorder tail (pnc-events-v1) so
+  // the history leading into the hang survives the abort.
+  PNC_IOSTAT_EVENT_DUMP("hang-watchdog");
   std::abort();
 }
 

@@ -12,6 +12,11 @@
 //   ncbench --bench=NAME [flags...]    run one bench; unconsumed flags pass
 //                                      through to it
 //
+// Either mode accepts --trace=PATH (a driver-level bench::Recorder flag):
+// span recording is enabled and PATH is rewritten after each configuration
+// with a Chrome trace-event timeline, so it ends holding the run's most
+// recent configuration.
+//
 // Baseline gating (with --suite):
 //   --check --baseline=PATH [--tolerance=PCT]
 //       after the run, match records by (bench, config) against the
@@ -52,7 +57,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ncbench --list\n"
-      "       ncbench --suite=NAME [--json=PATH] [--hints=k=v,...]\n"
+      "       ncbench --suite=NAME [--json=PATH] [--trace=PATH]\n"
+      "               [--hints=k=v,...]\n"
       "               [--check --baseline=PATH [--tolerance=PCT]]\n"
       "               [--update-baseline --baseline=PATH]\n"
       "       ncbench --bench=NAME [bench flags...] [--json=PATH]\n");
@@ -129,7 +135,7 @@ std::vector<std::string> MergeHints(const std::vector<std::string>& entry,
 }
 
 int RunSuite(const bench::Suite& suite, const std::string& json_path,
-             const std::string& extra_hints) {
+             const std::string& trace_path, const std::string& extra_hints) {
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "ncbench: cannot write %s\n", json_path.c_str());
@@ -154,7 +160,7 @@ int RunSuite(const bench::Suite& suite, const std::string& json_path,
                 def->name);
     std::fflush(stdout);
     const bench::Args args(MergeHints(e.args, extra_hints));
-    bench::Recorder rec(json_path, def->name);
+    bench::Recorder rec(json_path, def->name, trace_path);
     const int rc = bench::RunBench(*def, args, rec);
     if (rc != 0) {
       std::fprintf(stderr, "ncbench: bench %s failed (exit %d)\n", def->name,
@@ -232,6 +238,7 @@ int main(int argc, char** argv) {
   const std::string baseline = cli.Value("--baseline", "");
   const std::string tolerance_s = cli.Value("--tolerance", "0");
   const std::string hints = cli.Value("--hints", "");
+  const std::string trace = cli.Value("--trace", "");
   std::string json = cli.Value("--json", "");
   if (!cli.Unknown().empty() || !cli.positionals().empty()) return Usage();
   if (check && update) return Usage();
@@ -252,7 +259,7 @@ int main(int argc, char** argv) {
   else if (json.empty())
     json = "BENCH_" + suite_name + ".json";
 
-  const int rc = RunSuite(*suite, json, hints);
+  const int rc = RunSuite(*suite, json, trace, hints);
   if (rc != 0) return rc;
   if (update) {
     std::printf("ncbench: baseline %s updated\n", baseline.c_str());

@@ -12,6 +12,12 @@
 //                          record ((bench, config) identity, same engine as
 //                          `ncbench --check`); --tolerance=PCT loosens the
 //                          per-metric gate (default 0 = exact)
+//   ncstat --blackbox=FILE pretty-print a pnc-events-v1 flight-recorder dump
+//                          (a hang-watchdog abort, a PNC_FLIGHT_DUMP file,
+//                          or "-" for stdin)
+//   ncstat --critpath=FILE critical-path analysis of a pnc-events-v1 dump:
+//                          per-op straggler-wait / exchange / file-io
+//                          decomposition per rank and per pfs server
 //
 // Workload options (with --run):
 //   --procs=N                  ranks (default 4)
@@ -21,6 +27,9 @@
 //                              a populating write first and resets counters)
 //   --json=PATH                also dump the report JSON ("-" = stdout)
 //   --trace=PATH               record spans, write a Chrome trace timeline
+//   --blackbox=PATH            dump the flight recorder (pnc-events-v1)
+//   --critpath                 print the critical-path decomposition of the
+//                              workload's collective ops
 //
 // Exit status: 0 success, 1 --diff found differences, 2 usage/IO/parse
 // error. See src/tools/cli.hpp and docs/API.md for the contract shared with
@@ -33,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "iostat/critpath.hpp"
+#include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 #include "iostat/report.hpp"
 #include "iostat/trace.hpp"
@@ -50,8 +61,85 @@ int Usage() {
                "       ncstat --run [--procs=N] [--size=MB]\n"
                "              [--pattern=contig|strided] [--op=write|read]\n"
                "              [--json=PATH] [--trace=PATH]\n"
-               "       ncstat --diff A B [--tolerance=PCT]\n");
+               "              [--blackbox=PATH] [--critpath]\n"
+               "       ncstat --diff A B [--tolerance=PCT]\n"
+               "       ncstat --blackbox=FILE\n"
+               "       ncstat --critpath=FILE\n");
   return nctools::kExitError;
+}
+
+/// Slurp `path` ("-" = stdin) into `out`; false + message on failure.
+bool ReadAll(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    *out = ss.str();
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ncstat: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int BlackboxMode(const std::string& path) {
+  std::string text;
+  if (!ReadAll(path, &text)) return nctools::kExitError;
+  auto parsed = iostat::ParseEventsJson(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "ncstat: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return nctools::kExitError;
+  }
+  const iostat::EventDump& d = parsed.value();
+  std::printf("flight recorder dump: reason \"%s\", ring capacity %zu, "
+              "%zu rank(s)\n",
+              d.reason.c_str(), d.capacity, d.ranks.size());
+  for (const auto& tail : d.ranks) {
+    std::printf("rank %d: %llu recorded, %llu dropped, %zu retained\n",
+                tail.rank, static_cast<unsigned long long>(tail.recorded),
+                static_cast<unsigned long long>(tail.dropped),
+                tail.events.size());
+    for (const iostat::Event& e : tail.events) {
+      std::printf("  #%llu %-10s t=%.0f ns",
+                  static_cast<unsigned long long>(e.seq),
+                  iostat::EvName(e.kind), e.t_ns);
+      if (e.d_ns > 0) std::printf(" dur=%.0f ns", e.d_ns);
+      if (e.req != 0)
+        std::printf(" req=%llu", static_cast<unsigned long long>(e.req));
+      std::printf(" a0=%llu a1=%llu",
+                  static_cast<unsigned long long>(e.a0),
+                  static_cast<unsigned long long>(e.a1));
+      if (e.detail[0] != '\0') std::printf(" [%s]", e.detail);
+      std::printf("\n");
+    }
+  }
+  return nctools::kExitOk;
+}
+
+int CritPathFileMode(const std::string& path) {
+  std::string text;
+  if (!ReadAll(path, &text)) return nctools::kExitError;
+  auto parsed = iostat::ParseEventsJson(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "ncstat: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return nctools::kExitError;
+  }
+  const iostat::CritPath cp = iostat::AnalyzeCritPath(parsed.value());
+  if (cp.ops.empty()) {
+    std::fprintf(stderr,
+                 "ncstat: no complete collective ops in the dump (need "
+                 "coll_begin/coll_end pairs on every rank)\n");
+    return nctools::kExitError;
+  }
+  std::fputs(iostat::PrettyPrintCritPath(cp).c_str(), stdout);
+  return nctools::kExitOk;
 }
 
 int DiffMode(const std::string& a, const std::string& b, double tolerance) {
@@ -80,20 +168,7 @@ int DiffMode(const std::string& a, const std::string& b, double tolerance) {
 
 int ReportMode(const std::string& path) {
   std::string text;
-  if (path == "-") {
-    std::ostringstream ss;
-    ss << std::cin.rdbuf();
-    text = ss.str();
-  } else {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "ncstat: cannot open %s\n", path.c_str());
-      return nctools::kExitError;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    text = ss.str();
-  }
+  if (!ReadAll(path, &text)) return nctools::kExitError;
 
   // One report per line (PNC_IOSTAT_REPORT dumps and bench records are both
   // line-oriented); fall back to scanning the whole buffer once.
@@ -131,6 +206,8 @@ int RunMode(nctools::Cli& cli) {
   const std::string op = cli.Value("--op", "write");
   const std::string json = cli.Value("--json", "");
   const std::string trace = cli.Value("--trace", "");
+  const std::string blackbox = cli.Value("--blackbox", "");
+  const bool critpath = cli.Has("--critpath");
   if ((pattern != "contig" && pattern != "strided") ||
       (op != "write" && op != "read"))
     return Usage();
@@ -217,6 +294,29 @@ int RunMode(nctools::Cli& cli) {
       return nctools::kExitError;
     }
   }
+  if (!blackbox.empty()) {
+    const std::string out = iostat::EventsToJson("ncstat-run") + "\n";
+    if (blackbox == "-") {
+      std::fwrite(out.data(), 1, out.size(), stdout);
+    } else if (FILE* f = std::fopen(blackbox.c_str(), "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "ncstat: cannot write %s\n", blackbox.c_str());
+      return nctools::kExitError;
+    }
+  }
+  if (critpath) {
+    const iostat::CritPath cp =
+        iostat::AnalyzeCritPath(iostat::FlightRecorder::Get().Collect());
+    if (cp.ops.empty()) {
+      std::fprintf(stderr,
+                   "ncstat: no collective ops recorded (flight recorder "
+                   "disabled? check PNC_IOSTAT / PNC_FLIGHT)\n");
+      return nctools::kExitError;
+    }
+    std::fputs(iostat::PrettyPrintCritPath(cp).c_str(), stdout);
+  }
   return nctools::kExitOk;
 }
 
@@ -239,11 +339,25 @@ int main(int argc, char** argv) {
   if (run) {
     // Mark the workload options as recognized, then reject typos before
     // spending time on the workload itself.
-    for (const char* k :
-         {"--procs", "--size", "--pattern", "--op", "--json", "--trace"})
+    for (const char* k : {"--procs", "--size", "--pattern", "--op", "--json",
+                          "--trace", "--blackbox", "--critpath"})
       (void)cli.Has(k);
     if (!cli.Unknown().empty() || !cli.positionals().empty()) return Usage();
     return RunMode(cli);
+  }
+  const std::string blackbox = cli.Value("--blackbox", "");
+  const std::string critpath = cli.Value("--critpath", "");
+  if (!blackbox.empty()) {
+    if (!report.empty() || !critpath.empty() || !cli.Unknown().empty() ||
+        !cli.positionals().empty())
+      return Usage();
+    return BlackboxMode(blackbox);
+  }
+  if (!critpath.empty()) {
+    if (!report.empty() || !cli.Unknown().empty() ||
+        !cli.positionals().empty())
+      return Usage();
+    return CritPathFileMode(critpath);
   }
   if (report.empty() || !cli.Unknown().empty() || !cli.positionals().empty())
     return Usage();
