@@ -1,0 +1,187 @@
+// Chaos matrix: scripted multi-fault schedules (rank crashes, stragglers,
+// message-level drops) crossed with pfs transient faults, run against the
+// record-append PnetCDF lifecycle. Unlike the bandwidth benches, the
+// numbers recorded here are *invariants of the failure semantics*: the
+// agreed status every survivor returns, the survivor count, the ncverify
+// classification of the interrupted file, and the deterministic virtual
+// completion time. The committed baseline (bench/baselines/chaos.json)
+// freezes all of them at zero tolerance, so any change to failure
+// agreement, aggregator reassignment, or retry/backoff behavior that
+// shifts an outcome trips `ncbench --suite=chaos --check`.
+//
+// Determinism: cb_nodes=1 keeps file I/O single-writer (see the smoke
+// suite note in suites.cpp); crashes are scripted by op index or virtual
+// time, drops by send index, and stragglers are pure virtual-cost
+// multipliers — nothing depends on thread scheduling.
+//
+// Usage: chaos_matrix [--procs=4] [--hints=k=v,...]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "bench/registry.hpp"
+#include "pnetcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+#include "tools/verify.hpp"
+
+namespace {
+
+struct Schedule {
+  const char* name;
+  simmpi::RankFaultPolicy faults;   ///< rank-level faults
+  std::uint64_t transient_nth = 0;  ///< pfs: every nth I/O fails once
+};
+
+std::vector<Schedule> BuildSchedules() {
+  std::vector<Schedule> s;
+  s.push_back({"baseline", {}, 0});
+
+  Schedule crash1{"crash_rank1_op20", {}, 0};
+  crash1.faults.crashes.push_back({1, 20, -1.0});
+  s.push_back(crash1);
+
+  Schedule crash0{"crash_aggregator_late", {}, 0};
+  crash0.faults.crashes.push_back({0, simmpi::RankFaultPolicy::kNever, 1e12});
+  s.push_back(crash0);
+
+  Schedule strag{"straggler_rank2_x16", {}, 0};
+  strag.faults.stragglers.push_back({2, 16.0});
+  s.push_back(strag);
+
+  Schedule mixed{"crash_rank1_plus_transients", {}, 3};
+  mixed.faults.crashes.push_back({1, 25, -1.0});
+  s.push_back(mixed);
+
+  Schedule twofer{"double_crash_ranks1_3", {}, 0};
+  twofer.faults.crashes.push_back({1, 15, -1.0});
+  twofer.faults.crashes.push_back({3, 17, -1.0});
+  s.push_back(twofer);
+  return s;
+}
+
+struct Outcome {
+  int survivors = 0;
+  int close_status = 0;  ///< agreed raw status of Close on the survivors
+  int status_agree = 1;  ///< 1 iff every survivor returned the same status
+  int verify_state = -1;  ///< FileState as int; -1 = no file on disk
+  double vtime_us = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t straggled = 0;
+  std::uint64_t transients = 0;
+};
+
+Outcome RunOne(const Schedule& sched, int nprocs, const simmpi::Info& info) {
+  pfs::FileSystem fs;
+  if (sched.transient_nth != 0) {
+    pfs::FaultPolicy p;
+    p.transient_every_nth = sched.transient_nth;
+    fs.SetFaultPolicy(p);
+  }
+  std::vector<int> close_status(static_cast<std::size_t>(nprocs), 0);
+  const simmpi::RunResult run = simmpi::Run(
+      nprocs,
+      [&](simmpi::Comm& c) {
+        auto r = pnetcdf::Dataset::Create(c, fs, "chaos.nc", info);
+        if (!r.ok()) {
+          close_status[static_cast<std::size_t>(c.rank())] = r.status().raw();
+          return;
+        }
+        auto ds = std::move(r).value();
+        const auto time = ds.DefDim("time", pnetcdf::kUnlimited);
+        const auto x = ds.DefDim("x", 8);
+        const auto v =
+            ds.DefVar("r", ncformat::NcType::kInt, {time.value(), x.value()});
+        pnc::Status st = ds.EndDef();
+        // Everyone crosses any virtual-time crash deadline here so a timed
+        // death lands at the next collective entry, not mid-definition.
+        c.clock().AdvanceTo(2e12);
+        for (std::uint64_t rec = 0; rec < 2 && st.ok(); ++rec) {
+          const std::int32_t base =
+              static_cast<std::int32_t>(100 * rec + 10 * c.rank());
+          const std::vector<std::int32_t> mine = {base, base + 1};
+          const std::uint64_t start[] = {
+              rec, static_cast<std::uint64_t>(2 * c.rank())};
+          const std::uint64_t count[] = {1, 2};
+          st = ds.PutVaraAll<std::int32_t>(v.value(), start, count, mine);
+        }
+        close_status[static_cast<std::size_t>(c.rank())] = ds.Close().raw();
+      },
+      simmpi::CostModel{}, sched.faults);
+
+  Outcome out;
+  out.survivors = nprocs - static_cast<int>(run.crashed_ranks.size());
+  out.vtime_us = run.max_time_ns / 1000.0;
+  out.crashes = run.fault_counters.crashes;
+  out.straggled = run.fault_counters.straggled_sends;
+  out.transients = fs.stats().transient_faults;
+  bool first = true;
+  for (int r = 0; r < nprocs; ++r) {
+    bool dead = false;
+    for (int cr : run.crashed_ranks) dead = dead || cr == r;
+    if (dead) continue;
+    const int st = close_status[static_cast<std::size_t>(r)];
+    if (first) {
+      out.close_status = st;
+      first = false;
+    } else if (st != out.close_status) {
+      out.status_agree = 0;
+    }
+  }
+  if (fs.Exists("chaos.nc")) {
+    auto vr = nctools::VerifyFile(fs, "chaos.nc");
+    out.verify_state = vr.ok() ? static_cast<int>(vr.value().state) : -2;
+  }
+  return out;
+}
+
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  simmpi::Info info;
+  info.Set("cb_nodes", "1");  // single-writer determinism (see suites.cpp)
+  bench::ApplyHintOverrides(args, info);
+  const int nprocs = bench::ProcsList(args, {4})[0];
+
+  std::printf("Chaos matrix: rank-fault schedules x pfs transients, %d "
+              "ranks\n", nprocs);
+  std::printf("%-28s | %4s %6s %5s %6s | %7s %6s %5s | %12s\n", "schedule",
+              "surv", "close", "agree", "verify", "crashes", "strag",
+              "trans", "vtime(us)");
+  for (const Schedule& sched : BuildSchedules()) {
+    rec.BeginConfig();
+    const Outcome o = RunOne(sched, nprocs, info);
+    rec.EndConfig(bench::JsonObj()
+                      .Str("schedule", sched.name)
+                      .Int("nprocs", static_cast<std::uint64_t>(nprocs)),
+                  bench::JsonObj()
+                      .Int("survivors", static_cast<std::uint64_t>(o.survivors))
+                      .Num("close_status", o.close_status)
+                      .Int("status_agree",
+                           static_cast<std::uint64_t>(o.status_agree))
+                      .Num("verify_state", o.verify_state)
+                      .Num("vtime_us", o.vtime_us)
+                      .Int("crashes", o.crashes)
+                      .Int("straggled_sends", o.straggled)
+                      .Int("pfs_transients", o.transients));
+    std::printf("%-28s | %4d %6d %5d %6d | %7llu %6llu %5llu | %12.1f\n",
+                sched.name, o.survivors, o.close_status, o.status_agree,
+                o.verify_state, (unsigned long long)o.crashes,
+                (unsigned long long)o.straggled,
+                (unsigned long long)o.transients, o.vtime_us);
+    std::fflush(stdout);
+  }
+  std::printf("\nclose: agreed survivor status (0 ok, -1005 rank failed); "
+              "verify: 0 clean,\n1 torn-recoverable, 2 corrupt, -1 no file. "
+              "All columns are deterministic\ninvariants backed by "
+              "bench/baselines/chaos.json at zero tolerance.\n");
+  return 0;
+}
+
+const bench::BenchDef kBench{
+    "chaos_matrix",
+    "rank-fault schedules x pfs faults: failure-semantics invariants",
+    {"procs", "hints"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

@@ -38,6 +38,13 @@ std::vector<Suite> BuildSuites() {
            {"ablation_servers", {kDet}},
            {"ablation_nonblocking", {kDet}},
        }});
+  s.push_back(
+      {"chaos",
+       "rank-fault schedules x pfs faults: failure-semantics invariants "
+       "(backs bench/baselines/chaos.json)",
+       {
+           {"chaos_matrix", {"--procs=4", kDet}},
+       }});
   s.push_back({"fig6",
                "full Figure 6 serial-vs-parallel scalability sweep",
                {{"fig6_scalability", {}}}});

@@ -15,13 +15,15 @@
 #include "format/commit.hpp"
 #include "pfs/pfs.hpp"
 #include "simmpi/clock.hpp"
+#include "util/retry.hpp"
 
 namespace ncformat {
 
 class PfsCommitIo final : public CommitIo {
  public:
-  PfsCommitIo(pfs::File file, simmpi::VirtualClock* clock)
-      : file_(std::move(file)), clock_(clock) {}
+  PfsCommitIo(pfs::File file, simmpi::VirtualClock* clock, int rank = 0)
+      : file_(std::move(file)), clock_(clock),
+        retry_(pnc::util::ResolveRetryPolicy(rank)) {}
 
   pnc::Status Read(std::uint64_t offset, pnc::ByteSpan out) override {
     return RetryIo(/*is_write=*/false, offset, out.data(), out.size());
@@ -31,61 +33,33 @@ class PfsCommitIo final : public CommitIo {
                    const_cast<std::byte*>(data.data()), data.size());
   }
   pnc::Status Sync() override {
-    double backoff = kRetryBackoffNs;
-    for (int attempt = 0;; ++attempt) {
-      const pfs::IoResult r = file_.TrySync(clock_->now());
-      clock_->AdvanceTo(r.done_ns);
-      if (r.ok()) return pnc::Status::Ok();
-      if (r.status.code() != pnc::Err::kIoTransient || attempt >= kRetryMax)
-        return r.status;
-      file_.RecordRetry(/*is_write=*/true);
-      clock_->Advance(backoff);
-      backoff *= 2;
-    }
+    return pnc::util::RetrySyncWithBackoff(
+        retry_, *clock_, [&] { return file_.TrySync(clock_->now()); },
+        [&](int, double) { file_.RecordRetry(/*is_write=*/true); });
   }
   std::uint64_t Size() override { return file_.size(); }
 
  private:
-  static constexpr int kRetryMax = 4;
-  static constexpr double kRetryBackoffNs = 1e6;
-
   pnc::Status RetryIo(bool is_write, std::uint64_t offset, std::byte* data,
                       std::uint64_t len) {
-    if (len == 0) return pnc::Status::Ok();
-    std::uint64_t done = 0;
-    int attempt = 0;
-    double backoff = kRetryBackoffNs;
-    while (done < len) {
-      pfs::IoResult r =
-          is_write
-              ? file_.TryWrite(offset + done,
-                               pnc::ConstByteSpan(data + done, len - done),
-                               clock_->now())
-              : file_.TryRead(offset + done,
-                              pnc::ByteSpan(data + done, len - done),
-                              clock_->now());
-      clock_->AdvanceTo(r.done_ns);
-      if (r.ok()) {
-        if (r.transferred == 0 && len > done) {
-          // Defensive: a zero-byte success would loop forever.
-          return pnc::Status(pnc::Err::kIo, "no progress");
-        }
-        done += r.transferred;
-        attempt = 0;
-        continue;
-      }
-      if (r.status.code() != pnc::Err::kIoTransient || attempt >= kRetryMax)
-        return r.status;
-      ++attempt;
-      file_.RecordRetry(is_write);
-      clock_->Advance(backoff);
-      backoff *= 2;
-    }
-    return pnc::Status::Ok();
+    return pnc::util::RetryWithBackoff(
+        retry_, *clock_, len,
+        [&](std::uint64_t done) {
+          return is_write
+                     ? file_.TryWrite(
+                           offset + done,
+                           pnc::ConstByteSpan(data + done, len - done),
+                           clock_->now())
+                     : file_.TryRead(offset + done,
+                                     pnc::ByteSpan(data + done, len - done),
+                                     clock_->now());
+        },
+        [&](int, double) { file_.RecordRetry(is_write); });
   }
 
   pfs::File file_;
   simmpi::VirtualClock* clock_;
+  pnc::util::RetryPolicy retry_;  ///< defaults + PNC_RETRY_* env + jitter
 };
 
 }  // namespace ncformat

@@ -72,12 +72,17 @@ const char* EvName(Ev e) {
     case Ev::kPfsFault: return "pfs_fault";
     case Ev::kRetry: return "retry";
     case Ev::kIndep: return "indep";
+    case Ev::kRankCrash: return "rank_crash";
+    case Ev::kRankStraggle: return "rank_straggle";
+    case Ev::kMsgDrop: return "msg_drop";
+    case Ev::kAgreement: return "agreement";
   }
   return "unknown";
 }
 
 bool EvFromName(std::string_view name, Ev* out) {
-  for (std::uint16_t k = 1; k <= static_cast<std::uint16_t>(Ev::kIndep); ++k) {
+  for (std::uint16_t k = 1; k <= static_cast<std::uint16_t>(Ev::kAgreement);
+       ++k) {
     const Ev e = static_cast<Ev>(k);
     if (name == EvName(e)) {
       *out = e;

@@ -67,6 +67,12 @@ enum class Ev : std::uint16_t {
                   ///< detail="transient"/"permanent"/"crash"/"short"
   kRetry,         ///< transient-fault retry consumed: a0=is_write, a1=attempt
   kIndep,         ///< independent-path transfer: a0=bytes, a1=is_write
+  kRankCrash,     ///< rank died to an armed RankFaultPolicy: a0=op index;
+                  ///< req = the dead rank's last in-flight request ID
+  kRankStraggle,  ///< straggler-delayed send: a0=bytes, a1=dest world rank
+  kMsgDrop,       ///< send vanished in transit: a0=bytes, a1=dest world rank
+  kAgreement,     ///< fault-tolerant agreement round done: d=wait ns,
+                  ///< a0=survivor count, a1=any_dead
 };
 
 /// Stable wire name for an event kind (e.g. "pfs_server").

@@ -36,14 +36,33 @@ pnc::Result<File> File::Open(simmpi::Comm comm, pfs::FileSystem& fs,
       err = r.status().raw();
     }
   }
-  comm.BcastValue(err, 0);
+  if (comm.FaultsArmed()) {
+    // Error codes are negative, so a min-fold agreement with non-roots
+    // contributing 0 doubles as a fault-tolerant broadcast of rank 0's
+    // verdict. A comm with a dead member cannot produce a coherent
+    // collective handle — callers reopen on a LiveSubsetFT comm instead.
+    if (comm.SelfDead())
+      return pnc::Status(pnc::Err::kRankFailed, "this rank crashed");
+    const simmpi::AgreeOutcome o = comm.AgreeFT(err);
+    if (o.any_dead)
+      return pnc::Status(pnc::Err::kRankFailed, "a peer rank crashed");
+    err = static_cast<int>(o.min_value);
+  } else {
+    comm.BcastValue(err, 0);
+  }
   if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), path);
   if (comm.rank() != 0) {
     auto r = fs.Open(path);
     if (!r.ok()) return r.status();
     handle = std::move(r).value();
   }
-  comm.Barrier();
+  if (comm.FaultsArmed()) {
+    const simmpi::AgreeOutcome o = comm.AgreeFT(0);
+    if (o.any_dead)
+      return pnc::Status(pnc::Err::kRankFailed, "a peer rank crashed");
+  } else {
+    comm.Barrier();
+  }
 
   File f;
   f.impl_ = std::make_shared<Impl>(std::move(comm), &fs, std::move(*handle),
@@ -55,7 +74,13 @@ pnc::Status File::SetView(std::uint64_t disp, const simmpi::Datatype& etype,
                           const simmpi::Datatype& filetype) {
   if (!impl_ || !impl_->open) return pnc::Status(pnc::Err::kBadId, "set_view");
   impl_->view = FileView(disp, etype, filetype);
-  impl_->comm.Barrier();
+  if (impl_->comm.FaultsArmed()) {
+    const simmpi::AgreeOutcome o = impl_->comm.AgreeFT(0);
+    if (o.any_dead)
+      return pnc::Status(pnc::Err::kRankFailed, "a peer rank crashed");
+  } else {
+    impl_->comm.Barrier();
+  }
   return pnc::Status::Ok();
 }
 
@@ -105,6 +130,16 @@ pnc::Status File::Sync() {
   // of the request count, which is what lets single-writer benchmark
   // configurations produce byte-identical virtual-time results run to run
   // (see bench/suites.cpp).
+  if (impl_->comm.FaultsArmed()) {
+    // The agreement rounds double as the rendezvous: each synchronizes
+    // survivor clocks to the latest arrival, and a death at any point turns
+    // into kRankFailed on every survivor instead of a hang. Survivors still
+    // flush their own data first.
+    if (impl_->comm.SelfDead())
+      return pnc::Status(pnc::Err::kRankFailed, "this rank crashed");
+    (void)impl_->comm.AgreeFT(0);
+    return AgreeStatus(impl_->comm, impl_->RetrySync());
+  }
   impl_->comm.SyncClocksToMax();
   pnc::Status st = impl_->RetrySync();
   st = AgreeStatus(impl_->comm, st);
@@ -120,7 +155,13 @@ pnc::Status File::SyncLocal() {
 pnc::Status File::SetSize(std::uint64_t size) {
   if (!impl_ || !impl_->open) return pnc::Status(pnc::Err::kBadId, "set_size");
   if (impl_->comm.rank() == 0) impl_->file.Truncate(size);
-  impl_->comm.Barrier();
+  if (impl_->comm.FaultsArmed()) {
+    const simmpi::AgreeOutcome o = impl_->comm.AgreeFT(0);
+    if (o.any_dead)
+      return pnc::Status(pnc::Err::kRankFailed, "a peer rank crashed");
+  } else {
+    impl_->comm.Barrier();
+  }
   return pnc::Status::Ok();
 }
 
@@ -131,6 +172,18 @@ pnc::Result<std::uint64_t> File::GetSize() const {
 
 pnc::Status File::Close() {
   if (!impl_ || !impl_->open) return pnc::Status(pnc::Err::kBadId, "close");
+  if (impl_->comm.FaultsArmed()) {
+    // Survivors rendezvous through the agreement monitor (a dead member can
+    // never arrive at a Barrier) and close their handles regardless of the
+    // outcome; the status reports whether the group was whole.
+    impl_->open = false;
+    if (impl_->comm.SelfDead())
+      return pnc::Status(pnc::Err::kRankFailed, "this rank crashed");
+    const simmpi::AgreeOutcome o = impl_->comm.AgreeFT(0);
+    return o.any_dead
+               ? pnc::Status(pnc::Err::kRankFailed, "a peer rank crashed")
+               : pnc::Status::Ok();
+  }
   impl_->comm.Barrier();
   impl_->open = false;
   return pnc::Status::Ok();
@@ -144,65 +197,58 @@ simmpi::Comm& File::comm() { return impl_->comm; }
 pnc::Status File::Impl::RetryIo(bool is_write, std::uint64_t off,
                                 std::byte* data, std::uint64_t len) {
   auto& clk = comm.clock();
-  std::uint64_t done = 0;
-  int attempts = 0;
-  double backoff = hints.retry_backoff_ns;
-  while (done < len) {
-    const pfs::IoResult r =
-        is_write
-            ? file.TryWrite(off + done,
-                            pnc::ConstByteSpan(data + done, len - done),
-                            clk.now())
-            : file.TryRead(off + done, pnc::ByteSpan(data + done, len - done),
-                           clk.now());
-    clk.AdvanceTo(r.done_ns);
-    if (r.ok()) {
-      if (is_write)
-        PNC_IOSTAT_ADD(kMpiioBytesWritten, r.transferred);
-      else
-        PNC_IOSTAT_ADD(kMpiioBytesRead, r.transferred);
-      // Short transfers resume from the transferred count (POSIX semantics);
-      // they do not consume the retry budget because progress was made.
-      done += r.transferred;
-      continue;
-    }
-    if (r.status.code() == pnc::Err::kIoTransient) {
-      if (attempts >= hints.retry_max)
-        return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
-      ++attempts;
-      PNC_IOSTAT_ADD(kMpiioRetries, 1);
-      PNC_IOSTAT_EVENT(kRetry, clk.now(), backoff, is_write, attempts,
-                       nullptr);
-      file.RecordRetry(is_write);
-      clk.Advance(backoff);
-      backoff *= 2;
-      continue;
-    }
-    return r.status;  // permanent: no retry helps
-  }
-  return pnc::Status::Ok();
+  return pnc::util::RetryWithBackoff(
+      retry, clk, len,
+      [&](std::uint64_t done) {
+        const pfs::IoResult r =
+            is_write
+                ? file.TryWrite(off + done,
+                                pnc::ConstByteSpan(data + done, len - done),
+                                clk.now())
+                : file.TryRead(off + done,
+                               pnc::ByteSpan(data + done, len - done),
+                               clk.now());
+        if (r.ok()) {
+          if (is_write)
+            PNC_IOSTAT_ADD(kMpiioBytesWritten, r.transferred);
+          else
+            PNC_IOSTAT_ADD(kMpiioBytesRead, r.transferred);
+        }
+        return r;
+      },
+      [&](int attempt, double backoff) {
+        PNC_IOSTAT_ADD(kMpiioRetries, 1);
+        PNC_IOSTAT_EVENT(kRetry, clk.now(), backoff, is_write, attempt,
+                         nullptr);
+        file.RecordRetry(is_write);
+      });
 }
 
 pnc::Status File::Impl::RetrySync() {
   auto& clk = comm.clock();
-  int attempts = 0;
-  double backoff = hints.retry_backoff_ns;
-  for (;;) {
-    const pfs::IoResult r = file.TrySync(clk.now());
-    clk.AdvanceTo(r.done_ns);
-    if (r.ok()) return pnc::Status::Ok();
-    if (r.status.code() != pnc::Err::kIoTransient) return r.status;
-    if (attempts >= hints.retry_max)
-      return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
-    ++attempts;
-    PNC_IOSTAT_EVENT(kRetry, clk.now(), backoff, 1, attempts, nullptr);
-    file.RecordRetry(/*is_write=*/true);
-    clk.Advance(backoff);
-    backoff *= 2;
-  }
+  return pnc::util::RetrySyncWithBackoff(
+      retry, clk, [&] { return file.TrySync(clk.now()); },
+      [&](int attempt, double backoff) {
+        PNC_IOSTAT_EVENT(kRetry, clk.now(), backoff, 1, attempt, nullptr);
+        file.RecordRetry(/*is_write=*/true);
+      });
 }
 
 pnc::Status AgreeStatus(simmpi::Comm& comm, const pnc::Status& local) {
+  if (comm.FaultsArmed()) {
+    // Full failure agreement: the fold and the survivor set come from one
+    // agreement round, so every survivor returns the identical status and a
+    // peer's death outranks any I/O error.
+    if (comm.SelfDead())
+      return pnc::Status(pnc::Err::kRankFailed, "this rank crashed");
+    const simmpi::AgreeOutcome o = comm.AgreeFT(local.raw());
+    if (o.any_dead)
+      return pnc::Status(pnc::Err::kRankFailed, "a peer rank crashed");
+    if (o.min_value == 0) return pnc::Status::Ok();
+    if (local.raw() == o.min_value) return local;
+    return pnc::Status(static_cast<pnc::Err>(o.min_value),
+                       "I/O failed on a peer rank");
+  }
   int agreed = comm.AllreduceMin(local.raw());
   if (agreed == 0) return pnc::Status::Ok();
   if (local.raw() == agreed) return local;

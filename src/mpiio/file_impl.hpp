@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "mpiio/file.hpp"
+#include "util/retry.hpp"
 
 namespace mpiio {
 
@@ -11,13 +12,16 @@ struct File::Impl {
   Impl(simmpi::Comm c, pfs::FileSystem* filesystem, pfs::File f, unsigned m,
        Hints h)
       : comm(std::move(c)), fs(filesystem), file(std::move(f)), mode(m),
-        hints(h) {}
+        hints(h),
+        retry(pnc::util::ResolveRetryPolicy(comm.rank(), h.retry_max,
+                                            h.retry_backoff_ns)) {}
 
   simmpi::Comm comm;
   pfs::FileSystem* fs;
   pfs::File file;
   unsigned mode;
   Hints hints;
+  pnc::util::RetryPolicy retry;  ///< hints + env + per-rank jitter
   FileView view;
   bool open = true;
 

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <limits>
 
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
@@ -23,6 +24,40 @@
 namespace mpiio {
 
 namespace {
+
+// User-space tag block for the fault-tolerant exchange, kept far above any
+// tag application code plausibly uses on the same communicator. Each window
+// round uses two tags (requests, read replies) so a rank racing one round
+// ahead can never match a peer's still-pending receive.
+constexpr int kFtTagBase = 1 << 24;
+int FtTag(std::uint64_t w, int phase) {
+  return kFtTagBase + static_cast<int>(w) * 2 + phase;
+}
+
+/// Fault-tolerant personalized all-to-all: every live rank posts all its
+/// sends before draining any receive (buffered sends make that legal), so a
+/// rank dying mid-collective only leaves holes — observed via RecvFT — and
+/// never a live peer blocked on a live peer. Returns false when any peer
+/// died; the dead peers' slots in `out` are left empty.
+bool AlltoallFT(simmpi::Comm& c, std::vector<std::vector<std::byte>> send,
+                int tag, std::vector<std::vector<std::byte>>& out) {
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
+  const int p = c.size();
+  const int rank = c.rank();
+  out.assign(static_cast<std::size_t>(p), {});
+  out[static_cast<std::size_t>(rank)] =
+      std::move(send[static_cast<std::size_t>(rank)]);
+  for (int i = 1; i < p; ++i) {
+    const int dst = (rank + i) % p;
+    c.Send(dst, tag, send[static_cast<std::size_t>(dst)]);
+  }
+  bool ok = true;
+  for (int i = 1; i < p; ++i) {
+    const int src = (rank - i + p) % p;
+    ok = c.RecvFT(src, tag, out[static_cast<std::size_t>(src)]) && ok;
+  }
+  return ok;
+}
 
 /// One rank's portion of a collective, split by aggregator domain: for each
 /// domain, the half-open range of `segs` indices plus the packed-data offset
@@ -148,12 +183,59 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
     data = staging.data();
   }
 
+  // --- rank-fault tolerance (armed chaos runs only) ---
+  // The exchange itself runs on `work`: normally an alias of the caller's
+  // comm, but under an armed policy the agreed survivor subset. Aggregator
+  // duties of a rank that died before the collective are reassigned simply
+  // because the domain mapping below is computed over `work` — the fallback
+  // aggregator is deterministic (same formula, smaller comm). A death
+  // *during* the collective surfaces through the FT exchange/agreement and
+  // turns into kRankFailed on every survivor; either way, nobody hangs.
+  const bool ft = comm.FaultsArmed();
+  simmpi::Comm work = comm;
+  bool degraded = false;  ///< a death was observed before the window loop
+  if (ft) {
+    if (comm.SelfDead())
+      return pnc::Status(pnc::Err::kRankFailed, "this rank crashed");
+    const simmpi::AgreeOutcome entry = comm.AgreeFT(0);
+    if (entry.any_dead) work = comm.LiveSubsetFT(entry);
+  }
+  const int wp = work.size();
+
   // Global extent of the collective.
   const std::uint64_t my_min = segs.empty() ? ~0ULL : segs.front().offset;
   const std::uint64_t my_max = segs.empty() ? 0 : segs.back().end();
-  const std::uint64_t gmin = comm.AllreduceMin(my_min);
-  const std::uint64_t gmax = comm.AllreduceMax(my_max);
+  std::uint64_t gmin, gmax;
+  if (ft) {
+    // Min/max via the agreement monitor (an allreduce would abort if a
+    // participant died mid-round). Empty ranks contribute the identity.
+    constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+    const simmpi::AgreeOutcome rmin = work.AgreeFT(
+        my_min == ~0ULL ? kI64Max : static_cast<std::int64_t>(my_min));
+    const simmpi::AgreeOutcome rmax =
+        work.AgreeFT(-static_cast<std::int64_t>(my_max));
+    degraded = rmin.any_dead || rmax.any_dead;
+    gmin = rmin.min_value == kI64Max ? ~0ULL
+                                     : static_cast<std::uint64_t>(rmin.min_value);
+    gmax = static_cast<std::uint64_t>(-rmax.min_value);
+  } else {
+    gmin = comm.AllreduceMin(my_min);
+    gmax = comm.AllreduceMax(my_max);
+  }
+  if (degraded) {
+    // The group shrank while setting up; skip the transfer and agree on the
+    // failure so every survivor returns the identical status.
+    const pnc::Status st = AgreeStatus(comm, pnc::Status::Ok());
+    PNC_IOSTAT_EVENT(kCollEnd, clk.now(), 0, 0, is_write, nullptr);
+    return st;
+  }
   if (gmin >= gmax) {  // nothing to do anywhere
+    if (ft) {
+      const pnc::Status st = AgreeStatus(comm, pnc::Status::Ok());
+      PNC_IOSTAT_EVENT(kCollEnd, clk.now(), 0, st.ok() ? 1 : 0, is_write,
+                       nullptr);
+      return st;
+    }
     comm.SyncClocksToMax();
     PNC_IOSTAT_EVENT(kCollEnd, clk.now(), 0, 1, is_write, nullptr);
     return pnc::Status::Ok();
@@ -163,19 +245,20 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
   // stripe boundaries so two aggregators never touch one stripe and every
   // interior window write is stripe-aligned (ROMIO aligns its domains to
   // file system lock/block boundaries for exactly this reason).
-  const auto naggs = static_cast<std::size_t>(im.hints.cb_nodes);
+  const auto naggs = std::min(static_cast<std::size_t>(im.hints.cb_nodes),
+                              static_cast<std::size_t>(wp));
   const std::uint64_t stripe = im.fs->config().stripe_size;
   const std::uint64_t gmin_aligned = gmin / stripe * stripe;
   std::uint64_t domain_size =
       DivCeil(DivCeil(gmax - gmin_aligned, naggs), stripe) * stripe;
   domain_size = std::max(domain_size, stripe);
-  // Aggregators are spread across the communicator.
+  // Aggregators are spread across the (surviving) communicator.
   auto agg_rank = [&](std::size_t d) {
-    return static_cast<int>(d * static_cast<std::size_t>(p) / naggs);
+    return static_cast<int>(d * static_cast<std::size_t>(wp) / naggs);
   };
   std::size_t my_domain = naggs;  // "not an aggregator"
   for (std::size_t d = 0; d < naggs; ++d)
-    if (agg_rank(d) == comm.rank()) my_domain = d;
+    if (agg_rank(d) == work.rank()) my_domain = d;
 
   const DomainSlices ds = SplitByDomain(segs, gmin_aligned, domain_size, naggs);
 
@@ -212,7 +295,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
     // then the bytes (writes only; for reads the extents alone form the
     // request).
     std::vector<std::vector<std::byte>> sendbufs(
-        static_cast<std::size_t>(p));
+        static_cast<std::size_t>(wp));
     // For reads: where in the packed buffer this round's slice of each
     // domain starts (the reply from the aggregator lands there verbatim,
     // because extents are requested in packed-data order).
@@ -263,13 +346,20 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
       }
     }
 
-    for (int r = 0; r < p; ++r) {
-      if (r != comm.rank() && !sendbufs[static_cast<std::size_t>(r)].empty()) {
+    for (int r = 0; r < wp; ++r) {
+      if (r != work.rank() && !sendbufs[static_cast<std::size_t>(r)].empty()) {
         PNC_IOSTAT_ADD(kMpiioExchangeMsgs, 1);
         PNC_IOSTAT_EVENT(kXchgSend, exchange_start, 0, w, r, nullptr);
       }
     }
-    auto recvbufs = comm.Alltoall(std::move(sendbufs));
+    std::vector<std::vector<std::byte>> recvbufs;
+    if (ft) {
+      if (!AlltoallFT(work, std::move(sendbufs), FtTag(w, 0), recvbufs) &&
+          st.ok())
+        st = pnc::Status(pnc::Err::kRankFailed, "a peer rank crashed");
+    } else {
+      recvbufs = comm.Alltoall(std::move(sendbufs));
+    }
     PNC_IOSTAT_ADD(kMpiioExchangeNs, clk.now() - exchange_start);
     PNC_IOSTAT_SPAN("mpiio", "exchange", exchange_start, clk.now());
     PNC_IOSTAT_EVENT(kXchgEnd, clk.now(), 0, w, 0, nullptr);
@@ -277,15 +367,15 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
     PNC_IOSTAT_EVENT(kIoBegin, io_start, 0, w, 0, nullptr);
 
     // ---- aggregator services its window ----
-    std::vector<std::vector<std::byte>> replies(static_cast<std::size_t>(p));
+    std::vector<std::vector<std::byte>> replies(static_cast<std::size_t>(wp));
     if (my_domain < naggs) {
       const std::uint64_t dom_start = gmin_aligned + my_domain * domain_size;
       const std::uint64_t dom_end = std::min(gmax, dom_start + domain_size);
       const std::uint64_t w0 = dom_start + w * cb;
       if (w0 < dom_end) {
         std::vector<Piece> pieces;
-        std::vector<std::uint64_t> reply_bytes(static_cast<std::size_t>(p), 0);
-        for (int r = 0; r < p; ++r) {
+        std::vector<std::uint64_t> reply_bytes(static_cast<std::size_t>(wp), 0);
+        for (int r = 0; r < wp; ++r) {
           const auto& msg = recvbufs[static_cast<std::size_t>(r)];
           if (msg.empty()) continue;
           std::uint64_t src_req = 0;
@@ -348,7 +438,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
             // Replies are always sized to what each requester expects, even
             // on failure (zero-filled), so the return Alltoall stays aligned
             // and the error is reported via status agreement, not a hang.
-            for (int r = 0; r < p; ++r)
+            for (int r = 0; r < wp; ++r)
               replies[static_cast<std::size_t>(r)].assign(
                   reply_bytes[static_cast<std::size_t>(r)], std::byte{0});
             pnc::Status rst;
@@ -380,7 +470,14 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
     if (!is_write) {
       const double reply_start = clk.now();
       PNC_IOSTAT_EVENT(kXchgBegin, reply_start, 0, w, 0, nullptr);
-      auto returned = comm.Alltoall(std::move(replies));
+      std::vector<std::vector<std::byte>> returned;
+      if (ft) {
+        if (!AlltoallFT(work, std::move(replies), FtTag(w, 1), returned) &&
+            st.ok())
+          st = pnc::Status(pnc::Err::kRankFailed, "a peer rank crashed");
+      } else {
+        returned = comm.Alltoall(std::move(replies));
+      }
       for (std::size_t d = 0; d < naggs; ++d) {
         if (round_data_len[d] == 0) continue;
         const auto& blob = returned[static_cast<std::size_t>(agg_rank(d))];
@@ -415,7 +512,9 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
     memtype.Unpack(staging.data(), count, static_cast<std::byte*>(buf));
     clk.Advance(cost.CopyCost(bytes));
   }
-  comm.SyncClocksToMax();
+  // Under FT the final agreement already synchronized survivor clocks; an
+  // allreduce here would abort if a participant died mid-collective.
+  if (!ft) comm.SyncClocksToMax();
   PNC_IOSTAT_EVENT(kCollEnd, clk.now(), 0, st.ok() ? 1 : 0, is_write,
                    nullptr);
   return st;

@@ -9,6 +9,7 @@ BufferedFile::BufferedFile(pfs::File file, simmpi::VirtualClock* clock,
                            std::uint64_t buffer_size, double copy_ns_per_byte)
     : file_(std::move(file)),
       clock_(clock),
+      retry_(pnc::util::ResolveRetryPolicy(/*rank=*/0)),
       bufsize_(std::max<std::uint64_t>(buffer_size, 4096)),
       copy_ns_per_byte_(copy_ns_per_byte) {
   block_.resize(bufsize_);
@@ -16,35 +17,19 @@ BufferedFile::BufferedFile(pfs::File file, simmpi::VirtualClock* clock,
 
 pnc::Status BufferedFile::RetryIo(bool is_write, std::uint64_t offset,
                                   std::byte* data, std::uint64_t len) {
-  std::uint64_t done = 0;
-  int attempts = 0;
-  double backoff = kRetryBackoffNs;
-  while (done < len) {
-    const pfs::IoResult r =
-        is_write
-            ? file_.TryWrite(offset + done,
-                             pnc::ConstByteSpan(data + done, len - done),
-                             clock_->now())
-            : file_.TryRead(offset + done,
-                            pnc::ByteSpan(data + done, len - done),
-                            clock_->now());
-    clock_->AdvanceTo(r.done_ns);
-    if (r.ok()) {
-      done += r.transferred;  // short transfers resume from the count
-      continue;
-    }
-    if (r.status.code() == pnc::Err::kIoTransient) {
-      if (attempts >= kRetryMax)
-        return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
-      ++attempts;
-      file_.RecordRetry(is_write);
-      clock_->Advance(backoff);
-      backoff *= 2;
-      continue;
-    }
-    return r.status;  // permanent
-  }
-  return pnc::Status::Ok();
+  return pnc::util::RetryWithBackoff(
+      retry_, *clock_, len,
+      [&](std::uint64_t done) {
+        return is_write
+                   ? file_.TryWrite(
+                         offset + done,
+                         pnc::ConstByteSpan(data + done, len - done),
+                         clock_->now())
+                   : file_.TryRead(offset + done,
+                                   pnc::ByteSpan(data + done, len - done),
+                                   clock_->now());
+      },
+      [&](int, double) { file_.RecordRetry(is_write); });
 }
 
 pnc::Status BufferedFile::LoadBlock(std::uint64_t block_start) {
@@ -151,20 +136,9 @@ pnc::Status BufferedFile::Truncate(std::uint64_t n) {
 
 pnc::Status BufferedFile::Sync() {
   PNC_RETURN_IF_ERROR(Flush());
-  int attempts = 0;
-  double backoff = kRetryBackoffNs;
-  for (;;) {
-    const pfs::IoResult r = file_.TrySync(clock_->now());
-    clock_->AdvanceTo(r.done_ns);
-    if (r.ok()) return pnc::Status::Ok();
-    if (r.status.code() != pnc::Err::kIoTransient) return r.status;
-    if (attempts >= kRetryMax)
-      return pnc::Status(pnc::Err::kIo, "transient I/O retries exhausted");
-    ++attempts;
-    file_.RecordRetry(/*is_write=*/true);
-    clock_->Advance(backoff);
-    backoff *= 2;
-  }
+  return pnc::util::RetrySyncWithBackoff(
+      retry_, *clock_, [&] { return file_.TrySync(clock_->now()); },
+      [&](int, double) { file_.RecordRetry(/*is_write=*/true); });
 }
 
 }  // namespace netcdf

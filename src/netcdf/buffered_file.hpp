@@ -21,6 +21,7 @@
 #include "pfs/pfs.hpp"
 #include "simmpi/clock.hpp"
 #include "util/bytes.hpp"
+#include "util/retry.hpp"
 #include "util/status.hpp"
 
 namespace netcdf {
@@ -42,9 +43,6 @@ class BufferedFile {
   [[nodiscard]] pnc::Status Sync();
 
  private:
-  static constexpr int kRetryMax = 4;
-  static constexpr double kRetryBackoffNs = 1e6;
-
   pnc::Status LoadBlock(std::uint64_t block_start);
   /// Bounded retry over the fault-injected pfs path (see mpiio's RetryIo;
   /// the serial library applies the same policy without MPI hints).
@@ -53,6 +51,7 @@ class BufferedFile {
 
   pfs::File file_;
   simmpi::VirtualClock* clock_;
+  pnc::util::RetryPolicy retry_;  ///< defaults + PNC_RETRY_* env (rank 0)
   std::uint64_t bufsize_;
   double copy_ns_per_byte_;
 

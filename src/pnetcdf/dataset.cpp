@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "format/commit.hpp"
 #include "format/commit_pfs.hpp"
@@ -42,6 +43,13 @@ struct Dataset::Impl {
   bool journaled = false;
   std::optional<ncformat::PfsCommitIo> journal;
   std::optional<ncformat::CommitState> commit;
+
+  // Sticky degradation under an armed rank-fault schedule: once any
+  // collective on this dataset observed a peer death, further data-mode
+  // calls refuse with kRankFailed and Close skips the collective numrecs
+  // commit (the journal keeps the last committed header legal). Survivors
+  // shrink the communicator (Comm::AgreeFT + LiveSubsetFT) and reopen.
+  bool rank_failed = false;
 };
 
 namespace {
@@ -50,6 +58,90 @@ std::vector<std::byte> EncodeHeader(const Header& h) {
   std::vector<std::byte> bytes;
   h.Encode(bytes);
   return bytes;
+}
+
+// ---------------------------------------------- rank-fault tolerance
+// Taken only when a rank-fault schedule is armed on the communicator: the
+// raw collectives (bcast/barrier/allreduce) abort on contact with a dead
+// peer, while the agreement protocol completes on the survivors and turns
+// the death into an agreed kRankFailed.
+
+constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+
+/// User-tag window for the FT header broadcast, disjoint from the mpiio
+/// two-phase exchange tags (which live under 1 << 24).
+constexpr int kFtHeaderTag = 1 << 25;
+
+/// One fault-tolerant agreement round folding the minimum of `v` over the
+/// live ranks. A detected death marks the dataset degraded.
+pnc::Status FtAgreeMin(Dataset::Impl& im, std::int64_t v, std::int64_t* out) {
+  if (im.comm.SelfDead())
+    return pnc::Status(pnc::Err::kRankFailed, "this rank crashed");
+  const simmpi::AgreeOutcome o = im.comm.AgreeFT(v);
+  if (out) *out = o.min_value;
+  if (o.any_dead) {
+    im.rank_failed = true;
+    return pnc::Status(pnc::Err::kRankFailed, "a peer rank crashed");
+  }
+  return pnc::Status::Ok();
+}
+
+pnc::Status FtBarrier(Dataset::Impl& im) { return FtAgreeMin(im, 0, nullptr); }
+
+/// Root-broadcast substitute for scalars: peers contribute the +inf
+/// sentinel, so the min-fold delivers the root's value verbatim.
+pnc::Status FtRootValue(Dataset::Impl& im, std::int64_t root_v,
+                        std::int64_t* out) {
+  return FtAgreeMin(im, im.comm.rank() == 0 ? root_v : kI64Max, out);
+}
+
+/// Max-fold via the negated min-fold.
+pnc::Status FtAgreeMax(Dataset::Impl& im, std::int64_t v, std::int64_t* out) {
+  std::int64_t neg = 0;
+  const pnc::Status st = FtAgreeMin(im, -v, &neg);
+  if (out) *out = -neg;
+  return st;
+}
+
+/// Root-broadcast of a byte buffer: plain sends from the root (a send to a
+/// dead destination is dropped, never blocks), fault-tolerant receives
+/// elsewhere, then an agreement so a mid-broadcast root death surfaces as
+/// kRankFailed on every survivor instead of an abort.
+pnc::Status FtBcastBytes(Dataset::Impl& im, std::vector<std::byte>& bytes) {
+  std::int64_t ok = 1;
+  if (im.comm.rank() == 0) {
+    for (int r = 1; r < im.comm.size(); ++r)
+      im.comm.Send(r, kFtHeaderTag,
+                   pnc::ConstByteSpan(bytes.data(), bytes.size()));
+  } else if (!im.comm.RecvFT(0, kFtHeaderTag, bytes)) {
+    ok = 0;
+  }
+  std::int64_t all_ok = 0;
+  PNC_RETURN_IF_ERROR(FtAgreeMin(im, ok, &all_ok));
+  if (all_ok == 0) {
+    im.rank_failed = true;
+    return pnc::Status(pnc::Err::kRankFailed, "root died mid-broadcast");
+  }
+  return pnc::Status::Ok();
+}
+
+/// 64-bit FNV-1a over a header image, for agreeing on definition-phase
+/// results without shipping the bytes. Shifted into the non-negative range
+/// so the min/max agreement folds never negate INT64_MIN.
+std::int64_t HashBytes(const std::vector<std::byte>& b) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::byte c : b) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::int64_t>(h >> 1);
+}
+
+/// Sticky degradation for statuses coming back from the mpiio layer's own
+/// failure agreement (two-phase, Sync, SetView...).
+pnc::Status Track(Dataset::Impl& im, pnc::Status st) {
+  if (st.code() == pnc::Err::kRankFailed) im.rank_failed = true;
+  return st;
 }
 
 }  // namespace
@@ -90,11 +182,21 @@ pnc::Result<Dataset> Dataset::Create(simmpi::Comm comm, pfs::FileSystem& fs,
       jerr = ncformat::FormatJournal(*im.journal).raw();
     }
   }
-  im.comm.BcastValue(jerr, 0);
+  if (im.comm.FaultsArmed()) {
+    std::int64_t agreed = 0;
+    PNC_RETURN_IF_ERROR(FtRootValue(im, jerr, &agreed));
+    jerr = static_cast<int>(agreed);
+  } else {
+    im.comm.BcastValue(jerr, 0);
+  }
   if (jerr != 0)
     return pnc::Status(static_cast<pnc::Err>(jerr), "commit journal create");
   im.journaled = true;
-  im.comm.Barrier();
+  if (im.comm.FaultsArmed()) {
+    PNC_RETURN_IF_ERROR(FtBarrier(im));
+  } else {
+    im.comm.Barrier();
+  }
   return ds;
 }
 
@@ -150,9 +252,18 @@ pnc::Result<Dataset> Dataset::Open(simmpi::Comm comm, pfs::FileSystem& fs,
     }
     err = rst.raw();
   }
-  im.comm.BcastValue(err, 0);
-  if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), path);
-  im.comm.BcastValue(journaled, 0);
+  if (im.comm.FaultsArmed()) {
+    std::int64_t v = 0;
+    PNC_RETURN_IF_ERROR(FtRootValue(im, err, &v));
+    err = static_cast<int>(v);
+    if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), path);
+    PNC_RETURN_IF_ERROR(FtRootValue(im, journaled, &v));
+    journaled = static_cast<int>(v);
+  } else {
+    im.comm.BcastValue(err, 0);
+    if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), path);
+    im.comm.BcastValue(journaled, 0);
+  }
   im.journaled = journaled != 0;
 
   // §4.2.1: the root process fetches the file header and broadcasts it; all
@@ -193,9 +304,17 @@ pnc::Result<Dataset> Dataset::Open(simmpi::Comm comm, pfs::FileSystem& fs,
       try_size *= 4;
     }
   }
-  im.comm.BcastValue(err, 0);
-  if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), path);
-  im.comm.Bcast(bytes, 0);
+  if (im.comm.FaultsArmed()) {
+    std::int64_t v = 0;
+    PNC_RETURN_IF_ERROR(FtRootValue(im, err, &v));
+    err = static_cast<int>(v);
+    if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), path);
+    PNC_RETURN_IF_ERROR(FtBcastBytes(im, bytes));
+  } else {
+    im.comm.BcastValue(err, 0);
+    if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), path);
+    im.comm.Bcast(bytes, 0);
+  }
   if (im.comm.rank() != 0) {
     auto hdr = Header::Decode(bytes);
     if (!hdr.ok()) return hdr.status();
@@ -215,6 +334,7 @@ pnc::Status Dataset::Redef() {
   im.pre_redef = im.header;
   im.defining = true;
   PNC_IOSTAT_ADD(kNcModeSwitches, 1);
+  if (im.comm.FaultsArmed()) return FtBarrier(im);
   im.comm.Barrier();
   return pnc::Status::Ok();
 }
@@ -229,7 +349,7 @@ pnc::Status Dataset::WriteHeaderCollective() {
   // the header that makes it reachable commits. The collective sync also
   // upholds the journal invariant that the primary from the previous commit
   // is durable before its shadow is overwritten.
-  if (im.journaled) PNC_RETURN_IF_ERROR(im.file.Sync());
+  if (im.journaled) PNC_RETURN_IF_ERROR(Track(im, im.file.Sync()));
   // Rank 0 writes; its status is broadcast so every rank returns the same
   // result (and nobody blocks in a barrier a failed root never reaches).
   int err = 0;
@@ -253,6 +373,14 @@ pnc::Status Dataset::WriteHeaderCollective() {
     }
     if (st.ok()) PNC_IOSTAT_ADD(kNcHeaderBytesWritten, bytes.size());
     err = st.raw();
+  }
+  if (im.comm.FaultsArmed()) {
+    std::int64_t v = 0;
+    PNC_RETURN_IF_ERROR(FtRootValue(im, err, &v));
+    err = static_cast<int>(v);
+    if (err != 0)
+      return pnc::Status(static_cast<pnc::Err>(err), "header write failed");
+    return FtBarrier(im);
   }
   im.comm.BcastValue(err, 0);
   if (err != 0)
@@ -280,8 +408,18 @@ pnc::Status Dataset::EndDef() {
   // §4.2.1: all define mode functions are collective and require identical
   // arguments on every process; verify before committing anything to disk.
   auto bytes = EncodeHeader(im.header);
-  if (!im.comm.AllAgree(bytes))
+  if (im.comm.FaultsArmed()) {
+    // Agree on the image's hash instead of shipping it: identical headers
+    // iff the min and max of the hash coincide across the live ranks.
+    const std::int64_t h = HashBytes(bytes);
+    std::int64_t mn = 0, mx = 0;
+    PNC_RETURN_IF_ERROR(FtAgreeMin(im, h, &mn));
+    PNC_RETURN_IF_ERROR(FtAgreeMax(im, h, &mx));
+    if (mn != mx)
+      return pnc::Status(pnc::Err::kMultiDefine, "EndDef header mismatch");
+  } else if (!im.comm.AllAgree(bytes)) {
     return pnc::Status(pnc::Err::kMultiDefine, "EndDef header mismatch");
+  }
 
   if (im.pre_redef && !im.fresh) {
     PNC_RETURN_IF_ERROR(RelayoutParallel(*im.pre_redef));
@@ -298,16 +436,27 @@ pnc::Status Dataset::Sync() {
   if (!impl_) return pnc::Status(pnc::Err::kBadId);
   auto& im = *impl_;
   if (im.defining) return pnc::Status(pnc::Err::kInDefine);
+  if (im.rank_failed)
+    return pnc::Status(pnc::Err::kRankFailed, "dataset degraded by a failure");
   PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));
-  return im.file.Sync();
+  return Track(im, im.file.Sync());
 }
 
 pnc::Status Dataset::Close() {
   if (!impl_) return pnc::Status(pnc::Err::kBadId);
   auto& im = *impl_;
+  if (im.rank_failed || im.comm.SelfDead()) {
+    // A participant died: the group can no longer agree on a record count,
+    // so skip the collective numrecs commit — the journal keeps the last
+    // committed header legal — and release the handle. mpiio's close is
+    // itself fault tolerant, so the survivors complete here together.
+    (void)im.file.Close();
+    if (im.comm.rank() == 0) PNC_IOSTAT_AUTO_REPORT();
+    return pnc::Status(pnc::Err::kRankFailed, "closed after a rank failure");
+  }
   if (im.defining) PNC_RETURN_IF_ERROR(EndDef());
   PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));
-  pnc::Status st = im.file.Close();
+  pnc::Status st = Track(im, im.file.Close());
   // The collective close barrier has passed: every rank's counters are
   // final, so the reduction in the report is well defined.
   if (im.comm.rank() == 0) PNC_IOSTAT_AUTO_REPORT();
@@ -324,6 +473,13 @@ pnc::Status Dataset::Abort() {
       im.journal.reset();
       (void)im.fs->Remove(ncformat::JournalPath(im.path));
       err = im.fs->Remove(im.path).raw();
+    }
+    if (im.comm.FaultsArmed()) {
+      std::int64_t v = 0;
+      PNC_RETURN_IF_ERROR(FtRootValue(im, err, &v));
+      err = static_cast<int>(v);
+      if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), im.path);
+      return FtBarrier(im);
     }
     im.comm.BcastValue(err, 0);
     if (err != 0) return pnc::Status(static_cast<pnc::Err>(err), im.path);
@@ -343,7 +499,11 @@ pnc::Status Dataset::BeginIndepData() {
   auto& im = *impl_;
   if (im.defining) return pnc::Status(pnc::Err::kInDefine);
   if (im.indep) return pnc::Status(pnc::Err::kInIndep);
-  im.comm.Barrier();
+  if (im.comm.FaultsArmed()) {
+    PNC_RETURN_IF_ERROR(FtBarrier(im));
+  } else {
+    im.comm.Barrier();
+  }
   im.indep = true;
   PNC_IOSTAT_ADD(kNcModeSwitches, 1);
   return pnc::Status::Ok();
@@ -534,6 +694,8 @@ const mpiio::Hints& Dataset::hints() const { return impl_->file.hints(); }
 pnc::Status Dataset::CheckDataMode(bool need_write, bool collective) const {
   if (!impl_) return pnc::Status(pnc::Err::kBadId);
   const auto& im = *impl_;
+  if (im.rank_failed)
+    return pnc::Status(pnc::Err::kRankFailed, "dataset degraded by a failure");
   if (im.defining) return pnc::Status(pnc::Err::kInDefine);
   if (need_write && !im.writable) return pnc::Status(pnc::Err::kPermission);
   if (collective && im.indep) return pnc::Status(pnc::Err::kInIndep);
@@ -543,7 +705,16 @@ pnc::Status Dataset::CheckDataMode(bool need_write, bool collective) const {
 
 pnc::Status Dataset::CollectiveCheck(pnc::Status st, bool collective) {
   if (!collective) return st;
-  const bool all_ok = impl_->comm.AllreduceAnd(st.ok());
+  auto& im = *impl_;
+  if (im.comm.FaultsArmed()) {
+    std::int64_t mn = 0;
+    PNC_RETURN_IF_ERROR(FtAgreeMin(im, st.raw(), &mn));
+    if (mn == 0) return pnc::Status::Ok();
+    return st.ok() ? pnc::Status(pnc::Err::kMultiDefine,
+                                 "a peer process failed validation")
+                   : st;
+  }
+  const bool all_ok = im.comm.AllreduceAnd(st.ok());
   if (all_ok) return pnc::Status::Ok();
   return st.ok() ? pnc::Status(pnc::Err::kMultiDefine,
                                "a peer process failed validation")
@@ -598,7 +769,8 @@ pnc::Status Dataset::MoveExternal(int varid,
 
   pnc::Status io;
   if (collective) {
-    PNC_RETURN_IF_ERROR(im.file.SetView(0, simmpi::ByteType(), filetype));
+    PNC_RETURN_IF_ERROR(Track(im, im.file.SetView(0, simmpi::ByteType(),
+                                                  filetype)));
     io = is_write ? im.file.WriteAtAll(0, ext.data(), ext.size(),
                                        simmpi::ByteType())
                   : im.file.ReadAtAll(0, ext.data(), ext.size(),
@@ -610,7 +782,7 @@ pnc::Status Dataset::MoveExternal(int varid,
              : im.file.ReadAt(0, ext.data(), ext.size(), simmpi::ByteType());
   }
   im.file.ClearView();
-  PNC_RETURN_IF_ERROR(io);
+  PNC_RETURN_IF_ERROR(Track(im, io));
 
   // Record growth: converge numrecs across ranks for collective access;
   // independent writers converge later (EndIndepData / Sync / Close). Every
@@ -634,18 +806,32 @@ pnc::Status Dataset::SyncNumrecs(std::uint64_t local_numrecs, bool collective) {
     im.header.numrecs = std::max(im.header.numrecs, local_numrecs);
     return pnc::Status::Ok();
   }
-  const std::uint64_t global = im.comm.AllreduceMax(local_numrecs);
-  // `changed` can differ across ranks (a rank that grew the records locally
-  // already holds the new count), so agree on it before the guarded
-  // collective section below.
-  const bool changed = im.comm.AllreduceMax<std::uint8_t>(
-                           global != im.header.numrecs ? 1 : 0) != 0;
+  const bool ft = im.comm.FaultsArmed();
+  std::uint64_t global;
+  bool changed;
+  if (ft) {
+    std::int64_t g = 0;
+    PNC_RETURN_IF_ERROR(
+        FtAgreeMax(im, static_cast<std::int64_t>(local_numrecs), &g));
+    global = static_cast<std::uint64_t>(g);
+    std::int64_t ch = 0;
+    PNC_RETURN_IF_ERROR(
+        FtAgreeMax(im, global != im.header.numrecs ? 1 : 0, &ch));
+    changed = ch != 0;
+  } else {
+    global = im.comm.AllreduceMax(local_numrecs);
+    // `changed` can differ across ranks (a rank that grew the records
+    // locally already holds the new count), so agree on it before the
+    // guarded collective section below.
+    changed = im.comm.AllreduceMax<std::uint8_t>(
+                  global != im.header.numrecs ? 1 : 0) != 0;
+  }
   im.header.numrecs = global;
   if (changed && im.writable) {
     im.file.ClearView();
     // The record count grows only after the record data is durable on every
     // rank (all-old-or-all-new for a crash between data and count).
-    if (im.journaled) PNC_RETURN_IF_ERROR(im.file.Sync());
+    if (im.journaled) PNC_RETURN_IF_ERROR(Track(im, im.file.Sync()));
     int err = 0;
     if (im.comm.rank() == 0) {
       std::byte buf[4];
@@ -668,6 +854,14 @@ pnc::Status Dataset::SyncNumrecs(std::uint64_t local_numrecs, bool collective) {
     }
     // Agree on the root's status so all ranks return the same result and the
     // barrier below is reached by everyone or no one.
+    if (ft) {
+      std::int64_t v = 0;
+      PNC_RETURN_IF_ERROR(FtRootValue(im, err, &v));
+      err = static_cast<int>(v);
+      if (err != 0)
+        return pnc::Status(static_cast<pnc::Err>(err), "numrecs write failed");
+      return FtBarrier(im);
+    }
     im.comm.BcastValue(err, 0);
     if (err != 0)
       return pnc::Status(static_cast<pnc::Err>(err), "numrecs write failed");
@@ -866,14 +1060,15 @@ pnc::Status Dataset::BatchAccess(std::span<BatchItem> items, bool is_write) {
   else
     PNC_IOSTAT_ADD(kNcDataBytesRead, total);
 
-  PNC_RETURN_IF_ERROR(im.file.SetView(0, simmpi::ByteType(), filetype));
+  PNC_RETURN_IF_ERROR(Track(im, im.file.SetView(0, simmpi::ByteType(),
+                                                filetype)));
   pnc::Status io =
       is_write ? im.file.WriteAtAll(0, staging.data(), staging.size(),
                                     simmpi::ByteType())
                : im.file.ReadAtAll(0, staging.data(), staging.size(),
                                    simmpi::ByteType());
   im.file.ClearView();
-  PNC_RETURN_IF_ERROR(io);
+  PNC_RETURN_IF_ERROR(Track(im, io));
 
   if (!is_write) {
     pos = 0;
@@ -949,7 +1144,14 @@ pnc::Status Dataset::RelayoutParallel(const Header& old_header) {
         }
       }
     }
-    const int agreed = im.comm.AllreduceMin(st.raw());
+    int agreed;
+    if (im.comm.FaultsArmed()) {
+      std::int64_t mn = 0;
+      PNC_RETURN_IF_ERROR(FtAgreeMin(im, st.raw(), &mn));
+      agreed = static_cast<int>(mn);
+    } else {
+      agreed = im.comm.AllreduceMin(st.raw());
+    }
     if (agreed != 0)
       return st.raw() == agreed
                  ? st

@@ -5,9 +5,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
 
 namespace simmpi {
 
@@ -19,9 +22,81 @@ SharedState::SharedState(int world_size, CostModel cm) : cost(cm) {
     mailboxes.push_back(std::make_unique<Mailbox>());
   clocks.resize(world_size);
   waits.resize(world_size);
-  hang_timeout_ms = cm.hang_timeout_ms;
-  if (const char* env = std::getenv("PNC_HANG_TIMEOUT_MS"))
-    hang_timeout_ms = std::atof(env);
+  // Checked parse: "PNC_HANG_TIMEOUT_MS=3O000" must not silently disable
+  // the watchdog the way atof's 0.0 fallback would.
+  hang_timeout_ms =
+      pnc::util::EnvDouble("PNC_HANG_TIMEOUT_MS", cm.hang_timeout_ms);
+}
+
+void SharedState::ArmRankFaults(const RankFaultPolicy& policy) {
+  const auto n = mailboxes.size();
+  rfault.policy = policy;
+  rfault.dead = std::make_unique<std::atomic<bool>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) rfault.dead[i].store(false);
+  rfault.ops.assign(n, 0);
+  rfault.sends.assign(n, 0);
+  rfault.armed = true;
+}
+
+void SharedState::MarkRankDead(int world_rank) {
+  rfault.dead[world_rank].store(true, std::memory_order_release);
+  {
+    // A pending agreement round whose only missing participants just died
+    // is now complete; finalize so its waiters wake with the death folded.
+    std::lock_guard<std::mutex> lk(rfault.mu);
+    for (auto& [ctx, slot] : rfault.slots) MaybeFinalizeAgreeLocked(slot);
+  }
+  // Wake every blocked receiver so dead-source predicates re-evaluate. The
+  // empty critical section pairs with the predicate check under box.m: a
+  // receiver is either before its check (it will see the flag) or parked in
+  // wait (it gets this notify) — never between, losing both.
+  for (auto& box : mailboxes) {
+    { std::lock_guard<std::mutex> lk(box->m); }
+    box->cv.notify_all();
+  }
+}
+
+void SharedState::MaybeFinalizeAgreeLocked(AgreeSlot& slot) {
+  if (slot.done || slot.members.empty()) return;
+  int arrivals = 0;
+  for (std::size_t i = 0; i < slot.members.size(); ++i) {
+    if (slot.arrived[i]) {
+      ++arrivals;
+      continue;
+    }
+    if (!RankDeadWorld(slot.members[i])) return;  // still expected
+  }
+  if (arrivals == 0) return;  // idle slot poked by MarkRankDead
+  slot.any_dead = false;
+  slot.alive.clear();
+  double tmax = 0.0;
+  for (std::size_t i = 0; i < slot.members.size(); ++i) {
+    if (RankDeadWorld(slot.members[i])) {
+      slot.any_dead = true;
+    } else {
+      slot.alive.push_back(static_cast<int>(i));
+      tmax = std::max(tmax, slot.times[i]);
+    }
+  }
+  slot.result = slot.fold;
+  // Charge what a dissemination allreduce over the survivors would cost.
+  int rounds = 0;
+  for (std::size_t n = 1; n < slot.alive.size(); n <<= 1) ++rounds;
+  slot.result_time =
+      tmax + rounds * cost.MessageCost(8) + cost.sw_overhead_ns;
+  slot.live_ctx = 0;
+  if (slot.any_dead) {
+    // Survivors will re-form on a subset communicator; a fresh context
+    // keeps any pre-death traffic still queued under the old one from
+    // matching into the new group's collectives.
+    std::lock_guard<std::mutex> clk(ctx_mutex);
+    slot.live_ctx = next_ctx++;
+  }
+  ++rfault.counters.agreements;
+  if (slot.any_dead) ++rfault.counters.agreements_failed;
+  slot.collected = 0;
+  slot.done = true;
+  slot.cv.notify_all();
 }
 
 void SharedState::DumpHangAndAbort(int world_rank) {
@@ -81,8 +156,42 @@ void Comm::Send(int dst, int tag, pnc::ConstByteSpan data) {
   SendInternal(dst, tag, data);
 }
 
+void Comm::MaybeCrashSelf() {
+  auto& rf = state_->rfault;
+  const std::uint64_t op = rf.ops[world_rank_]++;
+  const double now = clock().now();
+  for (const auto& c : rf.policy.crashes) {
+    if (c.rank != world_rank_) continue;
+    const bool by_op = c.at_op != RankFaultPolicy::kNever && op >= c.at_op;
+    const bool by_time = c.at_time_ns >= 0 && now >= c.at_time_ns;
+    if (by_op || by_time) CrashSelf();
+  }
+}
+
+void Comm::CrashSelf() {
+  // Record while the request binding is still live: the crash event carries
+  // the in-flight request ID, which is how ncstat --blackbox attributes a
+  // dead rank's last act to the originating API call.
+  PNC_IOSTAT_EVENT(kRankCrash, clock().now(), 0,
+                   state_->rfault.ops[world_rank_], 0, nullptr);
+  {
+    std::lock_guard<std::mutex> lk(state_->rfault.mu);
+    ++state_->rfault.counters.crashes;
+  }
+  state_->MarkRankDead(world_rank_);
+  throw RankCrash{world_rank_};
+}
+
 void Comm::SendInternal(int dst, int tag, pnc::ConstByteSpan data) {
   assert(dst >= 0 && dst < size());
+  double cost_factor = 1.0;
+  if (state_->rfault.armed) {
+    if (SelfDead()) return;  // inert: the rank is unwinding its crash
+    MaybeCrashSelf();
+    auto& rf = state_->rfault;
+    for (const auto& s : rf.policy.stragglers)
+      if (s.rank == world_rank_) cost_factor = s.send_delay_factor;
+  }
   PNC_IOSTAT_ADD(kMpiMessages, 1);
   PNC_IOSTAT_ADD(kMpiMessageBytes, data.size());
   auto& clk = clock();
@@ -91,8 +200,38 @@ void Comm::SendInternal(int dst, int tag, pnc::ConstByteSpan data) {
   msg.world_src = rank_;  // communicator-rank of the sender within ctx_
   msg.ctx = ctx_;
   msg.tag = tag;
-  msg.arrive_time = clk.now() + state_->cost.MessageCost(data.size());
+  msg.arrive_time =
+      clk.now() + cost_factor * state_->cost.MessageCost(data.size());
   msg.data.assign(data.begin(), data.end());
+
+  if (state_->rfault.armed) {
+    auto& rf = state_->rfault;
+    if (cost_factor != 1.0) {
+      PNC_IOSTAT_EVENT(kRankStraggle, clk.now(), 0, data.size(),
+                       static_cast<std::uint64_t>(members_[dst]), nullptr);
+      std::lock_guard<std::mutex> lk(rf.mu);
+      ++rf.counters.straggled_sends;
+    }
+    const std::uint64_t send_index = rf.sends[world_rank_]++;
+    bool drop = false;
+    for (const auto& d : rf.policy.drops)
+      drop = drop || (d.rank == world_rank_ && d.send_index == send_index);
+    if (!drop && rf.policy.drop_prob > 0) {
+      // Seeded by (seed, rank, send index): exact under any interleaving.
+      pnc::SplitMix64 rng(rf.policy.seed ^
+                          (static_cast<std::uint64_t>(world_rank_) << 40) ^
+                          send_index);
+      drop = rng.NextDouble() < rf.policy.drop_prob;
+    }
+    if (drop) {
+      PNC_IOSTAT_EVENT(kMsgDrop, clk.now(), 0, data.size(),
+                       static_cast<std::uint64_t>(members_[dst]), nullptr);
+      std::lock_guard<std::mutex> lk(rf.mu);
+      ++rf.counters.dropped_messages;
+      return;  // vanished in transit; the sender already paid its costs
+    }
+    if (state_->RankDeadWorld(members_[dst])) return;  // no one to deliver to
+  }
 
   auto& box = *state_->mailboxes[members_[dst]];
   {
@@ -104,6 +243,25 @@ void Comm::SendInternal(int dst, int tag, pnc::ConstByteSpan data) {
 
 std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src,
                                   int* actual_tag) {
+  std::vector<std::byte> out;
+  RecvImpl(src, tag, actual_src, actual_tag, /*ft=*/false, out);
+  return out;
+}
+
+bool Comm::RecvFT(int src, int tag, std::vector<std::byte>& out) {
+  assert(state_->rfault.armed && "RecvFT requires an armed RankFaultPolicy");
+  return RecvImpl(src, tag, nullptr, nullptr, /*ft=*/true, out);
+}
+
+bool Comm::RecvImpl(int src, int tag, int* actual_src, int* actual_tag,
+                    bool ft, std::vector<std::byte>& out) {
+  if (state_->rfault.armed) {
+    if (SelfDead()) {
+      out.clear();
+      return false;  // inert: the rank is unwinding its crash
+    }
+    MaybeCrashSelf();
+  }
   auto& box = *state_->mailboxes[world_rank_];
   {
     std::lock_guard<std::mutex> tlk(state_->trace_mutex);
@@ -119,8 +277,15 @@ std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src,
     return m.ctx == ctx_ && (src == kAnySource || m.world_src == src) &&
            (tag == kAnyTag || m.tag == tag);
   };
+  // Under an armed fault policy, a dead source also ends the wait: the
+  // queue is drained of anything it sent before dying first (the `matches`
+  // arm of the predicate), then its death becomes observable.
+  auto src_dead = [&] {
+    return state_->rfault.armed && src != kAnySource &&
+           state_->RankDeadWorld(members_[src]);
+  };
   auto ready = [&] {
-    return std::any_of(box.q.begin(), box.q.end(), matches);
+    return std::any_of(box.q.begin(), box.q.end(), matches) || src_dead();
   };
   if (state_->hang_timeout_ms > 0) {
     // Watchdog: a receive that sees nothing for the timeout is a deadlock
@@ -136,6 +301,28 @@ std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src,
     box.cv.wait(lk, ready);
   }
   auto it = std::find_if(box.q.begin(), box.q.end(), matches);
+  if (it == box.q.end()) {
+    // Woken by the source's death, nothing left to deliver.
+    lk.unlock();
+    {
+      std::lock_guard<std::mutex> tlk(state_->trace_mutex);
+      auto& w = state_->waits[world_rank_];
+      w.waiting = false;
+    }
+    if (!ft) {
+      // A non-FT wait on a crashed rank is a caller bug under an armed
+      // policy; fail fast with a diagnostic instead of a watchdog stall.
+      std::fprintf(stderr,
+                   "simmpi: rank %d failed while rank %d waited in a "
+                   "non-fault-tolerant Recv(src=%d, tag=%d, ctx=%d)\n",
+                   members_[src], world_rank_, src, tag, ctx_);
+      std::fflush(stderr);
+      PNC_IOSTAT_EVENT_DUMP("recv-from-failed-rank");
+      std::abort();
+    }
+    out.clear();
+    return false;
+  }
   msg = std::move(*it);
   box.q.erase(it);
   lk.unlock();
@@ -151,7 +338,8 @@ std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src,
   clk.Advance(state_->cost.sw_overhead_ns);
   if (actual_src) *actual_src = msg.world_src;
   if (actual_tag) *actual_tag = msg.tag;
-  return std::move(msg.data);
+  out = std::move(msg.data);
+  return true;
 }
 
 std::vector<std::byte> Comm::RecvInternal(int src, int tag) {
@@ -159,6 +347,7 @@ std::vector<std::byte> Comm::RecvInternal(int src, int tag) {
 }
 
 void Comm::Barrier() {
+  if (state_->rfault.armed && SelfDead()) return;
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (p == 1) return;
@@ -172,6 +361,7 @@ void Comm::Barrier() {
 }
 
 void Comm::Bcast(pnc::ByteSpan buf, int root) {
+  if (state_->rfault.armed && SelfDead()) return;
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (p == 1) return;
@@ -196,6 +386,7 @@ void Comm::Bcast(pnc::ByteSpan buf, int root) {
 }
 
 void Comm::Bcast(std::vector<std::byte>& buf, int root) {
+  if (state_->rfault.armed && SelfDead()) return;
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (p == 1) return;
@@ -217,6 +408,7 @@ void Comm::Bcast(std::vector<std::byte>& buf, int root) {
 
 std::vector<std::vector<std::byte>> Comm::Gather(pnc::ConstByteSpan mine,
                                                  int root) {
+  if (state_->rfault.armed && SelfDead()) return {};
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   std::vector<std::vector<std::byte>> result;
@@ -234,6 +426,7 @@ std::vector<std::vector<std::byte>> Comm::Gather(pnc::ConstByteSpan mine,
 }
 
 std::vector<std::vector<std::byte>> Comm::Allgather(pnc::ConstByteSpan mine) {
+  if (state_->rfault.armed && SelfDead()) return {};
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   auto gathered = Gather(mine, 0);
@@ -277,6 +470,7 @@ std::vector<std::vector<std::byte>> Comm::Allgather(pnc::ConstByteSpan mine) {
 
 std::vector<std::byte> Comm::Scatter(
     std::vector<std::vector<std::byte>> pieces, int root) {
+  if (state_->rfault.armed && SelfDead()) return {};
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (rank_ == root) {
@@ -292,6 +486,7 @@ std::vector<std::byte> Comm::Scatter(
 
 std::vector<std::vector<std::byte>> Comm::Alltoall(
     std::vector<std::vector<std::byte>> send) {
+  if (state_->rfault.armed && SelfDead()) return {};
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   assert(static_cast<int>(send.size()) == p);
@@ -308,6 +503,7 @@ std::vector<std::vector<std::byte>> Comm::Alltoall(
 }
 
 void Comm::Reduce(pnc::ByteSpan inout, const ReduceFn& fn, int root) {
+  if (state_->rfault.armed && SelfDead()) return;
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   const int p = size();
   if (p == 1) return;
@@ -328,12 +524,14 @@ void Comm::Reduce(pnc::ByteSpan inout, const ReduceFn& fn, int root) {
 }
 
 void Comm::Allreduce(pnc::ByteSpan inout, const ReduceFn& fn) {
+  if (state_->rfault.armed && SelfDead()) return;
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   Reduce(inout, fn, 0);
   Bcast(inout, 0);
 }
 
 bool Comm::AllAgree(pnc::ConstByteSpan bytes) {
+  if (state_->rfault.armed && SelfDead()) return false;
   PNC_IOSTAT_ADD(kMpiCollectives, 1);
   auto gathered = Gather(bytes, 0);
   std::uint8_t same = 1;
@@ -351,6 +549,8 @@ bool Comm::AllAgree(pnc::ConstByteSpan bytes) {
 }
 
 Comm Comm::Dup() {
+  if (state_->rfault.armed && SelfDead())
+    return Comm(state_, ctx_, members_, rank_);
   int new_ctx = 0;
   if (rank_ == 0) {
     std::lock_guard<std::mutex> lk(state_->ctx_mutex);
@@ -361,6 +561,8 @@ Comm Comm::Dup() {
 }
 
 Comm Comm::Split(int color, int key) {
+  if (state_->rfault.armed && SelfDead())
+    return Comm(state_, ctx_, members_, rank_);
   struct Entry {
     int color, key, old_rank;
   };
@@ -409,8 +611,74 @@ Comm Comm::Split(int color, int key) {
 }
 
 void Comm::SyncClocksToMax() {
+  if (state_->rfault.armed && SelfDead()) return;
   const double t = AllreduceMax(clock().now());
   clock().AdvanceTo(t);
+}
+
+AgreeOutcome Comm::AgreeFT(std::int64_t value) {
+  assert(state_->rfault.armed && "AgreeFT requires an armed RankFaultPolicy");
+  AgreeOutcome out;
+  if (SelfDead()) {
+    out.min_value = value;
+    out.any_dead = true;
+    return out;  // inert: no survivors visible to a dead rank
+  }
+  MaybeCrashSelf();
+  PNC_IOSTAT_ADD(kMpiCollectives, 1);
+  auto& rf = state_->rfault;
+  const double t_arrive = clock().now();
+  std::unique_lock<std::mutex> lk(rf.mu);
+  detail::AgreeSlot& slot = rf.slots[ctx_];
+  if (slot.members.empty()) {
+    slot.members.reserve(members_.size());
+    for (int m : members_) slot.members.push_back(m);
+    slot.arrived.assign(members_.size(), 0);
+    slot.times.assign(members_.size(), 0.0);
+    slot.fold = std::numeric_limits<std::int64_t>::max();
+  }
+  // A fast rank can lap the round: wait until the previous outcome has been
+  // collected by every participant before contributing to the next.
+  slot.cv.wait(lk, [&] { return !slot.done; });
+  const int round = slot.round;
+  slot.arrived[rank_] = 1;
+  slot.times[rank_] = t_arrive;
+  slot.fold = std::min(slot.fold, value);
+  state_->MaybeFinalizeAgreeLocked(slot);
+  slot.cv.wait(lk, [&] { return slot.done && slot.round == round; });
+  out.min_value = slot.result;
+  out.any_dead = slot.any_dead;
+  out.alive = slot.alive;
+  out.live_ctx = slot.live_ctx;
+  const double t_done = slot.result_time;
+  if (++slot.collected == static_cast<int>(slot.alive.size())) {
+    // Last collector resets the slot for this context's next round.
+    slot.arrived.assign(slot.members.size(), 0);
+    slot.times.assign(slot.members.size(), 0.0);
+    slot.fold = std::numeric_limits<std::int64_t>::max();
+    slot.done = false;
+    ++slot.round;
+    slot.cv.notify_all();
+  }
+  lk.unlock();
+  clock().AdvanceTo(t_done);
+  PNC_IOSTAT_EVENT(kAgreement, clock().now(), t_done - t_arrive,
+                   static_cast<std::uint64_t>(out.alive.size()),
+                   out.any_dead ? 1 : 0, nullptr);
+  return out;
+}
+
+Comm Comm::LiveSubsetFT(const AgreeOutcome& o) const {
+  std::vector<int> new_members;
+  new_members.reserve(o.alive.size());
+  int new_rank = -1;
+  for (std::size_t i = 0; i < o.alive.size(); ++i) {
+    new_members.push_back(members_[o.alive[i]]);
+    if (o.alive[i] == rank_) new_rank = static_cast<int>(i);
+  }
+  assert(new_rank >= 0 && "caller must be in the agreed survivor set");
+  const int ctx = o.any_dead ? o.live_ctx : ctx_;
+  return Comm(state_, ctx, std::move(new_members), new_rank);
 }
 
 }  // namespace simmpi

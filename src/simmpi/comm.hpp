@@ -11,16 +11,19 @@
 // virtual clocks exactly where real ranks would block.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
 #include "simmpi/clock.hpp"
+#include "simmpi/rankfault.hpp"
 #include "util/bytes.hpp"
 
 namespace simmpi {
@@ -53,6 +56,44 @@ struct WaitRecord {
   std::uint64_t recvs = 0;        ///< receives completed so far
 };
 
+/// One fault-tolerant agreement monitor, keyed by communicator context.
+/// Point-to-point agreement trees diverge when a participant dies mid-round
+/// (some peers already consumed its contribution, others fold in a failure),
+/// so agreement runs through shared memory instead: a round completes when
+/// every live member has arrived, and its outcome — fold, survivor set,
+/// fresh context — is computed once, in one critical section, and handed to
+/// every waiter identically. Virtual cost is charged as if a dissemination
+/// allreduce had run. Guarded by RankFaultState::mu.
+struct AgreeSlot {
+  std::condition_variable cv;
+  std::vector<int> members;           ///< world ranks (fixed per ctx)
+  std::vector<std::uint8_t> arrived;  ///< per comm rank, this round
+  std::vector<double> times;          ///< arrival clocks, this round
+  std::int64_t fold = 0;              ///< running min of arrived values
+  int round = 0;
+  bool done = false;  ///< round finalized, waiters may collect
+  int collected = 0;  ///< waiters that consumed the outcome
+  // Finalized outcome (valid while done):
+  std::int64_t result = 0;
+  bool any_dead = false;
+  std::vector<int> alive;  ///< comm-relative ranks
+  double result_time = 0.0;
+  int live_ctx = 0;
+};
+
+/// Rank-fault injection state (see rankfault.hpp). Armed once, before the
+/// rank threads start; `dead` flags are the only fields peers read hot.
+struct RankFaultState {
+  bool armed = false;
+  RankFaultPolicy policy;
+  std::unique_ptr<std::atomic<bool>[]> dead;  ///< indexed by world rank
+  std::vector<std::uint64_t> ops;    ///< per-rank op counter (owner thread)
+  std::vector<std::uint64_t> sends;  ///< per-rank send counter (owner thread)
+  std::mutex mu;  ///< guards counters and agree slots
+  RankFaultCounters counters;
+  std::map<int, AgreeSlot> slots;  ///< agreement monitors, keyed by ctx
+};
+
 /// State shared by all ranks of a Runtime instance.
 struct SharedState {
   explicit SharedState(int world_size, CostModel cm);
@@ -72,6 +113,28 @@ struct SharedState {
   /// Print every rank's wait state and the mailbox depths, then abort.
   /// Called by the rank whose Recv timed out.
   [[noreturn]] void DumpHangAndAbort(int world_rank);
+
+  // --- rank-fault injection (inactive until armed) ---
+  RankFaultState rfault;
+
+  /// Install a rank-fault schedule. Must be called before the rank threads
+  /// start (the runtime does this); arming mid-run is not supported.
+  void ArmRankFaults(const RankFaultPolicy& policy);
+
+  /// True when `world_rank` has crashed.
+  [[nodiscard]] bool RankDeadWorld(int world_rank) const {
+    return rfault.armed &&
+           rfault.dead[world_rank].load(std::memory_order_acquire);
+  }
+
+  /// Flag `world_rank` dead, wake every blocked receiver, and re-evaluate
+  /// every pending agreement round (a round whose only missing participants
+  /// just died is now complete). Called by the dying rank itself.
+  void MarkRankDead(int world_rank);
+
+  /// Finalize `slot`'s current round if every live member has arrived.
+  /// Caller holds rfault.mu.
+  void MaybeFinalizeAgreeLocked(AgreeSlot& slot);
 };
 
 Comm MakeComm(std::shared_ptr<SharedState> state, std::vector<int> members,
@@ -153,6 +216,42 @@ class Comm {
   /// Used by PnetCDF's collective define-mode consistency checks.
   bool AllAgree(pnc::ConstByteSpan bytes);
 
+  // --- rank-fault tolerance (see rankfault.hpp) ---
+  // These are meaningful only while a RankFaultPolicy is armed; with no
+  // policy armed FaultsArmed() is false and the *FT calls must not be used.
+
+  /// True when a rank-fault schedule is armed for this world.
+  [[nodiscard]] bool FaultsArmed() const { return state_->rfault.armed; }
+  /// True when communicator rank `rank` has crashed.
+  [[nodiscard]] bool RankDead(int rank) const {
+    return state_->RankDeadWorld(members_[rank]);
+  }
+  /// True when this rank has crashed (Comm ops are inert no-ops).
+  [[nodiscard]] bool SelfDead() const {
+    return state_->RankDeadWorld(world_rank_);
+  }
+
+  /// Fault-tolerant receive: blocks until a matching message arrives or
+  /// `src` is known dead with nothing matching queued. Messages sent before
+  /// the sender died are still delivered. Returns false on a dead source.
+  bool RecvFT(int src, int tag, std::vector<std::byte>& out);
+
+  /// Fault-tolerant agreement (models MPI_Comm_agree): every live member
+  /// contributes `value`; the round completes when all live members have
+  /// arrived (a member dying mid-round completes it too), and every
+  /// survivor receives the identical outcome — min-fold of the live
+  /// contributions, whether any member is dead, the survivor set, and (when
+  /// some member died) a fresh context for LiveSubsetFT. Synchronizes
+  /// survivor clocks to the latest arrival. Dead-self returns immediately
+  /// with any_dead=true and an empty survivor set.
+  AgreeOutcome AgreeFT(std::int64_t value);
+
+  /// The communicator of `o.alive` (an AgreeOutcome with any_dead=true from
+  /// this comm). Purely local: every survivor derives the identical member
+  /// list and context from the agreed outcome, so no messages are needed.
+  /// Caller must be in `o.alive`.
+  [[nodiscard]] Comm LiveSubsetFT(const AgreeOutcome& o) const;
+
   // --- communicator management ---
   Comm Dup();
   Comm Split(int color, int key);
@@ -188,6 +287,17 @@ class Comm {
 
   void SendInternal(int dst, int tag, pnc::ConstByteSpan data);
   std::vector<std::byte> RecvInternal(int src, int tag);
+
+  /// Shared blocking-receive machinery. In FT mode a dead source (with no
+  /// matching message queued) returns false; otherwise it aborts with a
+  /// diagnostic — a non-FT wait on a dead rank is a caller bug under an
+  /// armed policy, and aborting beats a 30 s watchdog stall.
+  bool RecvImpl(int src, int tag, int* actual_src, int* actual_tag, bool ft,
+                std::vector<std::byte>& out);
+  /// Injection point: counts this op and crashes (throws RankCrash, after
+  /// marking this rank dead) when the armed schedule says so.
+  void MaybeCrashSelf();
+  [[noreturn]] void CrashSelf();
 
   std::shared_ptr<detail::SharedState> state_;
   int ctx_;

@@ -12,9 +12,15 @@ namespace simmpi {
 
 RunResult Run(int nprocs, const std::function<void(Comm&)>& body,
               const CostModel& cost) {
+  return Run(nprocs, body, cost, RankFaultPolicy{});
+}
+
+RunResult Run(int nprocs, const std::function<void(Comm&)>& body,
+              const CostModel& cost, const RankFaultPolicy& faults) {
   if (nprocs <= 0) throw std::invalid_argument("nprocs must be positive");
 
   auto state = std::make_shared<detail::SharedState>(nprocs, cost);
+  if (faults.Any()) state->ArmRankFaults(faults);
   std::vector<int> members(nprocs);
   std::iota(members.begin(), members.end(), 0);
 
@@ -27,6 +33,8 @@ RunResult Run(int nprocs, const std::function<void(Comm&)>& body,
       Comm comm = detail::MakeComm(state, members, r);
       try {
         body(comm);
+      } catch (const RankCrash&) {
+        // Scripted death, already flagged in shared state; not an error.
       } catch (...) {
         errors[r] = std::current_exception();
       }
@@ -42,7 +50,9 @@ RunResult Run(int nprocs, const std::function<void(Comm&)>& body,
     const double t = state->clocks[r].now();
     result.rank_times_ns.push_back(t);
     result.max_time_ns = std::max(result.max_time_ns, t);
+    if (state->RankDeadWorld(r)) result.crashed_ranks.push_back(r);
   }
+  if (state->rfault.armed) result.fault_counters = state->rfault.counters;
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "simmpi/clock.hpp"
 #include "simmpi/comm.hpp"
+#include "simmpi/rankfault.hpp"
 
 namespace simmpi {
 
@@ -14,6 +15,10 @@ struct RunResult {
   std::vector<double> rank_times_ns;
   /// max over ranks — the virtual makespan of the program.
   double max_time_ns = 0.0;
+  /// World ranks that died to an armed RankFaultPolicy (ascending).
+  std::vector<int> crashed_ranks;
+  /// Injection counters (all zero when no policy was armed).
+  RankFaultCounters fault_counters;
 };
 
 /// Launch `nprocs` ranks, each executing `body(world_comm)` on its own
@@ -22,5 +27,11 @@ struct RunResult {
 /// (fresh mailboxes and clocks); state does not leak between runs.
 RunResult Run(int nprocs, const std::function<void(Comm&)>& body,
               const CostModel& cost = CostModel{});
+
+/// As above, with a rank-fault schedule armed for the world. Scripted
+/// RankCrash exits are absorbed (reported via RunResult::crashed_ranks, not
+/// re-thrown); every other exception still re-throws after the join.
+RunResult Run(int nprocs, const std::function<void(Comm&)>& body,
+              const CostModel& cost, const RankFaultPolicy& faults);
 
 }  // namespace simmpi

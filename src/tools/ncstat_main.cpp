@@ -119,6 +119,31 @@ int BlackboxMode(const std::string& path) {
       std::printf("\n");
     }
   }
+  // Post-mortem: a rank_crash event carries the dead rank's in-flight
+  // request ID (a0 is the simmpi op index it died at). Resolve the ID
+  // against the api_begin in the same tail so the dump names the API call
+  // the rank died inside, not just a number.
+  for (const auto& tail : d.ranks) {
+    for (const iostat::Event& e : tail.events) {
+      if (e.kind != iostat::Ev::kRankCrash) continue;
+      std::printf("rank %d crashed at op %llu", tail.rank,
+                  static_cast<unsigned long long>(e.a0));
+      if (e.req == 0) {
+        std::printf(" with no request in flight\n");
+        continue;
+      }
+      const iostat::Event* origin = nullptr;
+      for (const iostat::Event& o : tail.events)
+        if (o.kind == iostat::Ev::kApiBegin && o.req == e.req) origin = &o;
+      if (origin != nullptr)
+        std::printf(" inside req=%llu [%s] (began t=%.0f ns)\n",
+                    static_cast<unsigned long long>(e.req), origin->detail,
+                    origin->t_ns);
+      else
+        std::printf(" inside req=%llu (origin evicted from the ring)\n",
+                    static_cast<unsigned long long>(e.req));
+    }
+  }
   return nctools::kExitOk;
 }
 

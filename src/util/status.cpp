@@ -45,6 +45,7 @@ std::string_view StrError(Err e) {
     case Err::kIoTransient: return "Transient I/O error (retryable)";
     case Err::kMpi: return "simmpi runtime failure";
     case Err::kInternal: return "Internal library invariant violated";
+    case Err::kRankFailed: return "A participating rank failed";
   }
   return "Unknown error";
 }

@@ -63,6 +63,11 @@ enum class Err : int {
   kIoTransient = -1004,  ///< Storage error that a retry may clear; never
                          ///< escapes the MPI-IO retry layer (it is converted
                          ///< to kIo once the retry budget is exhausted)
+  kRankFailed = -1005,   ///< A participating rank crashed (simmpi rank-fault
+                         ///< injection). Collectives detect the death, agree
+                         ///< on the surviving set, and return this on every
+                         ///< survivor instead of hanging; the file is left in
+                         ///< a journal-consistent (ncverify-legal) state.
 };
 
 /// Human-readable message for an error code (mirrors nc_strerror).

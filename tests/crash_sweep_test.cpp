@@ -34,6 +34,19 @@ pfs::FaultPolicy ArmCrash(pfs::FileSystem& fs, std::uint64_t t) {
   return p;
 }
 
+/// Crash point × transient faults: every `nth` op fails transiently first,
+/// so the commit sequence is being retried around while the power-loss
+/// threshold creeps over it. The retry path must not change what is durable
+/// when the crash finally bites.
+pfs::FaultPolicy ArmCrashWithTransients(pfs::FileSystem& fs, std::uint64_t t,
+                                        std::uint64_t nth) {
+  pfs::FaultPolicy p;
+  p.crash_after_write_bytes = t;
+  p.transient_every_nth = nth;
+  fs.SetFaultPolicy(p);
+  return p;
+}
+
 /// fsck + repair the frozen image; a crashed commit sequence over a
 /// previously committed dataset must never be unrecoverable.
 void VerifyAndRepair(pfs::FileSystem& fs, const std::string& path) {
@@ -254,6 +267,61 @@ TEST(CrashSweep, FreshCreateEveryByteSchemaAtomic) {
 }
 
 // ---------------------------------------------------------------------------
+// Crash point × transient faults, serial. Same append as above, but every
+// third pfs op fails transiently first: the commit path is exercising its
+// retry-with-backoff loops while the power-loss threshold sweeps over it.
+// The all-old-or-all-new verdict must be untouched by the interaction.
+TEST(CrashSweep, SerialRecordAppendTornNumrecsUnderTransients) {
+  pfs::FileSystem ref_fs;
+  MakeRecordRef(ref_fs, "two.nc", 2);
+  MakeRecordRef(ref_fs, "three.nc", 3);
+
+  int old_outcomes = 0, new_outcomes = 0;
+  std::uint64_t total_transients = 0;
+  for (std::uint64_t t = 0; t < kSweepCeiling; ++t) {
+    pfs::FileSystem fs;
+    MakeRecordRef(fs, "f.nc", 2);  // committed pre-crash state
+
+    const pfs::FaultPolicy pol = ArmCrashWithTransients(fs, t, 3);
+    SCOPED_TRACE("crash point t=" + std::to_string(t) + " " +
+                 pnc_test::DescribePolicy(pol));
+    {
+      auto ds = netcdf::Dataset::Open(fs, "f.nc", true);
+      if (ds.ok()) {
+        auto d = std::move(ds).value();
+        const std::vector<std::int32_t> vals = {20, 21, 22, 23};
+        const std::uint64_t st[] = {2, 0};
+        const std::uint64_t ct[] = {1, 4};
+        (void)d.PutVara<std::int32_t>(d.VarId("r").value(), st, ct, vals);
+        (void)d.Close();
+      }
+    }
+    const bool crashed = fs.crashed();
+    // An early crash point (t=0 tears the very first write) can freeze the
+    // image before the third op, so transients are asserted over the sweep.
+    total_transients += fs.stats().transient_faults;
+    fs.SetFaultPolicy({});
+
+    VerifyAndRepair(fs, "f.nc");
+    auto rd = netcdf::Dataset::Open(fs, "f.nc", false);
+    ASSERT_TRUE(rd.ok()) << rd.status().message();
+    const std::uint64_t n = rd.value().numrecs();
+    ASSERT_TRUE(n == 2 || n == 3) << "hybrid record count " << n;
+    ExpectMatchesRef(fs, "f.nc", ref_fs, n == 2 ? "two.nc" : "three.nc");
+
+    if (!crashed) {
+      EXPECT_EQ(n, 3u);
+      ++new_outcomes;
+      break;
+    }
+    (n == 2 ? old_outcomes : new_outcomes)++;
+  }
+  EXPECT_GT(old_outcomes, 0);
+  EXPECT_GT(new_outcomes, 0);
+  EXPECT_GT(total_transients, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Record append through the parallel path, four ranks (torn numrecs,
 // collective). The root performs the journal commit after a collective data
 // sync, so a committed count always implies durable record data — on every
@@ -289,6 +357,80 @@ TEST(CrashSweep, ParallelRecordAppendFourRanksTornNumrecs) {
     simmpi::Run(4, [&](simmpi::Comm& c) {
       auto r = pnetcdf::Dataset::Open(c, fs, "p.nc", true, simmpi::NullInfo());
       if (!r.ok()) return;  // every rank sees the same broadcast verdict
+      auto ds = std::move(r).value();
+      const int v = ds.VarId("r").value();
+      (void)write_record(ds, v, 1, c.rank());
+      (void)ds.Close();
+    });
+    const bool crashed = fs.crashed();
+    fs.SetFaultPolicy({});
+
+    VerifyAndRepair(fs, "p.nc");
+    auto rd = netcdf::Dataset::Open(fs, "p.nc", false);
+    ASSERT_TRUE(rd.ok()) << rd.status().message();
+    auto d = std::move(rd).value();
+    const std::uint64_t n = d.numrecs();
+    ASSERT_TRUE(n == 1 || n == 2) << "hybrid record count " << n;
+    const int v = d.VarId("r").value();
+    for (std::uint64_t rec = 0; rec < n; ++rec) {
+      std::vector<std::int32_t> got(8);
+      const std::uint64_t st[] = {rec, 0};
+      const std::uint64_t ct[] = {1, 8};
+      ASSERT_TRUE(d.GetVara<std::int32_t>(v, st, ct, got).ok());
+      for (int rank = 0; rank < 4; ++rank) {
+        const std::int32_t base =
+            static_cast<std::int32_t>(100 * rec + 10 * rank);
+        EXPECT_EQ(got[2 * rank], base) << "rec " << rec << " rank " << rank;
+        EXPECT_EQ(got[2 * rank + 1], base + 1);
+      }
+    }
+
+    if (!crashed) {
+      EXPECT_EQ(n, 2u);
+      ++new_outcomes;
+      break;
+    }
+    (n == 1 ? old_outcomes : new_outcomes)++;
+  }
+  EXPECT_GT(old_outcomes, 0);
+  EXPECT_GT(new_outcomes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Crash point × transient faults, four ranks. The collective data path and
+// the root's journal commit both retry transients while the crash threshold
+// sweeps the append; every rank's slice must still come back all-old or
+// all-new.
+TEST(CrashSweep, ParallelRecordAppendFourRanksUnderTransients) {
+  auto write_record = [](pnetcdf::Dataset& ds, int v, std::uint64_t rec,
+                         int rank) {
+    const std::int32_t base = static_cast<std::int32_t>(100 * rec + 10 * rank);
+    const std::vector<std::int32_t> mine = {base, base + 1};
+    const std::uint64_t st[] = {rec, static_cast<std::uint64_t>(2 * rank)};
+    const std::uint64_t ct[] = {1, 2};
+    return ds.PutVaraAll<std::int32_t>(v, st, ct, mine);
+  };
+
+  int old_outcomes = 0, new_outcomes = 0;
+  for (std::uint64_t t = 0; t < kSweepCeiling; ++t) {
+    pfs::FileSystem fs;
+    simmpi::Run(4, [&](simmpi::Comm& c) {  // committed state: one record
+      auto ds =
+          pnetcdf::Dataset::Create(c, fs, "p.nc", simmpi::NullInfo()).value();
+      const int time = ds.DefDim("time", pnetcdf::kUnlimited).value();
+      const int x = ds.DefDim("x", 8).value();
+      const int v = ds.DefVar("r", NcType::kInt, {time, x}).value();
+      ASSERT_TRUE(ds.EndDef().ok());
+      ASSERT_TRUE(write_record(ds, v, 0, c.rank()).ok());
+      ASSERT_TRUE(ds.Close().ok());
+    });
+
+    const pfs::FaultPolicy pol = ArmCrashWithTransients(fs, t, 4);
+    SCOPED_TRACE("crash point t=" + std::to_string(t) + " " +
+                 pnc_test::DescribePolicy(pol));
+    simmpi::Run(4, [&](simmpi::Comm& c) {
+      auto r = pnetcdf::Dataset::Open(c, fs, "p.nc", true, simmpi::NullInfo());
+      if (!r.ok()) return;
       auto ds = std::move(r).value();
       const int v = ds.VarId("r").value();
       (void)write_record(ds, v, 1, c.rank());
