@@ -76,12 +76,13 @@ const char* EvName(Ev e) {
     case Ev::kRankStraggle: return "rank_straggle";
     case Ev::kMsgDrop: return "msg_drop";
     case Ev::kAgreement: return "agreement";
+    case Ev::kDataCorrupt: return "data_corrupt";
   }
   return "unknown";
 }
 
 bool EvFromName(std::string_view name, Ev* out) {
-  for (std::uint16_t k = 1; k <= static_cast<std::uint16_t>(Ev::kAgreement);
+  for (std::uint16_t k = 1; k <= static_cast<std::uint16_t>(Ev::kDataCorrupt);
        ++k) {
     const Ev e = static_cast<Ev>(k);
     if (name == EvName(e)) {

@@ -73,6 +73,9 @@ enum class Ev : std::uint16_t {
   kMsgDrop,       ///< send vanished in transit: a0=bytes, a1=dest world rank
   kAgreement,     ///< fault-tolerant agreement round done: d=wait ns,
                   ///< a0=survivor count, a1=any_dead
+  kDataCorrupt,   ///< chunk checksum mismatch survived heal retries:
+                  ///< a0=chunk index, a1=heal attempts; req = the read
+                  ///< that surfaced kDataCorrupt
 };
 
 /// Stable wire name for an event kind (e.g. "pfs_server").

@@ -53,6 +53,9 @@ const char* CtrName(Ctr c) {
     case Ctr::kNcDataBytesWritten: return "nc.data_bytes_written";
     case Ctr::kNcModeSwitches: return "nc.mode_switches";
     case Ctr::kNcReqsCoalesced: return "nc.reqs_coalesced";
+    case Ctr::kNcSumChunksVerified: return "nc.sum_chunks_verified";
+    case Ctr::kNcSumMismatch: return "nc.sum_mismatch";
+    case Ctr::kNcSumHealedRetries: return "nc.sum_healed_retries";
     case Ctr::kMpiMessages: return "mpi.messages";
     case Ctr::kMpiMessageBytes: return "mpi.message_bytes";
     case Ctr::kMpiCollectives: return "mpi.collectives";

@@ -76,6 +76,9 @@ enum class Ctr : unsigned {
   kNcDataBytesWritten,    ///< variable-data bytes supplied by callers
   kNcModeSwitches,        ///< EndDef/Redef/BeginIndepData/EndIndepData
   kNcReqsCoalesced,       ///< nonblocking requests merged by WaitAll
+  kNcSumChunksVerified,   ///< data chunks whose CRC a read recomputed
+  kNcSumMismatch,         ///< chunk CRC mismatches observed (pre-heal)
+  kNcSumHealedRetries,    ///< chunk re-reads that healed a mismatch
 
   // --- simmpi: the thread-backed message layer ---
   kMpiMessages,           ///< point-to-point messages delivered

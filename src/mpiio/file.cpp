@@ -192,10 +192,33 @@ pnc::Status File::Close() {
 const Hints& File::hints() const { return impl_->hints; }
 simmpi::Comm& File::comm() { return impl_->comm; }
 
+void File::AttachSums(ncformat::ChunkSumMap* sums, bool verify) {
+  if (!impl_) return;
+  impl_->sums = sums;
+  impl_->sums_verify = verify && sums != nullptr;
+}
+
 // ------------------------------------------------------------ fault path
 
 pnc::Status File::Impl::RetryIo(bool is_write, std::uint64_t off,
                                 std::byte* data, std::uint64_t len) {
+  pnc::Status st = RawIo(is_write, off, data, len);
+  if (!st.ok() || sums == nullptr || len == 0) return st;
+  if (is_write) {
+    sums->MarkDirtyRange(off, len);
+    return st;
+  }
+  if (!sums_verify) return st;
+  return ncformat::VerifyReadRange(
+      *sums, off, pnc::ByteSpan(data, len), file.size(),
+      [this](std::uint64_t o, pnc::ByteSpan out) {
+        return RawIo(/*is_write=*/false, o, out.data(), out.size());
+      },
+      std::max(1, retry.max_attempts), comm.clock().now(), nullptr);
+}
+
+pnc::Status File::Impl::RawIo(bool is_write, std::uint64_t off,
+                              std::byte* data, std::uint64_t len) {
   auto& clk = comm.clock();
   return pnc::util::RetryWithBackoff(
       retry, clk, len,

@@ -25,6 +25,10 @@
 #include "simmpi/info.hpp"
 #include "util/status.hpp"
 
+namespace ncformat {
+class ChunkSumMap;
+}
+
 namespace mpiio {
 
 /// Open mode flags (subset of MPI_MODE_*).
@@ -86,6 +90,15 @@ class File {
 
   [[nodiscard]] const Hints& hints() const;
   [[nodiscard]] simmpi::Comm& comm();
+
+  /// Attach a chunk-sum map (format/sums.hpp) owned by the caller (the
+  /// dataset layer), which must outlive the file. Writes then mark their
+  /// chunks dirty in the map; with `verify` set, every physical read —
+  /// independent, sieving (including RMW pre-reads), and two-phase
+  /// aggregator I/O — recomputes covered chunk CRCs, heals transient
+  /// mismatches by re-reading, and returns kDataCorrupt for persistent
+  /// ones. Pass nullptr to detach. Not collective.
+  void AttachSums(ncformat::ChunkSumMap* sums, bool verify);
 
  private:
   struct Impl;

@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "format/sums.hpp"
 #include "mpiio/file.hpp"
 #include "util/retry.hpp"
 
@@ -25,13 +26,29 @@ struct File::Impl {
   FileView view;
   bool open = true;
 
+  /// Attached chunk-sum map (format/sums.hpp), owned by the dataset layer.
+  /// Null = integrity machinery fully disarmed (PNC_SUMS=0 discipline).
+  /// When set, every successful physical write marks its chunks dirty;
+  /// reads additionally verify when `sums_verify` is set (read-only
+  /// sessions — a writable parallel session cannot verify, because peers'
+  /// writes dirty chunks this rank has no way to know about).
+  ncformat::ChunkSumMap* sums = nullptr;
+  bool sums_verify = false;
+
   /// Move [off, off+len) between the file and `data` through the
   /// fault-injected pfs path, absorbing short transfers by resuming from the
   /// transferred count and transient errors by bounded retry-with-backoff
   /// (charged to the virtual clock, counted in pfs::Stats). A transient
-  /// error that survives the retry budget is reported as kIo.
+  /// error that survives the retry budget is reported as kIo. On top of
+  /// RawIo this maintains the attached chunk-sum map: dirty marking on
+  /// writes, verify/heal on reads (every read path — independent, sieving
+  /// windows, RMW pre-reads, and two-phase aggregator I/O — funnels here).
   pnc::Status RetryIo(bool is_write, std::uint64_t off, std::byte* data,
                       std::uint64_t len);
+  /// The transfer itself, with no integrity hooks (verification re-reads
+  /// use this directly to avoid recursion).
+  pnc::Status RawIo(bool is_write, std::uint64_t off, std::byte* data,
+                    std::uint64_t len);
   /// Same policy for a sync barrier (zero-length faultable op).
   pnc::Status RetrySync();
 };

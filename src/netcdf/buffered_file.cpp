@@ -15,8 +15,36 @@ BufferedFile::BufferedFile(pfs::File file, simmpi::VirtualClock* clock,
   block_.resize(bufsize_);
 }
 
+void BufferedFile::AttachSums(ncformat::ChunkSumMap* sums, bool verify) {
+  sums_ = sums;
+  sums_verify_ = verify && sums != nullptr;
+  // Bytes cached before the map was attached (the header read that
+  // preceded loading the sidecar) were never verified; drop a clean block
+  // so every later read re-fetches through the verify path. A dirty block
+  // holds this session's own writes and stays.
+  if (sums_verify_ && block_valid_ && dirty_lo_ == dirty_hi_)
+    block_valid_ = false;
+}
+
 pnc::Status BufferedFile::RetryIo(bool is_write, std::uint64_t offset,
                                   std::byte* data, std::uint64_t len) {
+  pnc::Status st = RawIo(is_write, offset, data, len);
+  if (!st.ok() || sums_ == nullptr || len == 0) return st;
+  if (is_write) {
+    sums_->MarkDirtyRange(offset, len);
+    return st;
+  }
+  if (!sums_verify_) return st;
+  return ncformat::VerifyReadRange(
+      *sums_, offset, pnc::ByteSpan(data, len), file_.size(),
+      [this](std::uint64_t o, pnc::ByteSpan out) {
+        return RawIo(/*is_write=*/false, o, out.data(), out.size());
+      },
+      std::max(1, retry_.max_attempts), clock_->now(), nullptr);
+}
+
+pnc::Status BufferedFile::RawIo(bool is_write, std::uint64_t offset,
+                                std::byte* data, std::uint64_t len) {
   return pnc::util::RetryWithBackoff(
       retry_, *clock_, len,
       [&](std::uint64_t done) {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "format/sums.hpp"
 #include "pfs/pfs.hpp"
 #include "simmpi/clock.hpp"
 #include "util/bytes.hpp"
@@ -42,16 +43,32 @@ class BufferedFile {
   [[nodiscard]] pnc::Status Truncate(std::uint64_t n);
   [[nodiscard]] pnc::Status Sync();
 
+  /// Attach a chunk-sum map (format/sums.hpp) owned by the caller, which
+  /// must outlive this file. Physical writes mark their chunks dirty;
+  /// with `verify` set, physical reads (block loads and large bypass
+  /// reads) recompute covered chunk CRCs, healing transient flips by
+  /// re-reading and returning kDataCorrupt for persistent damage. The
+  /// serial library is single-writer, so verify is safe in writable
+  /// sessions too (this rank's own writes are exactly the dirty set).
+  void AttachSums(ncformat::ChunkSumMap* sums, bool verify);
+
  private:
   pnc::Status LoadBlock(std::uint64_t block_start);
   /// Bounded retry over the fault-injected pfs path (see mpiio's RetryIo;
-  /// the serial library applies the same policy without MPI hints).
+  /// the serial library applies the same policy without MPI hints), plus
+  /// the integrity hooks of the attached chunk-sum map.
   pnc::Status RetryIo(bool is_write, std::uint64_t offset, std::byte* data,
                       std::uint64_t len);
+  /// The transfer alone, no integrity hooks (used by verification
+  /// re-reads to avoid recursion).
+  pnc::Status RawIo(bool is_write, std::uint64_t offset, std::byte* data,
+                    std::uint64_t len);
 
   pfs::File file_;
   simmpi::VirtualClock* clock_;
   pnc::util::RetryPolicy retry_;  ///< defaults + PNC_RETRY_* env (rank 0)
+  ncformat::ChunkSumMap* sums_ = nullptr;
+  bool sums_verify_ = false;
   std::uint64_t bufsize_;
   double copy_ns_per_byte_;
 

@@ -6,8 +6,10 @@
 #include "format/commit.hpp"
 #include "format/commit_pfs.hpp"
 #include "format/header_io.hpp"
+#include "format/sums.hpp"
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
+#include "util/crc32.hpp"
 
 namespace netcdf {
 
@@ -39,7 +41,103 @@ struct Dataset::Impl {
   // journal — those keep the pre-journal in-place update behaviour.
   std::optional<ncformat::PfsCommitIo> journal;
   std::optional<ncformat::CommitState> commit;
+
+  // Data integrity (format/sums.hpp): the chunk-sum map attached to `io`
+  // plus the `.ncsum` sidecar it is committed through. Armed only when
+  // PNC_SUMS is on (the default); disarmed, none of this exists and runs
+  // are bit-identical to a build without the subsystem. The serial
+  // library is single-writer, so verify-on-read is safe even in writable
+  // sessions: this session's own writes are exactly the dirty set.
+  std::optional<ncformat::PfsCommitIo> sums_io;
+  ncformat::ChunkSumMap sums;
+  ncformat::SumsState sums_state;
+  bool sums_on = false;
+  bool data_corrupt = false;  ///< sticky: a read surfaced kDataCorrupt
+
+  pnc::Status FlushSums(bool closing);
+  pnc::Status SetupOpenSums(bool open_writable);
 };
+
+namespace {
+
+/// First byte of the data region: the lowest variable begin offset.
+/// 0 when no variables exist (the file has no data region yet).
+std::uint64_t DataBeginOf(const Header& h) {
+  std::uint64_t db = 0;
+  bool first = true;
+  for (const auto& v : h.vars) {
+    if (first || v.begin < db) db = v.begin;
+    first = false;
+  }
+  return first ? 0 : db;
+}
+
+}  // namespace
+
+/// Recompute every dirty chunk from the (durable) file bytes and commit the
+/// map through the `.ncsum` sidecar. `closing` clears the session-open
+/// marker, making the table trustworthy for later opens; a mid-session
+/// flush keeps it open so a later crash still degrades to "unsummed".
+pnc::Status Dataset::Impl::FlushSums(bool closing) {
+  if (!sums_on || !sums_io) return pnc::Status::Ok();
+  if (sums.chunk_size() != 0) {
+    const std::uint64_t fsize = io.size();
+    std::vector<std::byte> buf;
+    for (const std::uint64_t c : sums.dirty()) {
+      const std::uint64_t cstart = sums.ChunkStart(c);
+      if (cstart >= fsize) continue;
+      const std::uint64_t clen =
+          std::min<std::uint64_t>(sums.chunk_size(), fsize - cstart);
+      buf.resize(clen);
+      PNC_RETURN_IF_ERROR(io.ReadAt(cstart, pnc::ByteSpan(buf.data(), clen)));
+      sums.Set(c, ncformat::ChunkSum{
+                      static_cast<std::uint32_t>(clen),
+                      pnc::Crc32(pnc::ConstByteSpan(buf.data(), clen))});
+    }
+    sums.ClearDirty();
+  }
+  return ncformat::CommitSums(*sums_io, sums, /*open=*/!closing, &sums_state);
+}
+
+/// Arm the integrity subsystem for an opened (not freshly created) dataset.
+/// Writable opens mark the sidecar session-open *before* any data write can
+/// land; read-only opens attach verification only when a trusted, closed
+/// table exists whose geometry matches the live header.
+pnc::Status Dataset::Impl::SetupOpenSums(bool open_writable) {
+  if (!ncformat::SumsEnabled()) return pnc::Status::Ok();
+  const std::string spath = ncformat::SumsPath(path);
+  const bool existed = fs->Exists(spath);
+  if (!existed && !open_writable) return pnc::Status::Ok();
+  auto sf = existed ? fs->Open(spath) : fs->Create(spath, /*exclusive=*/false);
+  if (!sf.ok()) return sf.status();
+  sums_io.emplace(std::move(sf).value(), &clock);
+  if (!existed) PNC_RETURN_IF_ERROR(ncformat::FormatSums(*sums_io));
+  auto loaded = ncformat::LoadSums(*sums_io);
+  if (!loaded.ok()) return loaded.status();
+  sums_state = loaded.value().state;
+  const std::uint64_t db = DataBeginOf(header);
+  // A sidecar whose recorded geometry disagrees with the live header (e.g.
+  // stale after an out-of-band rewrite of the primary) is discarded rather
+  // than risking false corruption verdicts.
+  const bool trusted =
+      loaded.value().trusted && loaded.value().map.data_begin() == db;
+  if (trusted) {
+    sums = std::move(loaded.value().map);
+  } else {
+    sums.Clear();
+    sums.SetGeometry(ncformat::SumChunkSize(), db);
+  }
+  if (open_writable) {
+    PNC_RETURN_IF_ERROR(
+        ncformat::CommitSums(*sums_io, sums, /*open=*/true, &sums_state));
+  } else if (!trusted) {
+    sums_io.reset();  // nothing trustworthy to verify against
+    return pnc::Status::Ok();
+  }
+  sums_on = true;
+  io.AttachSums(&sums, /*verify=*/true);
+  return pnc::Status::Ok();
+}
 
 // ------------------------------------------------------------ lifecycle
 
@@ -61,6 +159,17 @@ pnc::Result<Dataset> Dataset::Create(pfs::FileSystem& fs,
   if (!jf.ok()) return jf.status();
   im.journal.emplace(std::move(jf).value(), &im.clock);
   PNC_RETURN_IF_ERROR(ncformat::FormatJournal(*im.journal));
+  // Same for the chunk-sum sidecar: format (wiping any stale table) and
+  // attach. No geometry yet — EndDef sets it once the data region exists.
+  // Nothing is committed before then, so a crash leaves it untrusted.
+  if (ncformat::SumsEnabled()) {
+    auto sf = fs.Create(ncformat::SumsPath(path), /*exclusive=*/false);
+    if (!sf.ok()) return sf.status();
+    im.sums_io.emplace(std::move(sf).value(), &im.clock);
+    PNC_RETURN_IF_ERROR(ncformat::FormatSums(*im.sums_io));
+    im.sums_on = true;
+    im.io.AttachSums(&im.sums, /*verify=*/true);
+  }
   return ds;
 }
 
@@ -101,6 +210,9 @@ pnc::Result<Dataset> Dataset::Open(pfs::FileSystem& fs, const std::string& path,
   }
 
   if (recovered) {
+    // Torn primary, recovered in memory only: the on-disk bytes do not
+    // match what this session sees, so attaching sums (written against the
+    // repaired view) could only mislead. Run without them.
     im.header = *std::move(recovered);
     return ds;
   }
@@ -111,6 +223,7 @@ pnc::Result<Dataset> Dataset::Open(pfs::FileSystem& fs, const std::string& path,
       });
   if (!hdr.ok()) return hdr.status();
   im.header = std::move(hdr).value();
+  PNC_RETURN_IF_ERROR(im.SetupOpenSums(writable));
   return ds;
 }
 
@@ -141,6 +254,22 @@ pnc::Status Dataset::EndDef() {
       im.header.EncodedSize() <= im.pre_redef->data_begin())
     min_begin = im.pre_redef->data_begin();
   PNC_RETURN_IF_ERROR(im.header.ComputeLayout(min_begin));
+  // Sum geometry follows the (possibly moved) data region. Set it before
+  // the moves/fills below so their writes mark chunks dirty in the new
+  // geometry; when the region moved, every committed sum is stale, so
+  // re-sum all existing bytes at the next flush.
+  if (im.sums_on) {
+    const std::uint64_t db = DataBeginOf(im.header);
+    if (im.sums.chunk_size() == 0 || im.sums.data_begin() != db) {
+      const std::uint64_t cs = im.sums.chunk_size() != 0
+                                   ? im.sums.chunk_size()
+                                   : ncformat::SumChunkSize();
+      im.sums.Clear();
+      im.sums.SetGeometry(cs, db);
+      if (had_data && im.io.size() > db)
+        im.sums.MarkDirtyRange(db, im.io.size() - db);
+    }
+  }
   if (had_data && im.pre_redef) {
     PNC_RETURN_IF_ERROR(MoveDataForRelayout(*im.pre_redef));
   }
@@ -163,7 +292,9 @@ pnc::Status Dataset::Sync() {
   auto& im = *impl_;
   if (im.defining) return pnc::Status(pnc::Err::kInDefine);
   if (im.numrecs_dirty) PNC_RETURN_IF_ERROR(WriteNumrecs());
-  return im.io.Sync();
+  PNC_RETURN_IF_ERROR(im.io.Sync());
+  // Data durable first, then the sums describing it (still session-open).
+  return im.FlushSums(/*closing=*/false);
 }
 
 pnc::Status Dataset::Close() {
@@ -171,7 +302,16 @@ pnc::Status Dataset::Close() {
   auto& im = *impl_;
   if (im.defining) PNC_RETURN_IF_ERROR(EndDef());
   if (im.numrecs_dirty) PNC_RETURN_IF_ERROR(WriteNumrecs());
-  return im.journal ? im.io.Sync() : im.io.Flush();
+  PNC_RETURN_IF_ERROR(im.journal ? im.io.Sync() : im.io.Flush());
+  // Final flush commits the table closed: only a session that reached this
+  // point hands trustworthy sums to the next open. A sticky corrupt read
+  // is re-reported here so a caller that ignored the data call cannot
+  // mistake the dataset for healthy.
+  PNC_RETURN_IF_ERROR(im.FlushSums(/*closing=*/true));
+  if (im.data_corrupt)
+    return pnc::Status(pnc::Err::kDataCorrupt,
+                       "dataset read corrupt data this session");
+  return pnc::Status::Ok();
 }
 
 pnc::Status Dataset::Abort() {
@@ -179,6 +319,7 @@ pnc::Status Dataset::Abort() {
   auto& im = *impl_;
   if (im.defining && im.fresh) {
     (void)im.fs->Remove(ncformat::JournalPath(im.path));
+    if (im.sums_io) (void)im.fs->Remove(ncformat::SumsPath(im.path));
     return im.fs->Remove(im.path);
   }
   if (im.defining && im.pre_redef) {
@@ -437,7 +578,9 @@ pnc::Status Dataset::GetExternal(int varid,
   ncformat::AccessRegions(im.header, varid, start, count, stride, regions);
   std::uint64_t pos = 0;
   for (const auto& r : regions) {
-    PNC_RETURN_IF_ERROR(im.io.ReadAt(r.offset, external.subspan(pos, r.len)));
+    pnc::Status st = im.io.ReadAt(r.offset, external.subspan(pos, r.len));
+    if (st.code() == pnc::Err::kDataCorrupt) im.data_corrupt = true;
+    PNC_RETURN_IF_ERROR(st);
     pos += r.len;
   }
   return pnc::Status::Ok();

@@ -104,6 +104,21 @@ FaultDecision FaultInjector::Decide(bool is_write, std::uint64_t len,
     d.flip_bit = static_cast<unsigned>(rng_.Below(8));
     return d;
   }
+  if (is_write && policy_.bitflip_write_prob > 0 && len > 0 &&
+      rng_.NextDouble() < policy_.bitflip_write_prob) {
+    d.kind = FaultDecision::Kind::kBitFlip;
+    d.flip_byte = rng_.Below(len);
+    d.flip_bit = static_cast<unsigned>(rng_.Below(8));
+    written_bytes_ += len;  // the (corrupted) write lands in full
+    return d;
+  }
+  if (!is_write && policy_.corrupt_at_rest > 0 && len > 0 &&
+      rng_.NextDouble() < policy_.corrupt_at_rest) {
+    d.kind = FaultDecision::Kind::kAtRest;
+    d.flip_byte = rng_.Below(len);
+    d.flip_bit = static_cast<unsigned>(rng_.Below(8));
+    return d;
+  }
   if (is_write) written_bytes_ += len;
   return d;
 }
@@ -111,6 +126,16 @@ FaultDecision FaultInjector::Decide(bool is_write, std::uint64_t len,
 void FaultInjector::CountBitflip() {
   std::lock_guard<std::mutex> lk(mu_);
   ++counters_.bitflips;
+}
+
+void FaultInjector::CountWriteBitflip() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.write_bitflips;
+}
+
+void FaultInjector::CountAtRestCorruption() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.at_rest_corruptions;
 }
 
 void FaultInjector::SetPolicy(const FaultPolicy& policy) {
@@ -168,6 +193,16 @@ FaultyByteStore::Outcome FaultyByteStore::FaultedWrite(std::uint64_t offset,
     case FaultDecision::Kind::kShort:
       inner_->Write(offset, data.first(d.short_bytes));
       return {pnc::Status::Ok(), d.short_bytes};
+    case FaultDecision::Kind::kBitFlip: {
+      // The write "succeeds", but the medium stores one flipped bit. The
+      // caller's buffer is untouched — only a later read can notice.
+      std::vector<std::byte> corrupted(data.begin(), data.end());
+      corrupted[static_cast<std::size_t>(d.flip_byte)] ^=
+          static_cast<std::byte>(1u << d.flip_bit);
+      inner_->Write(offset, corrupted);
+      injector_->CountWriteBitflip();
+      return {pnc::Status::Ok(), data.size()};
+    }
     default:
       inner_->Write(offset, data);
       return {pnc::Status::Ok(), data.size()};
@@ -196,6 +231,17 @@ FaultyByteStore::Outcome FaultyByteStore::FaultedRead(std::uint64_t offset,
       out[static_cast<std::size_t>(d.flip_byte)] ^=
           static_cast<std::byte>(1u << d.flip_bit);
       injector_->CountBitflip();
+      return {pnc::Status::Ok(), out.size()};
+    }
+    case FaultDecision::Kind::kAtRest: {
+      // Medium decay: flip the bit on storage itself, then serve the read
+      // from the damaged bytes. Retries re-read the same corruption.
+      inner_->Read(offset, out);
+      out[static_cast<std::size_t>(d.flip_byte)] ^=
+          static_cast<std::byte>(1u << d.flip_bit);
+      inner_->Write(offset + d.flip_byte,
+                    pnc::ConstByteSpan(out.data() + d.flip_byte, 1));
+      injector_->CountAtRestCorruption();
       return {pnc::Status::Ok(), out.size()};
     }
     default:

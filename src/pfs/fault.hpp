@@ -80,7 +80,17 @@ struct FaultPolicy {
 
   // --- silent corruption ---
   /// Seeded per-read probability that one bit of the returned data flips.
+  /// Transient: the stored bytes stay intact, so a re-read heals.
   double bitflip_read_prob = 0.0;
+  /// Seeded per-write probability that one bit of the *stored* payload
+  /// flips: the write reports success, but the medium keeps the flipped
+  /// byte. Every later read of that byte sees the corruption.
+  double bitflip_write_prob = 0.0;
+  /// Seeded per-read probability of at-rest decay: one bit inside the
+  /// accessed range flips on the medium itself (persisted), and the read
+  /// returns the corrupted bytes. Unlike bitflip_read_prob, a retry
+  /// re-reads the same damage — only a checksum can tell.
+  double corrupt_at_rest = 0.0;
 
   // --- crash points (simulated power loss) ---
   /// Scripted crash: the op with this index crashes the file system. If it
@@ -104,6 +114,7 @@ struct FaultPolicy {
            !outages.empty() || !permanent_ops.empty() ||
            permanent_from != kNever || short_read_prob > 0 ||
            short_write_prob > 0 || bitflip_read_prob > 0 ||
+           bitflip_write_prob > 0 || corrupt_at_rest > 0 ||
            crash_op != kNever || crash_after_write_bytes != kNever;
   }
 };
@@ -114,18 +125,23 @@ struct FaultCounters {
   std::uint64_t permanent_faults = 0;
   std::uint64_t short_reads = 0;
   std::uint64_t short_writes = 0;
-  std::uint64_t bitflips = 0;
+  std::uint64_t bitflips = 0;        ///< transient read-side flips
+  std::uint64_t write_bitflips = 0;  ///< flips persisted by a write
+  std::uint64_t at_rest_corruptions = 0;  ///< flips decayed on the medium
   std::uint64_t crashes = 0;  ///< ops refused because the image is frozen
   std::uint64_t faultable_ops = 0;  ///< ops that consulted the injector
 };
 
 /// What the injector decided for one op.
 struct FaultDecision {
-  enum class Kind { kOk, kTransient, kPermanent, kShort, kBitFlip, kCrash };
+  enum class Kind {
+    kOk, kTransient, kPermanent, kShort, kBitFlip, kAtRest, kCrash
+  };
   Kind kind = Kind::kOk;
   std::uint64_t short_bytes = 0;  ///< kShort: bytes to actually transfer
-  std::uint64_t flip_byte = 0;    ///< kBitFlip: byte index within the request
-  unsigned flip_bit = 0;          ///< kBitFlip: bit index within that byte
+  std::uint64_t flip_byte = 0;    ///< kBitFlip/kAtRest: byte index within
+                                  ///< the request
+  unsigned flip_bit = 0;          ///< kBitFlip/kAtRest: bit in that byte
   std::uint64_t torn_bytes = 0;   ///< kCrash on a write: prefix that lands
 };
 
@@ -145,6 +161,10 @@ class FaultInjector {
   /// Record a bit flip actually applied (kept separate from Decide so the
   /// decision and the data mutation stay in one critical section each).
   void CountBitflip();
+  /// Record a persisted write-side flip actually applied.
+  void CountWriteBitflip();
+  /// Record an at-rest decay actually applied.
+  void CountAtRestCorruption();
 
   /// Replaces the schedule and reboots: the crashed state and the cumulative
   /// written-byte counter are cleared along with the op counter.

@@ -235,6 +235,7 @@ IoResult File::TrySync(double start_ns) {
     else if (d.kind == FaultDecision::Kind::kCrash) kind = "crash";
     else if (d.kind == FaultDecision::Kind::kShort) kind = "short";
     else if (d.kind == FaultDecision::Kind::kBitFlip) kind = "bitflip";
+    else if (d.kind == FaultDecision::Kind::kAtRest) kind = "at_rest";
     PNC_IOSTAT_EVENT(kPfsFault, start_ns, 0, /*is_write=*/1, 0, kind);
     if (d.kind == FaultDecision::Kind::kPermanent ||
         d.kind == FaultDecision::Kind::kCrash)
@@ -361,6 +362,8 @@ Stats FileSystem::stats() const {
   s.short_reads = fc.short_reads;
   s.short_writes = fc.short_writes;
   s.bitflips = fc.bitflips;
+  s.write_bitflips = fc.write_bitflips;
+  s.at_rest_corruptions = fc.at_rest_corruptions;
   s.crashes = fc.crashes;
   return s;
 }

@@ -81,6 +81,8 @@ struct Stats {
   std::uint64_t short_reads = 0;
   std::uint64_t short_writes = 0;
   std::uint64_t bitflips = 0;
+  std::uint64_t write_bitflips = 0;
+  std::uint64_t at_rest_corruptions = 0;
   std::uint64_t crashes = 0;
   std::uint64_t read_retries = 0;
   std::uint64_t write_retries = 0;

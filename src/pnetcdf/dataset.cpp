@@ -6,8 +6,10 @@
 
 #include "format/commit.hpp"
 #include "format/commit_pfs.hpp"
+#include "format/sums.hpp"
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
+#include "util/crc32.hpp"
 
 namespace pnetcdf {
 
@@ -50,6 +52,25 @@ struct Dataset::Impl {
   // commit (the journal keeps the last committed header legal). Survivors
   // shrink the communicator (Comm::AgreeFT + LiveSubsetFT) and reopen.
   bool rank_failed = false;
+
+  // Data integrity (format/sums.hpp). Mirrors the journal: the sidecar
+  // handle and committed state live on rank 0, `sums_on` is agreed on all
+  // ranks, and every rank holds an identical committed map plus its own
+  // dirty set. Verification is attached only for read-only opens: in a
+  // writable parallel session a peer's write invalidates chunks this rank
+  // cannot see, so inline verification would flag fresh peer data as
+  // corrupt. Writable sessions maintain the map only; scrub and later
+  // read-only opens get the protection. Disabled under an armed rank-fault
+  // schedule (the flush gather is not fault tolerant) — the sidecar then
+  // stays session-open, i.e. untrusted, never wrong.
+  bool sums_on = false;
+  ncformat::ChunkSumMap sums;
+  std::optional<ncformat::PfsCommitIo> sums_io;  ///< rank 0 only
+  ncformat::SumsState sums_state;                ///< rank 0 only
+  bool data_corrupt = false;  ///< sticky: a read surfaced kDataCorrupt
+
+  pnc::Status SetupOpenSums(bool open_writable, bool root_torn);
+  pnc::Status FlushSums(bool closing);
 };
 
 namespace {
@@ -141,10 +162,215 @@ std::int64_t HashBytes(const std::vector<std::byte>& b) {
 /// failure agreement (two-phase, Sync, SetView...).
 pnc::Status Track(Dataset::Impl& im, pnc::Status st) {
   if (st.code() == pnc::Err::kRankFailed) im.rank_failed = true;
+  if (st.code() == pnc::Err::kDataCorrupt) im.data_corrupt = true;
   return st;
 }
 
+/// First byte of the data region: the lowest variable begin offset.
+/// 0 when no variables exist (the file has no data region yet).
+std::uint64_t DataBeginOf(const Header& h) {
+  std::uint64_t db = 0;
+  bool first = true;
+  for (const auto& v : h.vars) {
+    if (first || v.begin < db) db = v.begin;
+    first = false;
+  }
+  return first ? 0 : db;
+}
+
 }  // namespace
+
+/// Arm the integrity subsystem at Open. The root loads (or creates, when
+/// writable) the sidecar, decides trust, marks a writable session open
+/// *before* any data write can land, and broadcasts the committed table so
+/// every rank starts from the identical map. An empty table broadcast means
+/// the subsystem stays off (read-only with nothing trustworthy, or a torn
+/// primary whose in-memory repair does not match the on-disk bytes).
+pnc::Status Dataset::Impl::SetupOpenSums(bool open_writable, bool root_torn) {
+  if (!ncformat::SumsEnabled() || comm.FaultsArmed()) return pnc::Status::Ok();
+  int err = 0;
+  int verify = 0;
+  std::vector<std::byte> table;
+  if (comm.rank() == 0) {
+    const std::string spath = ncformat::SumsPath(path);
+    const bool existed = fs->Exists(spath);
+    do {
+      if (root_torn) break;
+      if (!existed && !open_writable) break;
+      auto sf =
+          existed ? fs->Open(spath) : fs->Create(spath, /*exclusive=*/false);
+      if (!sf.ok()) {
+        err = sf.status().raw();
+        break;
+      }
+      sums_io.emplace(std::move(sf).value(), &comm.clock());
+      if (!existed) {
+        const pnc::Status fst = ncformat::FormatSums(*sums_io);
+        if (!fst.ok()) {
+          err = fst.raw();
+          break;
+        }
+      }
+      auto loaded = ncformat::LoadSums(*sums_io);
+      if (!loaded.ok()) {
+        err = loaded.status().raw();
+        break;
+      }
+      sums_state = loaded.value().state;
+      const std::uint64_t db = DataBeginOf(header);
+      // A sidecar whose recorded geometry disagrees with the live header is
+      // discarded rather than risking false corruption verdicts.
+      const bool trusted =
+          loaded.value().trusted && loaded.value().map.data_begin() == db;
+      if (trusted) {
+        sums = std::move(loaded.value().map);
+      } else {
+        sums.Clear();
+        sums.SetGeometry(ncformat::SumChunkSize(), db);
+      }
+      if (open_writable) {
+        err = ncformat::CommitSums(*sums_io, sums, /*open=*/true, &sums_state)
+                  .raw();
+        if (err != 0) break;
+      } else if (!trusted) {
+        sums_io.reset();
+        break;
+      }
+      verify = !open_writable && trusted ? 1 : 0;
+      table = sums.EncodeTable();
+    } while (false);
+  }
+  comm.BcastValue(err, 0);
+  if (err != 0)
+    return pnc::Status(static_cast<pnc::Err>(err), "sum sidecar open");
+  comm.Bcast(table, 0);
+  if (table.empty()) return pnc::Status::Ok();
+  if (comm.rank() != 0) {
+    auto m = ncformat::ChunkSumMap::DecodeTable(table);
+    if (!m.ok()) return m.status();
+    sums = std::move(m).value();
+  }
+  comm.BcastValue(verify, 0);
+  sums_on = true;
+  file.AttachSums(&sums, verify != 0);
+  return pnc::Status::Ok();
+}
+
+/// Root-committed sum flush. The data is already durable (callers sync
+/// first). The per-rank dirty sets are allgathered and unioned; each rank
+/// re-reads and checksums a round-robin stripe of the union (the recompute
+/// work is distributed instead of serializing on the root, though the
+/// reads take rank-ordered turns for virtual-time determinism — see the
+/// loop comment); the root merges the gathered entries and commits the table
+/// (still session-open unless closing), and the result is broadcast so
+/// every rank resumes from the identical committed map.
+pnc::Status Dataset::Impl::FlushSums(bool closing) {
+  if (!sums_on || !writable) return pnc::Status::Ok();
+  std::vector<std::byte> local(sums.dirty().size() * 8);
+  std::size_t i = 0;
+  for (const std::uint64_t c : sums.dirty()) {
+    std::memcpy(local.data() + i * 8, &c, 8);
+    ++i;
+  }
+  auto all = comm.Allgather(pnc::ConstByteSpan(local.data(), local.size()));
+  std::set<std::uint64_t> dirty;
+  for (const auto& blob : all) {
+    for (std::size_t k = 0; k + 8 <= blob.size(); k += 8) {
+      std::uint64_t c = 0;
+      std::memcpy(&c, blob.data() + k, 8);
+      dirty.insert(c);
+    }
+  }
+  file.ClearView();
+  pnc::Status rst = pnc::Status::Ok();
+  std::vector<std::byte> entries;
+  if (sums.chunk_size() != 0 && !dirty.empty()) {
+    const std::uint64_t fsize =
+        file.GetSize().ok() ? file.GetSize().value() : 0;
+    const std::uint64_t csize = sums.chunk_size();
+    // This rank's contiguous slice of the sorted union; runs of adjacent
+    // chunks are fetched in one large read (capped at 64 chunks) so the
+    // recompute I/O looks like the striped data I/O, not 64 KiB nibbles.
+    const std::vector<std::uint64_t> du(dirty.begin(), dirty.end());
+    const std::size_t P = static_cast<std::size_t>(comm.size());
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    const std::size_t lo = du.size() * r / P;
+    const std::size_t hi = du.size() * (r + 1) / P;
+    std::vector<std::byte> buf;
+    // Rank-ordered turns: the recompute reads are distributed across ranks
+    // but must not hit the pfs server queues concurrently — ServeRequest
+    // updates server_next_free_ in real-time arrival order, so racing
+    // ranks would make the virtual makespan depend on thread scheduling
+    // (the same reason the smoke suite pins cb_nodes=1).
+    for (int turn = 0; turn < comm.size(); ++turn) {
+      if (turn == comm.rank()) {
+        std::size_t k = lo;
+        while (k < hi && rst.ok()) {
+          std::size_t e = k + 1;
+          while (e < hi && e - k < 64 && du[e] == du[e - 1] + 1) ++e;
+          const std::uint64_t rstart = sums.ChunkStart(du[k]);
+          if (rstart >= fsize) break;  // du sorted: the rest is past EOF too
+          const std::uint64_t rlen =
+              std::min<std::uint64_t>((du[e - 1] - du[k] + 1) * csize,
+                                      fsize - rstart);
+          buf.resize(rlen);
+          rst = file.ReadAt(rstart, buf.data(), rlen, simmpi::ByteType());
+          if (!rst.ok()) break;
+          for (std::size_t j = k; j < e; ++j) {
+            const std::uint64_t off = (du[j] - du[k]) * csize;
+            if (off >= rlen) break;
+            const std::uint64_t clen =
+                std::min<std::uint64_t>(csize, rlen - off);
+            const std::uint32_t len32 = static_cast<std::uint32_t>(clen);
+            const std::uint32_t crc =
+                pnc::Crc32(pnc::ConstByteSpan(buf.data() + off, clen));
+            const std::size_t at = entries.size();
+            entries.resize(at + 16);
+            std::memcpy(entries.data() + at, &du[j], 8);
+            std::memcpy(entries.data() + at + 8, &len32, 4);
+            std::memcpy(entries.data() + at + 12, &crc, 4);
+          }
+          k = e;
+        }
+      }
+      comm.Barrier();
+    }
+  }
+  auto gathered =
+      comm.Gather(pnc::ConstByteSpan(entries.data(), entries.size()), 0);
+  int err = comm.AllreduceMin(rst.raw());
+  if (comm.rank() == 0 && err == 0) {
+    pnc::Status st = pnc::Status::Ok();
+    for (const auto& blob : gathered) {
+      for (std::size_t k = 0; k + 16 <= blob.size(); k += 16) {
+        std::uint64_t c = 0;
+        std::uint32_t len32 = 0, crc = 0;
+        std::memcpy(&c, blob.data() + k, 8);
+        std::memcpy(&len32, blob.data() + k + 8, 4);
+        std::memcpy(&crc, blob.data() + k + 12, 4);
+        sums.Set(c, ncformat::ChunkSum{len32, crc});
+      }
+    }
+    if (sums_io)
+      st = ncformat::CommitSums(*sums_io, sums, /*open=*/!closing,
+                                &sums_state);
+    err = st.raw();
+  }
+  comm.BcastValue(err, 0);
+  if (err != 0)
+    return pnc::Status(static_cast<pnc::Err>(err), "sum flush failed");
+  std::vector<std::byte> table;
+  if (comm.rank() == 0) table = sums.EncodeTable();
+  comm.Bcast(table, 0);
+  if (comm.rank() != 0 && !table.empty()) {
+    auto m = ncformat::ChunkSumMap::DecodeTable(table);
+    if (!m.ok()) return m.status();
+    sums = std::move(m).value();
+  }
+  sums.ClearDirty();
+  comm.Barrier();
+  return pnc::Status::Ok();
+}
 
 // ------------------------------------------------------------- lifecycle
 
@@ -192,6 +418,26 @@ pnc::Result<Dataset> Dataset::Create(simmpi::Comm comm, pfs::FileSystem& fs,
   if (jerr != 0)
     return pnc::Status(static_cast<pnc::Err>(jerr), "commit journal create");
   im.journaled = true;
+  // Same for the chunk-sum sidecar: the root formats it (wiping any stale
+  // table) and all ranks attach maintain-only. Geometry comes at EndDef;
+  // nothing is committed before then, so a crash leaves it untrusted.
+  if (ncformat::SumsEnabled() && !im.comm.FaultsArmed()) {
+    int serr = 0;
+    if (im.comm.rank() == 0) {
+      auto sf = fs.Create(ncformat::SumsPath(path), /*exclusive=*/false);
+      if (!sf.ok()) {
+        serr = sf.status().raw();
+      } else {
+        im.sums_io.emplace(std::move(sf).value(), &im.comm.clock());
+        serr = ncformat::FormatSums(*im.sums_io).raw();
+      }
+    }
+    im.comm.BcastValue(serr, 0);
+    if (serr != 0)
+      return pnc::Status(static_cast<pnc::Err>(serr), "sum sidecar create");
+    im.sums_on = true;
+    im.file.AttachSums(&im.sums, /*verify=*/false);
+  }
   if (im.comm.FaultsArmed()) {
     PNC_RETURN_IF_ERROR(FtBarrier(im));
   } else {
@@ -322,6 +568,7 @@ pnc::Result<Dataset> Dataset::Open(simmpi::Comm comm, pfs::FileSystem& fs,
   }
   im.header_align =
       static_cast<std::uint64_t>(im.info.GetInt("nc_header_align_size", 0));
+  PNC_RETURN_IF_ERROR(im.SetupOpenSums(writable, !recovered.empty()));
   return ds;
 }
 
@@ -421,6 +668,25 @@ pnc::Status Dataset::EndDef() {
     return pnc::Status(pnc::Err::kMultiDefine, "EndDef header mismatch");
   }
 
+  // Sum geometry follows the (possibly moved) data region; set it before
+  // the relayout below so its writes mark chunks dirty in the new geometry.
+  // When the region moved, every committed sum is stale: the root marks all
+  // existing data dirty so the next flush re-sums it.
+  if (im.sums_on) {
+    const std::uint64_t db = DataBeginOf(im.header);
+    if (im.sums.chunk_size() == 0 || im.sums.data_begin() != db) {
+      const std::uint64_t cs = im.sums.chunk_size() != 0
+                                   ? im.sums.chunk_size()
+                                   : ncformat::SumChunkSize();
+      im.sums.Clear();
+      im.sums.SetGeometry(cs, db);
+      if (!im.fresh && im.comm.rank() == 0) {
+        const std::uint64_t fsize =
+            im.file.GetSize().ok() ? im.file.GetSize().value() : 0;
+        if (fsize > db) im.sums.MarkDirtyRange(db, fsize - db);
+      }
+    }
+  }
   if (im.pre_redef && !im.fresh) {
     PNC_RETURN_IF_ERROR(RelayoutParallel(*im.pre_redef));
   }
@@ -439,7 +705,9 @@ pnc::Status Dataset::Sync() {
   if (im.rank_failed)
     return pnc::Status(pnc::Err::kRankFailed, "dataset degraded by a failure");
   PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));
-  return Track(im, im.file.Sync());
+  PNC_RETURN_IF_ERROR(Track(im, im.file.Sync()));
+  // Data durable first, then the sums describing it (still session-open).
+  return im.FlushSums(/*closing=*/false);
 }
 
 pnc::Status Dataset::Close() {
@@ -456,10 +724,21 @@ pnc::Status Dataset::Close() {
   }
   if (im.defining) PNC_RETURN_IF_ERROR(EndDef());
   PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));
+  if (im.sums_on && im.writable) {
+    // Final flush commits the table closed: only a session that reaches
+    // this point hands trustworthy sums to the next open.
+    PNC_RETURN_IF_ERROR(Track(im, im.file.Sync()));
+    PNC_RETURN_IF_ERROR(im.FlushSums(/*closing=*/true));
+  }
   pnc::Status st = Track(im, im.file.Close());
   // The collective close barrier has passed: every rank's counters are
   // final, so the reduction in the report is well defined.
   if (im.comm.rank() == 0) PNC_IOSTAT_AUTO_REPORT();
+  // A sticky corrupt read is re-reported here so a caller that ignored the
+  // data call's status cannot mistake the dataset for healthy.
+  if (st.ok() && im.data_corrupt)
+    st = pnc::Status(pnc::Err::kDataCorrupt,
+                     "dataset read corrupt data this session");
   return st;
 }
 
@@ -472,6 +751,10 @@ pnc::Status Dataset::Abort() {
     if (im.comm.rank() == 0) {
       im.journal.reset();
       (void)im.fs->Remove(ncformat::JournalPath(im.path));
+      if (im.sums_io) {
+        im.sums_io.reset();
+        (void)im.fs->Remove(ncformat::SumsPath(im.path));
+      }
       err = im.fs->Remove(im.path).raw();
     }
     if (im.comm.FaultsArmed()) {

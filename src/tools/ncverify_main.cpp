@@ -1,12 +1,17 @@
 // ncverify — fsck for classic netCDF files written through the commit
 // journal (<file>.nccommit sidecar).
 //
-// Usage: ncverify [--repair] [-q] file.nc
-//   --repair  roll a torn file back to its last committed state, in place
+// Usage: ncverify [--repair] [--data] [-q] file.nc
+//   --repair  roll a torn file back to its last committed state, in place;
+//             with --data, also rebuild the checksum sidecar from the
+//             current bytes (the new baseline)
+//   --data    scrub the data region against the <file>.ncsum chunk-checksum
+//             sidecar: every chunk is classified clean / corrupt / unsummed
 //   -q        quiet: no per-file report, exit status only
 //
 // Exit status (the shared tool contract, src/tools/cli.hpp): 0 clean (or
-// repaired), 1 torn but recoverable, 2 corrupt or usage/IO error.
+// repaired), 1 torn-but-recoverable or unsummed-only scrub coverage, 2
+// corrupt (crash state or failed checksums) or usage/IO error.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -18,9 +23,10 @@ int main(int argc, char** argv) {
   nctools::Cli cli(argc, argv);
   nctools::VerifyOptions opts;
   opts.repair = cli.Flag("--repair");
+  opts.data = cli.Flag("--data");
   const bool quiet = cli.Flag("-q");
   if (!cli.Unknown().empty() || cli.positionals().size() != 1) {
-    std::fprintf(stderr, "usage: ncverify [--repair] [-q] file.nc\n");
+    std::fprintf(stderr, "usage: ncverify [--repair] [--data] [-q] file.nc\n");
     return nctools::kExitError;
   }
   const std::string& path_s = cli.positionals()[0];
@@ -37,6 +43,18 @@ int main(int argc, char** argv) {
       !fs.AttachDisk(jpath, jpath).ok()) {
     std::fprintf(stderr, "ncverify: cannot open %s\n", jpath.c_str());
     return nctools::kExitError;
+  }
+  if (opts.data) {
+    const std::string spath = ncformat::SumsPath(path);
+    if (std::filesystem::exists(spath, ec)) {
+      if (!fs.AttachDisk(spath, spath).ok()) {
+        std::fprintf(stderr, "ncverify: cannot open %s\n", spath.c_str());
+        return nctools::kExitError;
+      }
+    } else if (opts.repair && !fs.CreateOnDisk(spath, spath).ok()) {
+      std::fprintf(stderr, "ncverify: cannot create %s\n", spath.c_str());
+      return nctools::kExitError;
+    }
   }
 
   auto r = nctools::VerifyFile(fs, path, opts);
@@ -56,9 +74,30 @@ int main(int argc, char** argv) {
     for (const auto& n : v.notes) std::printf("  note: %s\n", n.c_str());
     if (v.state == ncformat::FileState::kTornRecoverable && !opts.repair)
       std::printf("  run with --repair to restore the committed state\n");
+    if (v.scrub) {
+      const auto& s = *v.scrub;
+      std::printf("  data: %llu clean, %llu corrupt, %llu unsummed (%s)\n",
+                  static_cast<unsigned long long>(s.clean),
+                  static_cast<unsigned long long>(s.corrupt),
+                  static_cast<unsigned long long>(s.unsummed),
+                  s.trusted ? "sidecar trusted" : "sidecar untrusted");
+      for (const std::uint64_t c : s.corrupt_chunks)
+        std::printf("  corrupt chunk %llu\n",
+                    static_cast<unsigned long long>(c));
+      if (v.sums_rebuilt)
+        std::printf("  checksum sidecar rebuilt from current bytes\n");
+      else if (s.corrupt > 0)
+        std::printf(
+            "  restore the data, then run --data --repair to re-baseline\n");
+    }
   }
+  if (v.scrub && v.scrub->corrupt > 0 && !v.sums_rebuilt)
+    return nctools::kExitError;
   switch (v.state) {
     case ncformat::FileState::kClean:
+      if (v.scrub && !v.scrub->trusted && v.scrub->unsummed > 0 &&
+          !v.sums_rebuilt)
+        return nctools::kExitCondition;
       return nctools::kExitOk;
     case ncformat::FileState::kTornRecoverable:
       return nctools::kExitCondition;

@@ -2,16 +2,20 @@
 // files written through the commit journal (format/commit.hpp).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "format/commit.hpp"
+#include "format/sums.hpp"
 #include "pfs/pfs.hpp"
 
 namespace nctools {
 
 struct VerifyOptions {
   bool repair = false;  ///< roll a torn primary back to the committed state
+                        ///< (and, with `data`, rebuild the sum sidecar)
+  bool data = false;    ///< scrub the data region against the .ncsum sidecar
 };
 
 struct VerifyResult {
@@ -20,6 +24,10 @@ struct VerifyResult {
   bool repaired = false;   ///< a repair was performed (state is post-repair)
   std::string detail;      ///< classification rationale
   std::vector<std::string> notes;  ///< extent-walk observations (non-fatal)
+  /// Data scrub outcome (set only with opts.data): every chunk of the data
+  /// region classified clean / corrupt / unsummed against the sidecar.
+  std::optional<ncformat::ScrubReport> scrub;
+  bool sums_rebuilt = false;  ///< --repair --data recomputed the sidecar
 };
 
 /// Classify `path` against its sidecar commit journal: kClean (primary

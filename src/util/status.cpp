@@ -46,6 +46,8 @@ std::string_view StrError(Err e) {
     case Err::kMpi: return "simmpi runtime failure";
     case Err::kInternal: return "Internal library invariant violated";
     case Err::kRankFailed: return "A participating rank failed";
+    case Err::kDataCorrupt:
+      return "Data checksum mismatch (corrupt chunk on storage)";
   }
   return "Unknown error";
 }

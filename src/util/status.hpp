@@ -68,6 +68,12 @@ enum class Err : int {
                          ///< on the surviving set, and return this on every
                          ///< survivor instead of hanging; the file is left in
                          ///< a journal-consistent (ncverify-legal) state.
+  kDataCorrupt = -1006,  ///< A read recomputed a committed chunk checksum
+                         ///< (format/sums.hpp) and it kept mismatching after
+                         ///< heal retries: the bytes on storage no longer
+                         ///< match what was written. Never returned for a
+                         ///< transient flip (those heal); sticky at the
+                         ///< dataset layer — Close re-reports it.
 };
 
 /// Human-readable message for an error code (mirrors nc_strerror).

@@ -471,6 +471,67 @@ TEST(CrashSweep, ParallelRecordAppendFourRanksUnderTransients) {
 }
 
 // ---------------------------------------------------------------------------
+// .ncsum torn-write sweep: power loss at every byte boundary of a data
+// overwrite + close, which rewrites the data bytes, re-sums the dirty
+// chunk, and commits the checksum sidecar closed. Invariant: the offline
+// scrub NEVER reports corruption afterwards. Every crash point must leave
+// either a trusted sidecar whose sums match the bytes (crash before the
+// session-open commit, when data and sums are both still old, or after the
+// closing commit, when both are new) or a distrusted sidecar — torn, or
+// left session-open — that honestly degrades every chunk to "unsummed".
+TEST(CrashSweep, TornSumSidecarSweepNeverReportsCorrupt) {
+  int trusted_outcomes = 0, untrusted_outcomes = 0;
+  for (std::uint64_t t = 0; t < kSweepCeiling; ++t) {
+    pfs::FileSystem fs;
+    pnc_test::MakeValidFile(fs, "f.nc");  // sums committed by the clean close
+
+    const pfs::FaultPolicy pol = ArmCrash(fs, t);
+    SCOPED_TRACE("crash point t=" + std::to_string(t) + " " +
+                 pnc_test::DescribePolicy(pol));
+    {
+      auto ds = netcdf::Dataset::Open(fs, "f.nc", true);
+      if (ds.ok()) {
+        auto d = std::move(ds).value();
+        const auto v = d.VarId("a");
+        if (v.ok()) {
+          std::vector<double> vals(8, 2.0);
+          (void)d.PutVar<double>(v.value(), vals);
+        }
+        (void)d.Close();
+      }
+    }
+    const bool crashed = fs.crashed();
+    fs.SetFaultPolicy({});  // reboot
+
+    // The header journal's own guarantee still holds around the new
+    // sidecar traffic; repair the primary, then scrub the data region.
+    auto fixed = nctools::VerifyFile(fs, "f.nc", {.repair = true});
+    ASSERT_TRUE(fixed.ok()) << fixed.status().message();
+    ASSERT_NE(fixed.value().state, ncformat::FileState::kCorrupt)
+        << fixed.value().detail;
+
+    auto v = nctools::VerifyFile(fs, "f.nc", {.repair = false, .data = true});
+    ASSERT_TRUE(v.ok()) << v.status().message();
+    ASSERT_TRUE(v.value().scrub.has_value());
+    const ncformat::ScrubReport& s = *v.value().scrub;
+    ASSERT_EQ(s.corrupt, 0u) << "false corruption verdict after a crash";
+    if (s.trusted) {
+      // A trusted table from this tiny file covers its whole data region.
+      EXPECT_EQ(s.unsummed, 0u);
+      EXPECT_GE(s.clean, 1u);
+      ++trusted_outcomes;
+    } else {
+      ++untrusted_outcomes;
+    }
+    if (!crashed) break;  // whole overwrite+flush sequence covered
+  }
+  // Both verdicts must appear across the sweep: early/late crashes keep a
+  // trusted closed table, mid-session crashes degrade to unsummed.
+  EXPECT_GT(trusted_outcomes, 0);
+  EXPECT_GT(untrusted_outcomes, 0);
+}
+
+// ---------------------------------------------------------------------------
 // Scripted crash point: crash_op pins the dying op by index and
 // crash_write_bytes tears its payload at a chosen boundary; afterwards the
 // image is frozen (every Try* op fails) until SetFaultPolicy models reboot.

@@ -57,6 +57,10 @@ inline std::string DescribePolicy(const pfs::FaultPolicy& p) {
     s += " short_write_prob=" + std::to_string(p.short_write_prob);
   if (p.bitflip_read_prob > 0)
     s += " bitflip_read_prob=" + std::to_string(p.bitflip_read_prob);
+  if (p.bitflip_write_prob > 0)
+    s += " bitflip_write_prob=" + std::to_string(p.bitflip_write_prob);
+  if (p.corrupt_at_rest > 0)
+    s += " corrupt_at_rest=" + std::to_string(p.corrupt_at_rest);
   s += "}";
   return s;
 }
