@@ -1,0 +1,392 @@
+// Multi-tenant fairness: a "storm" tenant writes checkpoint files while a
+// "steady" tenant runs open/read/close churn against the same pfs, under
+// each queue discipline (see pfs/sched.hpp). Unlike the bandwidth benches,
+// the committed numbers are *fairness invariants*: the steady tenant's p99
+// read queue-wait per discipline, the starvation verdicts against its solo
+// baseline (the acceptance gate — WFQ/EDF keep p99 within 2x of solo while
+// plain FCFS shows the starvation), EDF deadline misses, admission-control
+// backpressure, and the deterministic per-tenant byte/request totals. The
+// committed baseline (bench/baselines/tenants.json) freezes all of them at
+// zero tolerance, so any change to the scheduler, pacing arithmetic, tenant
+// threading, or admission control that shifts a verdict trips
+// `ncbench --suite=tenants --check`.
+//
+// Determinism: the pfs grants requests in real-time call order, so the
+// workload is shaped to be permutation-invariant:
+//   * the storm phase runs to completion (real time) before the readback
+//     phase starts, but both start their virtual clocks at 0 — the groups
+//     are co-located in *virtual* time, which is what the servers schedule;
+//   * collective storm writes are pinned single-writer (cb_nodes=1, the
+//     smoke-suite determinism note in suites.cpp);
+//   * concurrent independent requests (the steady group's churn reads, the
+//     admission phase's per-rank writes) are issued in rank order behind an
+//     IssueToken — plain process-level synchronization, no simmpi messages,
+//     so rank clocks are untouched and the requests still overlap in
+//     *virtual* time, the axis the servers actually arbitrate. Racing the
+//     rank threads instead would let host scheduling pick which rank eats
+//     which queue slot: one logical read expands into several sequential pfs
+//     requests (data plus checksum chunks), and once per-rank clocks diverge
+//     mid-batch the grant order — and the tail of the wait distribution —
+//     is no longer a multiset invariant.
+//
+// Usage: tenants [--procs=4] [--hints=k=v,...]
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "bench/registry.hpp"
+#include "pfs/pfs.hpp"
+#include "pnetcdf/dataset.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using pfs::QosDiscipline;
+using pfs::QosPolicy;
+
+constexpr std::uint64_t kSteadyRows = 512;   // x 256 ints = 512 KiB variable
+constexpr std::uint64_t kSteadyCols = 256;
+constexpr std::uint64_t kStormRecs = 4;      // records per checkpoint file
+constexpr std::uint64_t kStormCells = 786432;  // 3 MiB per record (12 stripes)
+constexpr int kChurnCycles = 3;
+constexpr double kSteadyDeadlineNs = 6e7;    // 60 ms: roomy solo, dead FCFS
+
+struct Phase {
+  const char* name;
+  QosDiscipline discipline = QosDiscipline::kFcfs;
+  bool storm = false;            ///< run the checkpoint storm at all
+  bool storm_independent = false;  ///< per-rank independent record writes
+  double storm_weight = 1.0;       ///< pnc_qos_weight for the storm tenant
+  double steady_deadline_ns = 0;   ///< pnc_qos_deadline_ns for steady reads
+  std::uint64_t storm_cap = 0;     ///< pnc_qos_cap_bytes for the storm tenant
+};
+
+std::vector<Phase> BuildPhases() {
+  std::vector<Phase> p;
+  p.push_back({"solo", QosDiscipline::kFcfs, false, false, 1.0, 0, 0});
+  p.push_back({"fcfs", QosDiscipline::kFcfs, true, false, 1.0, 0, 0});
+  p.push_back({"wfq", QosDiscipline::kWfq, true, false, 1.0 / 16.0, 0, 0});
+  p.push_back(
+      {"edf", QosDiscipline::kEdf, true, false, 1.0, kSteadyDeadlineNs, 0});
+  p.push_back({"admission", QosDiscipline::kFcfs, true, true, 1.0, 0,
+               4ULL << 20});
+  return p;
+}
+
+struct Outcome {
+  double steady_p99_us = 0;   ///< p99 per-request queue wait, steady tenant
+  double steady_p50_us = 0;
+  std::uint64_t steady_events = 0;
+  std::uint64_t steady_bytes = 0;
+  std::uint64_t steady_backfilled = 0;
+  std::uint64_t steady_misses = 0;
+  std::uint64_t storm_bytes = 0;
+  std::uint64_t storm_paced = 0;
+  double storm_admission_us = 0;
+  int errors = 0;
+};
+
+void Accumulate(int* errors, const pnc::Status& st) {
+  if (!st.ok()) ++*errors;
+}
+
+/// Create and fill steady.nc under the steady tenant, then rewind virtual
+/// time and zero every counter: the measured window covers only the
+/// co-located storm + churn.
+void SetupSteadyFile(pfs::FileSystem& fs, const simmpi::Info& steady_info,
+                     int nprocs, int* errors) {
+  simmpi::Run(nprocs, [&](simmpi::Comm& c) {
+    auto r = pnetcdf::Dataset::Create(c, fs, "steady.nc", steady_info);
+    if (!r.ok()) {
+      Accumulate(errors, r.status());
+      return;
+    }
+    auto ds = std::move(r).value();
+    const auto y = ds.DefDim("y", kSteadyRows);
+    const auto x = ds.DefDim("x", kSteadyCols);
+    const auto v =
+        ds.DefVar("field", ncformat::NcType::kInt, {y.value(), x.value()});
+    Accumulate(errors, ds.EndDef());
+    const std::uint64_t rows = kSteadyRows / static_cast<std::uint64_t>(c.size());
+    std::vector<std::int32_t> mine(rows * kSteadyCols);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = static_cast<std::int32_t>(i + 1000 * c.rank());
+    const std::uint64_t start[] = {static_cast<std::uint64_t>(c.rank()) * rows,
+                                   0};
+    const std::uint64_t count[] = {rows, kSteadyCols};
+    Accumulate(errors, ds.PutVaraAll<std::int32_t>(v.value(), start, count,
+                                                   mine));
+    Accumulate(errors, ds.Close());
+  });
+  fs.ResetTime();
+  fs.ResetStats();
+  fs.ResetTenantCounters();
+}
+
+/// Pins the real-time order of concurrent independent I/O calls to rank
+/// order. The pfs grants requests in call order, so racing rank threads
+/// would hand the queue slots out by host thread scheduling; this is plain
+/// process-level synchronization — no simmpi messages — so virtual clocks
+/// are untouched and the calls still overlap in virtual time.
+struct IssueToken {
+  std::mutex mu;
+  std::condition_variable cv;
+  int turn = 0;
+
+  template <typename Fn>
+  void InTurn(int me, Fn&& fn) {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return turn == me; });
+    lk.unlock();
+    fn();
+    lk.lock();
+    ++turn;
+    cv.notify_all();
+  }
+};
+
+/// The checkpoint storm: `nfiles` datasets of kStormRecs 3 MiB records each,
+/// written collectively (single aggregator) or — for the admission phase —
+/// one whole record per rank, independently and concurrently.
+void RunStorm(pfs::FileSystem& fs, const simmpi::Info& storm_info, int nprocs,
+              bool independent, int* errors) {
+  IssueToken token;
+  const int nfiles = independent ? 1 : 2;
+  for (int file = 0; file < nfiles; ++file) {
+    const std::string path = "storm" + std::to_string(file) + ".nc";
+    simmpi::Run(nprocs, [&](simmpi::Comm& c) {
+      auto r = pnetcdf::Dataset::Create(c, fs, path, storm_info);
+      if (!r.ok()) {
+        Accumulate(errors, r.status());
+        return;
+      }
+      auto ds = std::move(r).value();
+      const auto t = ds.DefDim("time", kStormRecs);
+      const auto cell = ds.DefDim("cell", kStormCells);
+      const auto v =
+          ds.DefVar("chk", ncformat::NcType::kInt, {t.value(), cell.value()});
+      Accumulate(errors, ds.EndDef());
+      if (independent) {
+        // Every rank dumps one whole record at once: four identical 3 MiB
+        // requests in flight against the tenant's outstanding-bytes cap.
+        Accumulate(errors, ds.BeginIndepData());
+        c.Barrier();
+        // Four 3 MiB dumps, issued in rank order but overlapping in virtual
+        // time: rank r's bytes are still in flight when rank r+1 arrives,
+        // which is exactly what the admission cap must push back on.
+        std::vector<std::int32_t> rec(kStormCells,
+                                      static_cast<std::int32_t>(c.rank()));
+        const std::uint64_t start[] = {static_cast<std::uint64_t>(c.rank()),
+                                       0};
+        const std::uint64_t count[] = {1, kStormCells};
+        token.InTurn(c.rank(), [&] {
+          Accumulate(errors,
+                     ds.PutVara<std::int32_t>(v.value(), start, count, rec));
+        });
+        Accumulate(errors, ds.EndIndepData());
+      } else {
+        const std::uint64_t cells =
+            kStormCells / static_cast<std::uint64_t>(c.size());
+        std::vector<std::int32_t> mine(cells,
+                                       static_cast<std::int32_t>(c.rank()));
+        for (std::uint64_t rec = 0; rec < kStormRecs; ++rec) {
+          const std::uint64_t start[] = {
+              rec, static_cast<std::uint64_t>(c.rank()) * cells};
+          const std::uint64_t count[] = {1, cells};
+          Accumulate(errors, ds.PutVaraAll<std::int32_t>(v.value(), start,
+                                                         count, mine));
+        }
+      }
+      Accumulate(errors, ds.Close());
+    });
+  }
+}
+
+/// The steady tenant's churn: open / independent full-variable read / close,
+/// kChurnCycles times. Reads are issued in rank order (IssueToken) so the
+/// pfs grant order is deterministic (see the file comment).
+void RunChurn(pfs::FileSystem& fs, const simmpi::Info& steady_info, int nprocs,
+              int* errors) {
+  IssueToken token;
+  simmpi::Run(nprocs, [&](simmpi::Comm& c) {
+    for (int cycle = 0; cycle < kChurnCycles; ++cycle) {
+      auto r = pnetcdf::Dataset::Open(c, fs, "steady.nc", /*writable=*/false,
+                                      steady_info);
+      if (!r.ok()) {
+        Accumulate(errors, r.status());
+        return;
+      }
+      auto ds = std::move(r).value();
+      const auto vid = ds.VarId("field");
+      if (!vid.ok()) {
+        Accumulate(errors, vid.status());
+        return;
+      }
+      Accumulate(errors, ds.BeginIndepData());
+      c.Barrier();  // co-locate the batch in virtual time
+      std::vector<std::int32_t> all(kSteadyRows * kSteadyCols);
+      const std::uint64_t start[] = {0, 0};
+      const std::uint64_t count[] = {kSteadyRows, kSteadyCols};
+      token.InTurn(cycle * c.size() + c.rank(), [&] {
+        Accumulate(errors,
+                   ds.GetVara<std::int32_t>(vid.value(), start, count, all));
+      });
+      Accumulate(errors, ds.EndIndepData());
+      Accumulate(errors, ds.Close());
+    }
+  });
+}
+
+Outcome RunOne(const Phase& ph, int nprocs, const bench::Args& args) {
+  simmpi::Info steady_info;
+  steady_info.Set("cb_nodes", "1");  // single-writer determinism
+  steady_info.Set("pnc_tenant", "steady");
+  if (ph.steady_deadline_ns > 0)
+    steady_info.Set("pnc_qos_deadline_ns",
+                    std::to_string(ph.steady_deadline_ns));
+  simmpi::Info storm_info;
+  storm_info.Set("cb_nodes", "1");
+  storm_info.Set("pnc_tenant", "storm");
+  if (ph.storm_weight != 1.0)
+    storm_info.Set("pnc_qos_weight", std::to_string(ph.storm_weight));
+  if (ph.storm_cap != 0)
+    storm_info.Set("pnc_qos_cap_bytes", std::to_string(ph.storm_cap));
+  bench::ApplyHintOverrides(args, steady_info);
+  bench::ApplyHintOverrides(args, storm_info);
+
+  pfs::FileSystem fs;
+  QosPolicy policy;
+  policy.discipline = ph.discipline;
+  fs.SetQosPolicy(policy);
+
+  Outcome out;
+  SetupSteadyFile(fs, steady_info, nprocs, &out.errors);
+  if (ph.storm)
+    RunStorm(fs, storm_info, nprocs, ph.storm_independent, &out.errors);
+  RunChurn(fs, steady_info, nprocs, &out.errors);
+
+  for (const pfs::TenantUsage& u : fs.TenantUsageSnapshot()) {
+    if (u.cls.name == "steady") {
+      out.steady_p99_us = pfs::WaitPercentile(u.ctr.wait_samples, 99) / 1e3;
+      out.steady_p50_us = pfs::WaitPercentile(u.ctr.wait_samples, 50) / 1e3;
+      out.steady_events = u.ctr.server_events;
+      out.steady_bytes = u.ctr.served_bytes;
+      out.steady_backfilled = u.ctr.backfilled_events;
+      out.steady_misses = u.ctr.deadline_misses;
+    } else if (u.cls.name == "storm") {
+      out.storm_bytes = u.ctr.served_bytes;
+      out.storm_paced = u.ctr.paced_events;
+      out.storm_admission_us = u.ctr.admission_wait_ns / 1e3;
+    }
+  }
+  return out;
+}
+
+int Run(const bench::Args& args, bench::Recorder& rec) {
+  const int nprocs = bench::ProcsList(args, {4})[0];
+
+  std::printf("Tenants: steady readback vs checkpoint storm, %d ranks per "
+              "group, %d servers\n",
+              nprocs, pfs::Config{}.num_servers);
+  std::printf("%-10s | %12s %12s %6s | %9s %6s | %12s %6s | %4s\n", "phase",
+              "p99wait(us)", "p50wait(us)", "vs-solo", "stormMiB", "paced",
+              "admwait(us)", "misses", "err");
+
+  double solo_p99 = 0;
+  std::vector<std::pair<Phase, Outcome>> results;
+  for (const Phase& ph : BuildPhases()) {
+    rec.BeginConfig();
+    const Outcome o = RunOne(ph, nprocs, args);
+    if (std::strcmp(ph.name, "solo") == 0) solo_p99 = o.steady_p99_us;
+    const double ratio = solo_p99 > 0 ? o.steady_p99_us / solo_p99 : 0;
+    rec.EndConfig(
+        bench::JsonObj()
+            .Str("phase", ph.name)
+            .Int("nprocs", static_cast<std::uint64_t>(nprocs)),
+        bench::JsonObj()
+            .Num("steady_p99_wait_us", o.steady_p99_us)
+            .Num("steady_p50_wait_us", o.steady_p50_us)
+            .Int("steady_reads", o.steady_events)
+            .Int("steady_bytes", o.steady_bytes)
+            .Int("steady_backfilled", o.steady_backfilled)
+            .Int("steady_deadline_misses", o.steady_misses)
+            .Int("storm_bytes", o.storm_bytes)
+            .Int("storm_paced", o.storm_paced)
+            .Num("storm_admission_wait_us", o.storm_admission_us)
+            .Num("errors", o.errors));
+    std::printf("%-10s | %12.1f %12.1f %5.1fx | %9.1f %6llu | %12.1f %6llu | "
+                "%4d\n",
+                ph.name, o.steady_p99_us, o.steady_p50_us, ratio,
+                static_cast<double>(o.storm_bytes) / (1 << 20),
+                (unsigned long long)o.storm_paced, o.storm_admission_us,
+                (unsigned long long)o.steady_misses, o.errors);
+    std::fflush(stdout);
+    results.emplace_back(ph, o);
+  }
+
+  // ---- the fairness verdicts the baseline freezes (0 = healthy) ----
+  const auto find = [&results](const char* name) -> const Outcome& {
+    for (const auto& [ph, o] : results)
+      if (std::strcmp(ph.name, name) == 0) return o;
+    static const Outcome kNone;
+    return kNone;
+  };
+  const Outcome& fcfs = find("fcfs");
+  const Outcome& wfq = find("wfq");
+  const Outcome& edf = find("edf");
+  const Outcome& adm = find("admission");
+  int total_errors = 0;
+  for (const auto& [ph, o] : results) total_errors += o.errors;
+
+  const double bar = 2.0 * solo_p99;  // the acceptance gate: within 2x solo
+  const int fcfs_masks_starvation = fcfs.steady_p99_us <= bar ? 1 : 0;
+  const int wfq_starved = wfq.steady_p99_us > bar ? 1 : 0;
+  const int edf_starved = edf.steady_p99_us > bar ? 1 : 0;
+  const int admission_no_backpressure = adm.storm_admission_us > 0 ? 0 : 1;
+
+  rec.BeginConfig();
+  rec.EndConfig(
+      bench::JsonObj().Str("phase", "verdict").Int(
+          "nprocs", static_cast<std::uint64_t>(nprocs)),
+      bench::JsonObj()
+          .Num("fcfs_masks_starvation", fcfs_masks_starvation)
+          .Num("wfq_starved", wfq_starved)
+          .Num("edf_starved", edf_starved)
+          .Int("edf_deadline_misses", edf.steady_misses)
+          .Num("admission_no_backpressure", admission_no_backpressure)
+          .Num("qos_errors", total_errors)
+          .Num("fcfs_p99_over_solo",
+               solo_p99 > 0 ? fcfs.steady_p99_us / solo_p99 : 0)
+          .Num("wfq_p99_over_solo",
+               solo_p99 > 0 ? wfq.steady_p99_us / solo_p99 : 0)
+          .Num("edf_p99_over_solo",
+               solo_p99 > 0 ? edf.steady_p99_us / solo_p99 : 0));
+
+  std::printf("\nverdicts (0 = healthy): fcfs_masks_starvation=%d "
+              "wfq_starved=%d edf_starved=%d\nedf_deadline_misses=%llu "
+              "admission_no_backpressure=%d qos_errors=%d\n",
+              fcfs_masks_starvation, wfq_starved, edf_starved,
+              (unsigned long long)edf.steady_misses, admission_no_backpressure,
+              total_errors);
+  std::printf("\np99 is the steady tenant's per-request queue wait "
+              "(pfs::TenantCounters.wait_samples);\nthe gate is p99 <= 2x "
+              "solo under WFQ/EDF while FCFS exceeds it (starvation).\nAll "
+              "columns are deterministic invariants backed by "
+              "bench/baselines/tenants.json\nat zero tolerance.\n");
+  return 0;
+}
+
+const bench::BenchDef kBench{
+    "tenants",
+    "multi-tenant QoS: steady readback vs checkpoint storm under "
+    "fcfs/wfq/edf/admission",
+    {"procs", "hints"},
+    Run};
+
+}  // namespace
+
+BENCH_REGISTER(kBench)

@@ -45,6 +45,14 @@ std::vector<Suite> BuildSuites() {
        {
            {"chaos_matrix", {"--procs=4", kDet}},
        }});
+  s.push_back(
+      {"tenants",
+       "multi-tenant QoS fairness invariants: steady readback vs checkpoint "
+       "storm under fcfs/wfq/edf/admission (backs "
+       "bench/baselines/tenants.json)",
+       {
+           {"tenants", {"--procs=4", kDet}},
+       }});
   s.push_back({"fig6",
                "full Figure 6 serial-vs-parallel scalability sweep",
                {{"fig6_scalability", {}}}});

@@ -32,6 +32,12 @@ const char* CtrName(Ctr c) {
     case Ctr::kPfsBytesWritten: return "pfs.bytes_written";
     case Ctr::kPfsFaultsInjected: return "pfs.faults_injected";
     case Ctr::kPfsRetries: return "pfs.retries";
+    case Ctr::kPfsQueueWaitNs: return "pfs.queue_wait_ns";
+    case Ctr::kPfsBusyNs: return "pfs.busy_ns";
+    case Ctr::kPfsHorizonNs: return "pfs.horizon_ns";
+    case Ctr::kPfsServers: return "pfs.servers";
+    case Ctr::kPfsQueueDepthMax: return "pfs.queue_depth_max";
+    case Ctr::kPfsDeadlineMisses: return "pfs.deadline_misses";
     case Ctr::kMpiioIndepReads: return "mpiio.indep_reads";
     case Ctr::kMpiioIndepWrites: return "mpiio.indep_writes";
     case Ctr::kMpiioCollReads: return "mpiio.coll_reads";
@@ -91,6 +97,14 @@ int Registry::rank() { return tl_rank; }
 void Registry::Add(Ctr c, std::uint64_t n) {
   slots_[tl_rank].c[static_cast<std::size_t>(c)].fetch_add(
       n, std::memory_order_relaxed);
+}
+
+void Registry::Max(Ctr c, std::uint64_t n) {
+  auto& slot = slots_[tl_rank].c[static_cast<std::size_t>(c)];
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (n > seen &&
+         !slot.compare_exchange_weak(seen, n, std::memory_order_relaxed)) {
+  }
 }
 
 void Registry::AddSpan(const char* cat, const char* name, double start_ns,

@@ -51,6 +51,12 @@ enum class Ctr : unsigned {
   kPfsBytesWritten,       ///< payload bytes actually transferred by writes
   kPfsFaultsInjected,     ///< failed Try* attempts (transient/permanent/crash)
   kPfsRetries,            ///< retries recorded by client layers
+  kPfsQueueWaitNs,        ///< ns requests spent queued at servers (sum)
+  kPfsBusyNs,             ///< ns of server service time granted (sum)
+  kPfsHorizonNs,          ///< latest server-schedule completion (max gauge)
+  kPfsServers,            ///< servers in the pool (max gauge)
+  kPfsQueueDepthMax,      ///< deepest server queue observed (max gauge)
+  kPfsDeadlineMisses,     ///< requests completing past their QoS deadline
 
   // --- mpiio: the MPI-IO subset ---
   kMpiioIndepReads,       ///< ReadAt calls entering the independent path
@@ -132,6 +138,9 @@ class Registry {
 
   // ---- recording (hot paths; call through the macros) ----
   void Add(Ctr c, std::uint64_t n);
+  /// Raise counter `c` to at least `n` (a high-water gauge, e.g. the deepest
+  /// server queue seen). CAS loop; still relaxed.
+  void Max(Ctr c, std::uint64_t n);
   void AddSpan(const char* cat, const char* name, double start_ns,
                double end_ns);
 
@@ -191,6 +200,14 @@ class Registry {
       ::iostat::Registry::Get().AddSpan(cat, name, start_ns, end_ns);    \
   } while (0)
 
+/// Raise counter `ctr` to at least `n` (high-water gauge, e.g. queue depth).
+#define PNC_IOSTAT_MAX(ctr, n)                                       \
+  do {                                                               \
+    if (::iostat::Registry::counters_on())                           \
+      ::iostat::Registry::Get().Max(::iostat::Ctr::ctr,              \
+                                    static_cast<std::uint64_t>(n));  \
+  } while (0)
+
 /// Bind the calling thread to rank `r` (simmpi runtime only).
 #define PNC_IOSTAT_BIND_RANK(r) ::iostat::Registry::BindRank(r)
 
@@ -202,6 +219,7 @@ class Registry {
 // warnings) without evaluating them.
 
 #define PNC_IOSTAT_ADD(ctr, n) ((void)sizeof(n))
+#define PNC_IOSTAT_MAX(ctr, n) ((void)sizeof(n))
 #define PNC_IOSTAT_SPAN(cat, name, start_ns, end_ns) \
   ((void)sizeof(start_ns), (void)sizeof(end_ns))
 #define PNC_IOSTAT_BIND_RANK(r) ((void)sizeof(r))

@@ -55,6 +55,13 @@ Report BuildReport() {
   const double ex = sum(Ctr::kMpiioExchangeNs);
   const double io = sum(Ctr::kMpiioIoPhaseNs);
   rep.exchange_frac = (ex + io) > 0 ? ex / (ex + io) : 0.0;
+  const double busy = sum(Ctr::kPfsBusyNs);
+  const double qwait = sum(Ctr::kPfsQueueWaitNs);
+  const double servers = static_cast<double>(rep[Ctr::kPfsServers].max);
+  const double horizon = static_cast<double>(rep[Ctr::kPfsHorizonNs].max);
+  rep.pfs_busy_frac =
+      servers > 0 && horizon > 0 ? busy / (servers * horizon) : 0.0;
+  rep.pfs_queue_wait_frac = (qwait + busy) > 0 ? qwait / (qwait + busy) : 0.0;
   return rep;
 }
 
@@ -73,9 +80,10 @@ std::string ToJson(const Report& rep) {
   }
   AppendF(out,
           "},\"derived\":{\"sieve_amplification\":%.17g,"
-          "\"twophase_amplification\":%.17g,\"exchange_frac\":%.17g}}",
+          "\"twophase_amplification\":%.17g,\"exchange_frac\":%.17g,"
+          "\"pfs_busy_frac\":%.17g,\"pfs_queue_wait_frac\":%.17g}}",
           rep.sieve_amplification, rep.twophase_amplification,
-          rep.exchange_frac);
+          rep.exchange_frac, rep.pfs_busy_frac, rep.pfs_queue_wait_frac);
   return out;
 }
 
@@ -164,6 +172,9 @@ pnc::Result<Report> ParseReportJson(std::string_view text) {
             else if (name == "twophase_amplification")
               rep.twophase_amplification = v;
             else if (name == "exchange_frac") rep.exchange_frac = v;
+            else if (name == "pfs_busy_frac") rep.pfs_busy_frac = v;
+            else if (name == "pfs_queue_wait_frac")
+              rep.pfs_queue_wait_frac = v;
           } while (cur.Eat(','));
           if (!cur.Eat('}')) return fail("unterminated derived");
         }
@@ -207,6 +218,9 @@ std::string PrettyPrint(const Report& rep) {
   AppendF(out, "    %-24s %.4f\n", "twophase_amplification",
           rep.twophase_amplification);
   AppendF(out, "    %-24s %.4f\n", "exchange_frac", rep.exchange_frac);
+  AppendF(out, "    %-24s %.4f\n", "pfs_busy_frac", rep.pfs_busy_frac);
+  AppendF(out, "    %-24s %.4f\n", "pfs_queue_wait_frac",
+          rep.pfs_queue_wait_frac);
   return out;
 }
 

@@ -36,6 +36,13 @@ struct Report {
   /// Fraction of two-phase time spent in the exchange phase
   /// (exchange / (exchange + io)).
   double exchange_frac = 0.0;
+  /// Mean busy fraction of one pfs server over the schedule horizon:
+  /// busy_ns / (servers * horizon_ns). How loaded the server pool was.
+  double pfs_busy_frac = 0.0;
+  /// Share of server-side time requests spent queued rather than served:
+  /// queue_wait / (queue_wait + busy). The contention signal the QoS
+  /// disciplines (pfs/sched.hpp) exist to shape.
+  double pfs_queue_wait_frac = 0.0;
 
   [[nodiscard]] const Agg& operator[](Ctr c) const {
     return counters[static_cast<std::size_t>(c)];

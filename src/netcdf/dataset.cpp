@@ -26,6 +26,7 @@ struct Dataset::Impl {
   pfs::FileSystem* fs;
   std::string path;
   bool writable;
+  int tenant = 0;  ///< pfs tenant index (from PNC_TENANT/PNC_QOS_*)
   simmpi::VirtualClock clock;
   BufferedFile io;
 
@@ -110,6 +111,7 @@ pnc::Status Dataset::Impl::SetupOpenSums(bool open_writable) {
   if (!existed && !open_writable) return pnc::Status::Ok();
   auto sf = existed ? fs->Open(spath) : fs->Create(spath, /*exclusive=*/false);
   if (!sf.ok()) return sf.status();
+  sf.value().SetTenant(tenant);
   sums_io.emplace(std::move(sf).value(), &clock);
   if (!existed) PNC_RETURN_IF_ERROR(ncformat::FormatSums(*sums_io));
   auto loaded = ncformat::LoadSums(*sums_io);
@@ -146,10 +148,15 @@ pnc::Result<Dataset> Dataset::Create(pfs::FileSystem& fs,
                                      const CreateOptions& opts) {
   auto f = fs.Create(path, /*exclusive=*/!opts.clobber);
   if (!f.ok()) return f.status();
+  // The serial library has no Info path, so tenant identity comes from the
+  // environment alone (PNC_TENANT/PNC_QOS_*); sidecars bill to it too.
+  const int tenant = fs.RegisterTenant(pfs::TenantClassFromEnv());
+  f.value().SetTenant(tenant);
   Dataset ds;
   ds.impl_ = std::make_shared<Impl>(&fs, std::move(f).value(), path,
                                     /*writable=*/true, opts.buffer_size);
   auto& im = *ds.impl_;
+  im.tenant = tenant;
   im.header.version = opts.use_cdf2 ? 2 : 1;
   im.defining = true;
   im.fresh = true;
@@ -157,6 +164,7 @@ pnc::Result<Dataset> Dataset::Create(pfs::FileSystem& fs,
   // a previous file at this path so its commits can never be replayed.
   auto jf = fs.Create(ncformat::JournalPath(path), /*exclusive=*/false);
   if (!jf.ok()) return jf.status();
+  jf.value().SetTenant(tenant);
   im.journal.emplace(std::move(jf).value(), &im.clock);
   PNC_RETURN_IF_ERROR(ncformat::FormatJournal(*im.journal));
   // Same for the chunk-sum sidecar: format (wiping any stale table) and
@@ -165,6 +173,7 @@ pnc::Result<Dataset> Dataset::Create(pfs::FileSystem& fs,
   if (ncformat::SumsEnabled()) {
     auto sf = fs.Create(ncformat::SumsPath(path), /*exclusive=*/false);
     if (!sf.ok()) return sf.status();
+    sf.value().SetTenant(tenant);
     im.sums_io.emplace(std::move(sf).value(), &im.clock);
     PNC_RETURN_IF_ERROR(ncformat::FormatSums(*im.sums_io));
     im.sums_on = true;
@@ -177,10 +186,13 @@ pnc::Result<Dataset> Dataset::Open(pfs::FileSystem& fs, const std::string& path,
                                    bool writable, std::uint64_t buffer_size) {
   auto f = fs.Open(path);
   if (!f.ok()) return f.status();
+  const int tenant = fs.RegisterTenant(pfs::TenantClassFromEnv());
+  f.value().SetTenant(tenant);
   Dataset ds;
   ds.impl_ = std::make_shared<Impl>(&fs, f.value(), path, writable,
                                     buffer_size);
   auto& im = *ds.impl_;
+  im.tenant = tenant;
 
   // Crash recovery before anything trusts the on-disk header: if a journal
   // exists and holds a committed state the primary does not match, roll the
@@ -190,6 +202,7 @@ pnc::Result<Dataset> Dataset::Open(pfs::FileSystem& fs, const std::string& path,
   if (fs.Exists(ncformat::JournalPath(path))) {
     auto jf = fs.Open(ncformat::JournalPath(path));
     if (!jf.ok()) return jf.status();
+    jf.value().SetTenant(tenant);
     im.journal.emplace(std::move(jf).value(), &im.clock);
     ncformat::PfsCommitIo primary(f.value(), &im.clock);
     auto rep = ncformat::AnalyzeCommit(*im.journal, primary);

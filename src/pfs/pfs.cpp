@@ -5,7 +5,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "iostat/events.hpp"
@@ -137,7 +140,8 @@ double File::HarnessRead(std::uint64_t offset, pnc::ByteSpan out,
     std::lock_guard<std::mutex> lk(node_->mu);
     node_->store->Read(offset, out);
   }
-  return fs_->ServeRequest(offset, out.size(), /*is_write=*/false, start_ns);
+  return fs_->ServeRequest(offset, out.size(), /*is_write=*/false,
+                           start_ns, tenant_);
 }
 
 double File::HarnessWrite(std::uint64_t offset, pnc::ConstByteSpan data,
@@ -151,7 +155,8 @@ double File::HarnessWrite(std::uint64_t offset, pnc::ConstByteSpan data,
       node_->store->Write(offset, data);
     }
   }
-  return fs_->ServeRequest(offset, data.size(), /*is_write=*/true, start_ns);
+  return fs_->ServeRequest(offset, data.size(), /*is_write=*/true,
+                           start_ns, tenant_);
 }
 
 IoResult File::TryRead(std::uint64_t offset, pnc::ByteSpan out,
@@ -174,7 +179,7 @@ IoResult File::TryRead(std::uint64_t offset, pnc::ByteSpan out,
   // reached the servers before the error came back.
   const double done = fs_->ServeRequest(offset, oc.status.ok() ? oc.transferred
                                                                : 0,
-                                        /*is_write=*/false, start_ns);
+                                        /*is_write=*/false, start_ns, tenant_);
   return {oc.status, oc.transferred, done};
 }
 
@@ -220,14 +225,15 @@ IoResult File::TryWrite(std::uint64_t offset, pnc::ConstByteSpan data,
   }
   const double done = fs_->ServeRequest(offset, oc.status.ok() ? oc.transferred
                                                                : 0,
-                                        /*is_write=*/true, start_ns);
+                                        /*is_write=*/true, start_ns, tenant_);
   return {oc.status, oc.transferred, done};
 }
 
 IoResult File::TrySync(double start_ns) {
   const FaultDecision d =
       fs_->injector_->Decide(/*is_write=*/true, 0, /*server=*/0, start_ns);
-  const double done = fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns);
+  const double done =
+      fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns, tenant_);
   if (d.kind != FaultDecision::Kind::kOk) {
     PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
     const char* kind = "permanent";
@@ -267,7 +273,7 @@ void File::Truncate(std::uint64_t new_size) {
 
 double File::HarnessSync(double start_ns) {
   // A sync is a zero-payload round trip to the servers.
-  return fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns);
+  return fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns, tenant_);
 }
 
 std::unique_lock<std::mutex> File::LockForRmw() {
@@ -279,8 +285,27 @@ const std::string& File::path() const { return node_->path; }
 // -------------------------------------------------------------- FileSystem
 
 FileSystem::FileSystem(Config cfg)
-    : cfg_(cfg), injector_(std::make_shared<FaultInjector>(cfg.faults)) {
-  server_next_free_.assign(static_cast<std::size_t>(cfg_.num_servers), 0.0);
+    : cfg_(cfg),
+      injector_(std::make_shared<FaultInjector>(cfg.faults)),
+      qos_(cfg.qos) {
+  sched_.assign(static_cast<std::size_t>(cfg_.num_servers), ServerSched{});
+  tenants_.push_back(TenantClass{});  // index 0: the default tenant
+  tenant_ctrs_.emplace_back();
+  tenant_flows_.emplace_back();
+  tenant_pacers_.emplace_back();
+  if (const char* d = std::getenv("PNC_QOS_DISCIPLINE");
+      d != nullptr && *d != '\0') {
+    if (auto parsed = ParseQosDiscipline(d)) {
+      qos_.discipline = *parsed;
+    } else {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true))
+        std::fprintf(stderr,
+                     "pnc: PNC_QOS_DISCIPLINE=\"%s\" is not fcfs|wfq|edf; "
+                     "keeping %s\n",
+                     d, QosDisciplineName(qos_.discipline));
+    }
+  }
 }
 
 FileSystem::~FileSystem() = default;
@@ -372,8 +397,96 @@ void FileSystem::ResetStats() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     stats_ = Stats{};
+    for (TenantCounters& tc : tenant_ctrs_) tc = TenantCounters{};
   }
   injector_->ResetCounters();
+}
+
+void FileSystem::ResetTenantCounters() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (TenantCounters& tc : tenant_ctrs_) tc = TenantCounters{};
+}
+
+int FileSystem::RegisterTenant(const TenantClass& cls) {
+  if (cls.name.empty()) return 0;  // the default tenant's class is fixed
+  TenantClass c = cls;
+  c.weight =
+      std::clamp(c.weight, TenantClass::kMinWeight, TenantClass::kMaxWeight);
+  if (c.deadline_ns < 0.0) c.deadline_ns = 0.0;
+  // Flight-recorder details carry "r:<name>"; keep names within the field.
+  if (c.name.size() > 20) c.name.resize(20);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 1; i < tenants_.size(); ++i) {
+    if (tenants_[i].name == c.name) {
+      tenants_[i] = c;
+      return static_cast<int>(i);
+    }
+  }
+  tenants_.push_back(std::move(c));
+  tenant_ctrs_.emplace_back();
+  tenant_flows_.emplace_back();
+  tenant_pacers_.emplace_back();
+  return static_cast<int>(tenants_.size()) - 1;
+}
+
+int FileSystem::FindTenant(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 1; i < tenants_.size(); ++i)
+    if (tenants_[i].name == name) return static_cast<int>(i);
+  return 0;
+}
+
+void FileSystem::SetQosPolicy(const QosPolicy& policy) {
+  std::lock_guard<std::mutex> lk(mu_);
+  qos_ = policy;
+}
+
+QosPolicy FileSystem::qos_policy() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return qos_;
+}
+
+std::vector<TenantUsage> FileSystem::TenantUsageSnapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TenantUsage> out;
+  out.reserve(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i)
+    out.push_back(TenantUsage{tenants_[i], tenant_ctrs_[i]});
+  return out;
+}
+
+double FileSystem::AdmissionEligible(int tenant, std::uint64_t len,
+                                     double arrival_ns) {
+  const TenantClass& cls = tenants_[static_cast<std::size_t>(tenant)];
+  if (cls.max_outstanding_bytes == 0) return arrival_ns;
+  TenantFlow& flow = tenant_flows_[static_cast<std::size_t>(tenant)];
+  double eligible = arrival_ns;
+  // Retire in-flight requests that completed before this arrival.
+  while (!flow.inflight.empty() &&
+         flow.inflight.begin()->first <= eligible) {
+    flow.bytes -= flow.inflight.begin()->second;
+    flow.inflight.erase(flow.inflight.begin());
+  }
+  // Hold the request until enough of the tenant's bytes drain under the cap;
+  // the wait surfaces as queue time, never as an error.
+  while (flow.bytes + len > cls.max_outstanding_bytes &&
+         !flow.inflight.empty()) {
+    eligible = std::max(eligible, flow.inflight.begin()->first);
+    flow.bytes -= flow.inflight.begin()->second;
+    flow.inflight.erase(flow.inflight.begin());
+  }
+  return eligible;
+}
+
+ServerSched::PolicyContext FileSystem::PolicyCtx() const {
+  ServerSched::PolicyContext ctx;
+  ctx.discipline = qos_.discipline;
+  ctx.edf_background_share = qos_.edf_background_share;
+  for (const TenantClass& t : tenants_) {
+    ctx.max_weight = std::max(ctx.max_weight, t.weight);
+    if (t.deadline_ns > 0.0) ctx.any_deadline = true;
+  }
+  return ctx;
 }
 
 void FileSystem::SetFaultPolicy(const FaultPolicy& policy) {
@@ -397,11 +510,16 @@ void FileSystem::RecordRetry(bool is_write) {
 
 void FileSystem::ResetTime() {
   std::lock_guard<std::mutex> lk(mu_);
-  std::fill(server_next_free_.begin(), server_next_free_.end(), 0.0);
+  for (ServerSched& s : sched_) s.Reset();
+  for (TenantFlow& f : tenant_flows_) {
+    f.inflight.clear();
+    f.bytes = 0;
+  }
+  for (TenantPacer& p : tenant_pacers_) p.Reset();
 }
 
 double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
-                                bool is_write, double start_ns) {
+                                bool is_write, double start_ns, int tenant) {
   const double per_byte =
       is_write ? cfg_.server_write_ns_per_byte : cfg_.server_read_ns_per_byte;
 
@@ -448,6 +566,20 @@ double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
   double completion = client_done;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) tenant = 0;
+    const TenantClass& cls = tenants_[static_cast<std::size_t>(tenant)];
+    TenantCounters& tc = tenant_ctrs_[static_cast<std::size_t>(tenant)];
+    // Flight-recorder details carry the tenant: "r"/"w"/"s" for the default
+    // tenant (the exact legacy strings), "r:<name>" etc. otherwise.
+    char detail[24];
+    if (tenant == 0) {
+      detail[0] = len == 0 ? 's' : (is_write ? 'w' : 'r');
+      detail[1] = '\0';
+    } else {
+      std::snprintf(detail, sizeof detail, "%c:%s",
+                    len == 0 ? 's' : (is_write ? 'w' : 'r'),
+                    cls.name.c_str());
+    }
     if (is_write) {
       stats_.bytes_written += len;
       stats_.write_requests += 1;
@@ -455,32 +587,88 @@ double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
       stats_.bytes_read += len;
       stats_.read_requests += 1;
     }
+    PNC_IOSTAT_MAX(kPfsServers, cfg_.num_servers);
     if (len == 0) {
       // Zero-length flush: a metadata round-trip to server 0 that does not
       // occupy the data pipeline. It observes the queue but must not extend
       // it — collective flushes arrive concurrently from every rank, and a
-      // request that mutated server_next_free_ would make the makespan
+      // request that mutated the server timeline would make the makespan
       // depend on real-time arrival order (nondeterministic virtual time).
-      const double begin = std::max(arrival, server_next_free_[0]);
+      // Under an armed discipline it may observe a pacing gap instead of the
+      // timeline head (a starved tenant's open/sync must not wait behind a
+      // paced bulk writer), and the wait it observes is billed to the tenant
+      // — this is where a backlogged server surfaces in open/close latency.
+      const double begin =
+          sched_[0].FlushBeginAt(arrival, cfg_.server_request_ns);
       const double done = begin + cfg_.server_request_ns;
+      const double wait = begin - arrival;
+      tc.queue_wait_ns += wait;
+      if (tc.wait_samples.size() < TenantCounters::kMaxWaitSamples)
+        tc.wait_samples.push_back(wait);
+      PNC_IOSTAT_ADD(kPfsQueueWaitNs, wait);
       PNC_IOSTAT_EVENT(kPfsServer, begin, done - begin, 0,
-                       static_cast<std::uint64_t>(begin - arrival), "s");
+                       static_cast<std::uint64_t>(begin - arrival), detail);
       completion = std::max(completion, done);
     } else {
+      // Admission control holds the whole request at the client until the
+      // tenant's in-flight bytes fit under its cap.
+      const double admitted = AdmissionEligible(tenant, len, arrival);
+      if (admitted > arrival) tc.admission_wait_ns += admitted - arrival;
+      const ServerSched::PolicyContext ctx = PolicyCtx();
+      // Pacing is a per-request decision, charged with the request's total
+      // service across its servers: every chunk of a striped request then
+      // carries the same artificial delay, so each touched server records a
+      // backfillable gap (per-server clocks would pace only the first).
+      double eligible = admitted;
+      bool paced = false;
+      if (ctx.discipline != QosDiscipline::kFcfs) {
+        double total_service_ns = 0.0;
+        for (const std::uint64_t b : bytes_per_server)
+          if (b != 0)
+            total_service_ns +=
+                cfg_.server_request_ns + per_byte * static_cast<double>(b);
+        eligible = tenant_pacers_[static_cast<std::size_t>(tenant)].Release(
+            admitted, total_service_ns, QosShare(cls, ctx));
+        paced = eligible > admitted;
+      }
+      double max_wait = 0.0;
       for (std::size_t s = 0; s < bytes_per_server.size(); ++s) {
         if (bytes_per_server[s] == 0) continue;
-        const double begin = std::max(arrival, server_next_free_[s]);
-        const double done = begin + cfg_.server_request_ns +
-                            per_byte * static_cast<double>(bytes_per_server[s]);
-        server_next_free_[s] = done;
-        completion = std::max(completion, done);
+        const double payload_ns =
+            per_byte * static_cast<double>(bytes_per_server[s]);
+        const ServerSched::Grant g = sched_[s].Admit(
+            ctx, arrival, eligible, cfg_.server_request_ns, payload_ns);
+        completion = std::max(completion, g.done_ns);
+        const double wait = g.begin_ns - arrival;
+        max_wait = std::max(max_wait, wait);
+        tc.server_events += 1;
+        tc.served_bytes += bytes_per_server[s];
+        tc.queue_wait_ns += wait;
+        tc.service_ns += g.done_ns - g.begin_ns;
+        if (paced) tc.paced_events += 1;
+        if (g.backfilled) tc.backfilled_events += 1;
+        PNC_IOSTAT_ADD(kPfsQueueWaitNs, wait);
+        PNC_IOSTAT_ADD(kPfsBusyNs, g.done_ns - g.begin_ns);
+        PNC_IOSTAT_MAX(kPfsHorizonNs, sched_[s].horizon_ns());
+        PNC_IOSTAT_MAX(kPfsQueueDepthMax, g.depth);
         // Queue wait (begin - arrival) vs service (done - begin), per
         // server, attributed to the in-flight request via the thread's
         // bound request ID.
-        PNC_IOSTAT_EVENT(kPfsServer, begin, done - begin,
+        PNC_IOSTAT_EVENT(kPfsServer, g.begin_ns, g.done_ns - g.begin_ns,
                          (bytes_per_server[s] << 8) | (s & 0xff),
-                         static_cast<std::uint64_t>(begin - arrival),
-                         is_write ? "w" : "r");
+                         static_cast<std::uint64_t>(g.begin_ns - arrival),
+                         detail);
+      }
+      if (tc.wait_samples.size() < TenantCounters::kMaxWaitSamples)
+        tc.wait_samples.push_back(max_wait);
+      if (cls.deadline_ns > 0.0 && completion > start_ns + cls.deadline_ns) {
+        tc.deadline_misses += 1;
+        PNC_IOSTAT_ADD(kPfsDeadlineMisses, 1);
+      }
+      if (cls.max_outstanding_bytes > 0) {
+        TenantFlow& flow = tenant_flows_[static_cast<std::size_t>(tenant)];
+        flow.inflight.emplace(completion, len);
+        flow.bytes += len;
       }
     }
   }

@@ -1,0 +1,154 @@
+#include "pfs/sched.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace pfs {
+
+const char* QosDisciplineName(QosDiscipline d) {
+  switch (d) {
+    case QosDiscipline::kFcfs: return "fcfs";
+    case QosDiscipline::kWfq: return "wfq";
+    case QosDiscipline::kEdf: return "edf";
+  }
+  return "?";
+}
+
+std::optional<QosDiscipline> ParseQosDiscipline(const std::string& s) {
+  if (s == "fcfs") return QosDiscipline::kFcfs;
+  if (s == "wfq") return QosDiscipline::kWfq;
+  if (s == "edf") return QosDiscipline::kEdf;
+  return std::nullopt;
+}
+
+double WaitPercentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = pct / 100.0 * static_cast<double>(samples.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) idx -= 1;  // nearest-rank is 1-based
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return samples[idx];
+}
+
+TenantClass TenantClassFromEnv() {
+  TenantClass cls;
+  const char* name = std::getenv("PNC_TENANT");
+  if (name != nullptr) cls.name = name;
+  cls.weight = std::clamp(pnc::util::EnvDouble("PNC_QOS_WEIGHT", cls.weight),
+                          TenantClass::kMinWeight, TenantClass::kMaxWeight);
+  cls.deadline_ns =
+      std::max(0.0, pnc::util::EnvDouble("PNC_QOS_DEADLINE_NS", 0.0));
+  cls.max_outstanding_bytes = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, pnc::util::EnvInt("PNC_QOS_CAP_BYTES", 0)));
+  return cls;
+}
+
+void ServerSched::Reset() {
+  next_free_ = 0.0;
+  busy_ns_ = 0.0;
+  horizon_ns_ = 0.0;
+  gaps_.clear();
+  outstanding_.clear();
+}
+
+double ServerSched::FlushBeginAt(double eligible_ns, double service_ns) const {
+  for (const Gap& gap : gaps_) {
+    const double begin = std::max(gap.begin, eligible_ns);
+    if (begin + service_ns <= gap.end) return begin;
+  }
+  return std::max(eligible_ns, next_free_);
+}
+
+void ServerSched::NoteOutstanding(double done_ns) {
+  if (outstanding_.size() < kMaxOutstanding) outstanding_.push_back(done_ns);
+}
+
+std::uint64_t ServerSched::DepthAt(double arrival_ns) {
+  // Drop completions the arrival has already passed; what remains (plus the
+  // grant being issued) is the queue depth this request observed.
+  auto it = std::remove_if(outstanding_.begin(), outstanding_.end(),
+                           [arrival_ns](double d) { return d <= arrival_ns; });
+  outstanding_.erase(it, outstanding_.end());
+  return static_cast<std::uint64_t>(outstanding_.size()) + 1;
+}
+
+double QosShare(const TenantClass& cls, const ServerSched::PolicyContext& ctx) {
+  if (ctx.discipline == QosDiscipline::kWfq)
+    return cls.weight / std::max(ctx.max_weight, TenantClass::kMinWeight);
+  if (ctx.discipline == QosDiscipline::kEdf) {
+    // Deadline holders are released immediately; everyone else yields a
+    // background share while any registered tenant holds a deadline.
+    if (cls.deadline_ns <= 0.0 && ctx.any_deadline)
+      return ctx.edf_background_share;
+  }
+  return 1.0;
+}
+
+double TenantPacer::Release(double eligible_ns, double service_ns,
+                            double share) {
+  if (share >= 1.0) return eligible_ns;  // unpaced: the clock never engages
+  const double release = std::max(eligible_ns, vclock_);
+  vclock_ = release + service_ns / std::max(share, TenantClass::kMinWeight /
+                                                       TenantClass::kMaxWeight);
+  return release;
+}
+
+ServerSched::Grant ServerSched::Admit(const PolicyContext& ctx,
+                                      double arrival_ns, double eligible_ns,
+                                      double request_ns, double payload_ns) {
+  Grant g;
+  g.depth = DepthAt(arrival_ns);
+
+  // --- placement -----------------------------------------------------------
+  if (ctx.discipline != QosDiscipline::kFcfs) {
+    // First fit into a pacing gap. Gaps only ever exist when some event was
+    // artificially delayed past the queue tail (see below), so with no
+    // pacing this scan never finds anything and placement is pure FCFS.
+    for (auto it = gaps_.begin(); it != gaps_.end(); ++it) {
+      const double begin = std::max(it->begin, eligible_ns);
+      const double done = begin + request_ns + payload_ns;
+      if (done > it->end) continue;
+      g.begin_ns = begin;
+      g.done_ns = done;
+      g.backfilled = true;
+      // Split the gap around the placed event; slivers under 1 ns are noise.
+      const Gap before{it->begin, begin};
+      const Gap after{done, it->end};
+      it = gaps_.erase(it);
+      if (after.end - after.begin >= 1.0) it = gaps_.insert(it, after);
+      if (before.end - before.begin >= 1.0) gaps_.insert(it, before);
+      busy_ns_ += g.done_ns - g.begin_ns;
+      horizon_ns_ = std::max(horizon_ns_, g.done_ns);
+      NoteOutstanding(g.done_ns);
+      return g;
+    }
+  }
+
+  // Append at the tail — the legacy FCFS arithmetic, preserved bit for bit:
+  // begin = max(eligible, next_free); done = begin + request + payload.
+  const double begin = std::max(eligible_ns, next_free_);
+  const double done = begin + request_ns + payload_ns;
+  // An *artificial* delay (pacing or admission pushed eligibility past the
+  // arrival) that lands beyond the queue tail leaves a hole other tenants
+  // may backfill. Natural idle time (arrival itself past the tail) is not
+  // recorded: legacy FCFS never backfills it, and treating it as usable
+  // would break bit-identity between equal-weight WFQ and FCFS.
+  if (ctx.discipline != QosDiscipline::kFcfs && eligible_ns > arrival_ns &&
+      begin - next_free_ >= 1.0) {
+    gaps_.push_back(Gap{next_free_, begin});
+    if (gaps_.size() > kMaxGaps) gaps_.pop_front();
+  }
+  next_free_ = done;
+  busy_ns_ += done - begin;
+  horizon_ns_ = std::max(horizon_ns_, done);
+  NoteOutstanding(done);
+  g.begin_ns = begin;
+  g.done_ns = done;
+  return g;
+}
+
+}  // namespace pfs

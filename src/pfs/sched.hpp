@@ -1,0 +1,217 @@
+// Per-server request scheduling with tenant QoS classes.
+//
+// The paper's model assumes one job owns the file system, so pfs served every
+// request FCFS along a single `server_next_free_` timeline. A shared service
+// (ROADMAP: "Multi-tenant I/O service") needs the servers themselves to
+// arbitrate between competing client groups — the ViPIOS position, where
+// autonomous server processes schedule requests, and the reason bursty
+// two-phase collective traffic (Thakur/Gropp/Lusk) starves anyone queued
+// behind it under FCFS.
+//
+// This module replaces the implicit FCFS timeline with a pluggable per-server
+// discipline:
+//
+//   * kFcfs — the legacy behavior, bit for bit. The FCFS arithmetic is kept
+//     in exactly the legacy association (`begin = max(arrival, next_free)`,
+//     `done = begin + request_ns + payload_ns`) so every committed virtual-
+//     time baseline (smoke, chaos) is unchanged when no policy is armed.
+//   * kWfq — weighted fairness by tenant, realized as Virtual Clock pacing
+//     (Zhang '90): weights are *relative*; tenants at the maximum registered
+//     weight are never paced, a tenant with weight w is released at rate
+//     w / w_max of the server. Pacing pushes a request's eligible time past
+//     the end of the queue, which opens a gap in the server timeline; other
+//     tenants' requests backfill those gaps (first fit). With equal weights
+//     nothing is ever paced, no gap ever opens, and the schedule is
+//     bit-identical to FCFS (qos_test asserts this).
+//   * kEdf — deadline tenants are released immediately and backfill gaps
+//     first (earliest-deadline traffic is by construction the eligible-
+//     earliest); tenants with no deadline are paced to a background share
+//     while any registered tenant holds a deadline. With a single tenant
+//     (everyone holds the same deadline, or nobody does) the schedule is
+//     again bit-identical to FCFS.
+//
+// Admission control is orthogonal to the discipline: a tenant with an
+// outstanding-bytes cap has requests held at the *client* side — eligibility
+// is delayed until enough of its in-flight bytes complete. Backpressure
+// surfaces as queue-wait in the tenant's counters, never as an error.
+//
+// Scheduling happens at grant time: pfs must return a request's completion
+// time synchronously (clients block on virtual time), so a discipline cannot
+// retroactively reorder the queue. It shapes *eligibility* (when a request
+// may start competing) and *placement* (append to the tail or backfill a
+// pacing gap). The determinism argument in DESIGN.md §9 builds on this.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pfs {
+
+/// Queue discipline applied independently at every server.
+enum class QosDiscipline { kFcfs, kWfq, kEdf };
+
+const char* QosDisciplineName(QosDiscipline d);
+/// Parse "fcfs" / "wfq" / "edf" (case-sensitive); nullopt otherwise.
+std::optional<QosDiscipline> ParseQosDiscipline(const std::string& s);
+
+/// A tenant's identity and QoS class. Registered once per FileSystem (interned
+/// by name); re-registering the same name updates the class.
+struct TenantClass {
+  std::string name;  ///< "" is the default tenant (always weight 1, no QoS)
+  /// WFQ weight, clamped into [kMinWeight, kMaxWeight]. Relative: the
+  /// max-weight tenant runs unpaced; weight w is paced to w / w_max.
+  double weight = 1.0;
+  /// EDF deadline per request (ns of virtual time from issue to completion);
+  /// 0 = no deadline. Completions past the deadline count as misses.
+  double deadline_ns = 0.0;
+  /// Admission cap on this tenant's in-flight bytes across the whole file
+  /// system; 0 = unlimited.
+  std::uint64_t max_outstanding_bytes = 0;
+
+  static constexpr double kMinWeight = 1.0 / 64.0;
+  static constexpr double kMaxWeight = 64.0;
+};
+
+/// File-system-wide QoS policy. Default (kFcfs) = nothing armed.
+struct QosPolicy {
+  QosDiscipline discipline = QosDiscipline::kFcfs;
+  /// Under EDF, the pacing share granted to tenants without a deadline while
+  /// some registered tenant holds one.
+  double edf_background_share = 0.25;
+};
+
+/// Per-tenant service counters, maintained by the FileSystem under its lock.
+struct TenantCounters {
+  std::uint64_t server_events = 0;    ///< per-(request, server) grants
+  std::uint64_t served_bytes = 0;     ///< payload bytes granted
+  double queue_wait_ns = 0.0;         ///< sum over grants of begin - arrival
+  double service_ns = 0.0;            ///< sum over grants of done - begin
+  double admission_wait_ns = 0.0;     ///< part of queue-wait due to the cap
+  std::uint64_t paced_events = 0;     ///< grants delayed by WFQ/EDF pacing
+  std::uint64_t backfilled_events = 0;///< grants placed into a pacing gap
+  std::uint64_t deadline_misses = 0;  ///< requests completing past deadline
+  /// Per-request queue wait (max over the request's server grants), capped at
+  /// kMaxWaitSamples; feeds tail-latency percentiles in benches and tests.
+  std::vector<double> wait_samples;
+
+  static constexpr std::size_t kMaxWaitSamples = 1 << 14;
+};
+
+/// Snapshot of one tenant (FileSystem::TenantUsageSnapshot).
+struct TenantUsage {
+  TenantClass cls;
+  TenantCounters ctr;
+};
+
+/// Percentile (pct in [0,100]) of a wait-sample vector; 0 when empty.
+/// Nearest-rank on a sorted copy — robust for gate thresholds.
+double WaitPercentile(std::vector<double> samples, double pct);
+
+/// Tenant identity resolved from the environment: PNC_TENANT (name; unset or
+/// empty = default tenant), PNC_QOS_WEIGHT, PNC_QOS_DEADLINE_NS,
+/// PNC_QOS_CAP_BYTES. Values are checked and clamped like every other PNC_*
+/// variable (util/env.hpp: malformed values warn once and fall back).
+TenantClass TenantClassFromEnv();
+
+/// One server's schedule. All methods are called by the FileSystem under its
+/// own mutex — this class is deliberately lock-free/single-threaded.
+class ServerSched {
+ public:
+  /// Inputs a discipline needs beyond the request itself.
+  struct PolicyContext {
+    QosDiscipline discipline = QosDiscipline::kFcfs;
+    double edf_background_share = 0.25;
+    double max_weight = 1.0;      ///< max weight over registered tenants
+    bool any_deadline = false;    ///< some registered tenant has a deadline
+  };
+
+  /// Outcome of scheduling one per-server service event.
+  struct Grant {
+    double begin_ns = 0.0;
+    double done_ns = 0.0;
+    std::uint64_t depth = 0;  ///< grants in flight at arrival (incl. this one)
+    bool paced = false;       ///< eligibility was pushed by pacing
+    bool backfilled = false;  ///< placed into a pacing gap, not appended
+  };
+
+  /// Place a service event of `request_ns + payload_ns`. `arrival_ns` is when
+  /// the request reached the file system; `eligible_ns` (>= arrival) carries
+  /// any artificial delay — admission control and TenantPacer pacing, both
+  /// applied per *request* by the FileSystem before the per-server fan-out,
+  /// so every server of a striped request sees the same eligibility. An
+  /// artificially delayed append records the hole it leaves as a backfillable
+  /// gap. The FCFS path and the unpaced WFQ/EDF append path compute times
+  /// with the exact legacy arithmetic (see file comment).
+  Grant Admit(const PolicyContext& ctx, double arrival_ns, double eligible_ns,
+              double request_ns, double payload_ns);
+
+  /// Head of the appended timeline (legacy `server_next_free_[s]`): the time
+  /// a newly appended request would have to wait for. Zero-length flushes
+  /// observe this without extending it.
+  [[nodiscard]] double next_free() const { return next_free_; }
+  /// Where a zero-length flush (a metadata round trip of `service_ns`) would
+  /// begin: the first pacing gap that can hold it, else the legacy
+  /// `max(eligible, next_free)`. Non-mutating — flushes never extend the
+  /// timeline or consume gap capacity — and exactly the legacy expression
+  /// when no gaps exist (i.e. whenever no policy is armed), so arming a
+  /// discipline cannot move an unpaced workload's flush times.
+  [[nodiscard]] double FlushBeginAt(double eligible_ns,
+                                    double service_ns) const;
+  /// Total service time granted on this server since the last Reset.
+  [[nodiscard]] double busy_ns() const { return busy_ns_; }
+  /// Latest completion granted (the server's schedule horizon).
+  [[nodiscard]] double horizon_ns() const { return horizon_ns_; }
+
+  /// Back to an idle timeline (FileSystem::ResetTime).
+  void Reset();
+
+ private:
+  struct Gap {
+    double begin;
+    double end;
+  };
+
+  /// Pacing gaps are pruned beyond this many entries (oldest first); a
+  /// pruned gap can never be backfilled again, which only delays work —
+  /// it can never move a grant earlier, so determinism is unaffected.
+  static constexpr std::size_t kMaxGaps = 128;
+  /// Outstanding completion times kept for the queue-depth gauge.
+  static constexpr std::size_t kMaxOutstanding = 4096;
+
+  void NoteOutstanding(double done_ns);
+  [[nodiscard]] std::uint64_t DepthAt(double arrival_ns);
+
+  double next_free_ = 0.0;
+  double busy_ns_ = 0.0;
+  double horizon_ns_ = 0.0;
+  std::deque<Gap> gaps_;             ///< pacing holes, sorted, disjoint
+  std::vector<double> outstanding_;  ///< completion times not yet passed
+};
+
+/// The pacing share a tenant is entitled to under `ctx` — 1.0 means unpaced.
+/// WFQ: weight / max registered weight. EDF: deadline holders are unpaced;
+/// deadline-less tenants get the background share while any deadline exists.
+double QosShare(const TenantClass& cls, const ServerSched::PolicyContext& ctx);
+
+/// Virtual Clock pacing state, one per tenant, owned by the FileSystem.
+/// Pacing is a per-request decision made *before* the per-server fan-out: a
+/// request of total service S (summed over its servers) may become eligible
+/// no earlier than the clock, and pushes the clock S/share further. Pacing
+/// per request — not per server — is what keeps a striped request's chunks
+/// uniformly delayed, so every touched server records a backfillable gap
+/// instead of only the first (qos_test pins this).
+class TenantPacer {
+ public:
+  /// Returns the paced eligibility (== eligible_ns when share >= 1, i.e.
+  /// unpaced; the clock is not engaged in that case).
+  double Release(double eligible_ns, double service_ns, double share);
+  void Reset() { vclock_ = 0.0; }
+
+ private:
+  double vclock_ = 0.0;
+};
+
+}  // namespace pfs

@@ -203,6 +203,7 @@ pnc::Status Dataset::Impl::SetupOpenSums(bool open_writable, bool root_torn) {
         err = sf.status().raw();
         break;
       }
+      sf.value().SetTenant(file.tenant());
       sums_io.emplace(std::move(sf).value(), &comm.clock());
       if (!existed) {
         const pnc::Status fst = ncformat::FormatSums(*sums_io);
@@ -404,7 +405,10 @@ pnc::Result<Dataset> Dataset::Create(simmpi::Comm comm, pfs::FileSystem& fs,
     if (!jf.ok()) {
       jerr = jf.status().raw();
     } else {
-      im.journal.emplace(std::move(jf).value(), &im.comm.clock());
+      // Sidecar I/O bills to the dataset's tenant, like the primary file.
+      pfs::File jfile = std::move(jf).value();
+      jfile.SetTenant(im.file.tenant());
+      im.journal.emplace(std::move(jfile), &im.comm.clock());
       jerr = ncformat::FormatJournal(*im.journal).raw();
     }
   }
@@ -428,7 +432,9 @@ pnc::Result<Dataset> Dataset::Create(simmpi::Comm comm, pfs::FileSystem& fs,
       if (!sf.ok()) {
         serr = sf.status().raw();
       } else {
-        im.sums_io.emplace(std::move(sf).value(), &im.comm.clock());
+        pfs::File sfile = std::move(sf).value();
+        sfile.SetTenant(im.file.tenant());
+        im.sums_io.emplace(std::move(sfile), &im.comm.clock());
         serr = ncformat::FormatSums(*im.sums_io).raw();
       }
     }
@@ -477,8 +483,12 @@ pnc::Result<Dataset> Dataset::Open(simmpi::Comm comm, pfs::FileSystem& fs,
     } else if (!pf.ok()) {
       rst = pf.status();
     } else {
-      im.journal.emplace(std::move(jf).value(), &im.comm.clock());
-      ncformat::PfsCommitIo primary(std::move(pf).value(), &im.comm.clock());
+      pfs::File jfile = std::move(jf).value();
+      jfile.SetTenant(im.file.tenant());
+      pfs::File pfile = std::move(pf).value();
+      pfile.SetTenant(im.file.tenant());
+      im.journal.emplace(std::move(jfile), &im.comm.clock());
+      ncformat::PfsCommitIo primary(std::move(pfile), &im.comm.clock());
       auto rep = ncformat::AnalyzeCommit(*im.journal, primary);
       if (!rep.ok()) {
         rst = rep.status();

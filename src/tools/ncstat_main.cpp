@@ -38,6 +38,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -242,14 +243,14 @@ int RunMode(nctools::Cli& cli) {
   const std::uint64_t per =
       total_elems / static_cast<std::uint64_t>(procs);
   const bool is_read = op == "read";
-  bool failed = false;
+  std::string fail_why;
 
   pfs::FileSystem fs;
   simmpi::Run(procs, [&](simmpi::Comm& comm) {
     auto dsr =
         pnetcdf::Dataset::Create(comm, fs, "ncstat.nc", simmpi::NullInfo());
     if (!dsr.ok()) {
-      if (comm.rank() == 0) failed = true;
+      if (comm.rank() == 0) fail_why = dsr.status().message();
       return;
     }
     auto ds = std::move(dsr).value();
@@ -273,25 +274,27 @@ int RunMode(nctools::Cli& cli) {
       count[0] = per;
       count[1] = 1;
     }
-    if (!ds.EndDef().ok()) {
-      if (comm.rank() == 0) failed = true;
+    if (pnc::Status es = ds.EndDef(); !es.ok()) {
+      if (comm.rank() == 0) fail_why = es.message();
       return;
     }
     std::vector<double> mine(per, 1.0);
-    pnc::Status st = ds.PutVaraAll<double>(v, start, count, mine);
+    const std::size_t nd = pattern == "contig" ? 1 : 2;
+    const std::span<const std::uint64_t> sp(start, nd), cp(count, nd);
+    pnc::Status st = ds.PutVaraAll<double>(v, sp, cp, mine);
     if (is_read && st.ok()) {
       // Drop the populating write from the report: read stats only.
       comm.Barrier();
       if (comm.rank() == 0) iostat::Registry::Get().Reset();
       comm.Barrier();
       iostat::Registry::BindRank(comm.rank());
-      st = ds.GetVaraAll<double>(v, start, count, mine);
+      st = ds.GetVaraAll<double>(v, sp, cp, mine);
     }
-    if (!st.ok() && comm.rank() == 0) failed = true;
+    if (!st.ok() && comm.rank() == 0) fail_why = st.message();
     (void)ds.Close();
   });
-  if (failed) {
-    std::fprintf(stderr, "ncstat: workload failed\n");
+  if (!fail_why.empty()) {
+    std::fprintf(stderr, "ncstat: workload failed: %s\n", fail_why.c_str());
     return nctools::kExitError;
   }
 
