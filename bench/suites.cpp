@@ -53,6 +53,13 @@ std::vector<Suite> BuildSuites() {
        {
            {"tenants", {"--procs=4", kDet}},
        }});
+  s.push_back(
+      {"advise",
+       "I/O tuning advisor closed loop: mistuned workload -> recommendations "
+       "-> advised rerun (backs bench/baselines/advise.json)",
+       {
+           {"advise", {"--procs=4", kDet}},
+       }});
   s.push_back({"fig6",
                "full Figure 6 serial-vs-parallel scalability sweep",
                {{"fig6_scalability", {}}}});

@@ -1,0 +1,44 @@
+// Rule-based I/O tuning advisor (ncstat --advise).
+//
+// Consumes an iostat::Report — counters, derived ratios, and the
+// access-pattern profile (pattern.hpp) — and emits concrete, ranked
+// recommendations with the evidence that triggered them. The rules are the
+// paper's tuning story made executable: noncontiguous independent access
+// should go collective (Thakur/Gropp/Lusk), sieve buffers should cover the
+// access span, aggregation should be balanced across ranks and servers.
+//
+// Determinism contract: Advise() is a pure function of the report. Every
+// threshold is a fixed constant, scores are computed with closed-form
+// arithmetic, and ties rank in rule-declaration order — so benches can
+// freeze "rule X fired" and recommendation counts into zero-tolerance
+// baselines. The full rule table lives in DESIGN.md §8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iostat/report.hpp"
+
+namespace iostat {
+
+/// One tuning recommendation. `hint_key`/`hint_value` are machine-applicable
+/// when non-empty (an MPI-IO hint a caller can set verbatim); `action` is
+/// the human phrasing; `evidence` quotes the numbers that fired the rule.
+struct Recommendation {
+  std::string rule;    ///< stable id, e.g. "use-collective"
+  std::string action;
+  std::string hint_key;
+  std::string hint_value;
+  std::string evidence;
+  double score = 0.0;  ///< severity; output is sorted descending
+};
+
+/// Evaluate every rule against the report; ranked most-severe first
+/// (stable: equal scores keep rule-declaration order). Empty when the
+/// pattern looks well tuned or the profiler recorded nothing.
+std::vector<Recommendation> Advise(const Report& rep);
+
+/// Human rendering: "#1 [rule, score] action / evidence / hint" per entry.
+std::string PrettyPrintAdvice(const std::vector<Recommendation>& recs);
+
+}  // namespace iostat

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "iostat/events.hpp"
+#include "iostat/pattern.hpp"
 #include "iostat/report.hpp"
 
 namespace iostat {
@@ -141,6 +142,7 @@ void Registry::Reset() {
   }
   max_rank_.store(0, std::memory_order_relaxed);
   FlightRecorder::Get().Reset();
+  PatternRegistry::Get().Reset();
 }
 
 void Registry::AutoReportAtClose() {

@@ -62,6 +62,7 @@ Report BuildReport() {
   rep.pfs_busy_frac =
       servers > 0 && horizon > 0 ? busy / (servers * horizon) : 0.0;
   rep.pfs_queue_wait_frac = (qwait + busy) > 0 ? qwait / (qwait + busy) : 0.0;
+  rep.pattern = PatternRegistry::Get().Snapshot();
   return rep;
 }
 
@@ -81,9 +82,17 @@ std::string ToJson(const Report& rep) {
   AppendF(out,
           "},\"derived\":{\"sieve_amplification\":%.17g,"
           "\"twophase_amplification\":%.17g,\"exchange_frac\":%.17g,"
-          "\"pfs_busy_frac\":%.17g,\"pfs_queue_wait_frac\":%.17g}}",
+          "\"pfs_busy_frac\":%.17g,\"pfs_queue_wait_frac\":%.17g}",
           rep.sieve_amplification, rep.twophase_amplification,
           rep.exchange_frac, rep.pfs_busy_frac, rep.pfs_queue_wait_frac);
+  // The pattern member is emitted only when the profiler recorded something:
+  // with PNC_IOSTAT_PATTERN=0 (or -DPNC_IOSTAT=OFF) the report stays
+  // byte-identical to the pre-profiler schema.
+  if (rep.pattern.present) {
+    out += ",\"pattern\":";
+    out += PatternToJson(rep.pattern);
+  }
+  out.push_back('}');
   return out;
 }
 
@@ -178,6 +187,8 @@ pnc::Result<Report> ParseReportJson(std::string_view text) {
           } while (cur.Eat(','));
           if (!cur.Eat('}')) return fail("unterminated derived");
         }
+      } else if (key == "pattern") {
+        if (!ParsePatternValue(cur, &rep.pattern)) return fail("bad pattern");
       } else {
         if (!cur.SkipValue()) return fail("bad value");
       }
@@ -221,6 +232,30 @@ std::string PrettyPrint(const Report& rep) {
   AppendF(out, "    %-24s %.4f\n", "pfs_busy_frac", rep.pfs_busy_frac);
   AppendF(out, "    %-24s %.4f\n", "pfs_queue_wait_frac",
           rep.pfs_queue_wait_frac);
+
+  if (rep.pattern.present) {
+    AppendF(out, "  [pattern]\n");
+    for (const auto& v : rep.pattern.vars) {
+      AppendF(out,
+              "    var %-12s calls %6" PRIu64 " (w %" PRIu64 "/r %" PRIu64
+              ", indep %" PRIu64 "/coll %" PRIu64 ")  shape c/s/r %" PRIu64
+              "/%" PRIu64 "/%" PRIu64 "  mean extent %.0f B\n",
+              v.var.c_str(), v.calls, v.writes, v.reads, v.indep, v.coll,
+              v.contig, v.strided, v.random, v.extent_bytes.mean());
+    }
+    AppendF(out,
+            "    sieve                    rd amp %.2f  wr amp %.2f  rereads "
+            "%" PRIu64 "\n",
+            rep.pattern.SieveReadAmp(), rep.pattern.SieveWriteAmp(),
+            rep.pattern.sieve_rd_rereads);
+    const auto [share, hottest] = rep.pattern.HottestServer();
+    if (hottest >= 0)
+      AppendF(out, "    hottest server           s%d (%.0f%% of bytes)\n",
+              hottest, 100.0 * share);
+    if (!rep.pattern.agg_bytes.empty())
+      AppendF(out, "    agg imbalance            %.2fx across %d ranks\n",
+              rep.pattern.AggImbalance(rep.nranks), rep.nranks);
+  }
   return out;
 }
 

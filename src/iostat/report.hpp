@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "iostat/iostat.hpp"
+#include "iostat/pattern.hpp"
 #include "util/status.hpp"
 
 namespace iostat {
@@ -44,6 +45,12 @@ struct Report {
   /// disciplines (pfs/sched.hpp) exist to shape.
   double pfs_queue_wait_frac = 0.0;
 
+  /// Access-pattern profile (pattern.hpp). `pattern.present` is false when
+  /// the profiler recorded nothing (gated off, or no I/O ran); the JSON then
+  /// omits the "pattern" member entirely, keeping gated-off output
+  /// byte-identical to pre-profiler reports.
+  PatternSummary pattern;
+
   [[nodiscard]] const Agg& operator[](Ctr c) const {
     return counters[static_cast<std::size_t>(c)];
   }
@@ -58,7 +65,8 @@ Report BuildReport();
 ///   {"schema":"pnc-iostat-v1","nranks":N,
 ///    "counters":{"pfs.read_ops":{"min":..,"max":..,"sum":..,"mean":..},...},
 ///    "derived":{"sieve_amplification":..,"twophase_amplification":..,
-///               "exchange_frac":..}}
+///               "exchange_frac":..},
+///    "pattern":{"schema":"pnc-pattern-v1",...}}   // only when present
 std::string ToJson(const Report& rep);
 
 /// Parse a report previously produced by ToJson (or embedded as the

@@ -1,8 +1,11 @@
 #include "iostat/trace.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "iostat/events.hpp"
@@ -74,6 +77,17 @@ std::string ToChromeTrace() {
   const std::vector<std::vector<Event>> events =
       FlightRecorder::Get().Collect();
   int max_server = -1;
+  // Service begin/end edges harvested from kPfsServer events, turned into
+  // Chrome counter ("ph":"C") tracks after the main pass: per-server queue
+  // depth and per-tenant in-flight bytes.
+  struct CounterEdge {
+    double ts_us;
+    int server;
+    int depth_delta;
+    std::int64_t byte_delta;
+    std::string tenant;
+  };
+  std::vector<CounterEdge> edges;
   for (std::size_t r = 0; r < events.size(); ++r) {
     const std::uint64_t self = static_cast<std::uint64_t>(r);
     for (const Event& e : events[r]) {
@@ -114,6 +128,17 @@ std::string ToChromeTrace() {
         case Ev::kPfsServer: {
           const int server = static_cast<int>(e.a0 & 0xff);
           if (server > max_server) max_server = server;
+          // Zero-length flushes ('s') observe the queue without occupying
+          // it; everything else feeds the counter tracks below.
+          if (e.detail[0] != 's') {
+            const char* tenant =
+                e.detail[1] == ':' ? e.detail + 2 : "default";
+            const std::int64_t bytes =
+                static_cast<std::int64_t>(e.a0 >> 8);
+            edges.push_back({e.t_ns / 1000.0, server, +1, bytes, tenant});
+            edges.push_back(
+                {(e.t_ns + e.d_ns) / 1000.0, server, -1, -bytes, tenant});
+          }
           AppendF(out,
                   "%s{\"name\":\"serve\",\"cat\":\"pfs\",\"ph\":\"X\","
                   "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
@@ -128,6 +153,32 @@ std::string ToChromeTrace() {
           break;
       }
     }
+  }
+  // Counter tracks: queue depth per server and in-flight bytes per tenant,
+  // as Chrome "ph":"C" events (a sample per service begin/end). Ends sort
+  // before begins at equal timestamps so back-to-back grants do not spike.
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const CounterEdge& a, const CounterEdge& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.depth_delta < b.depth_delta;
+                   });
+  std::map<int, std::int64_t> depth_by_server;
+  std::map<std::string, std::int64_t> inflight_by_tenant;
+  for (const CounterEdge& e : edges) {
+    const std::int64_t depth = depth_by_server[e.server] += e.depth_delta;
+    AppendF(out,
+            "%s{\"name\":\"queue depth s%d\",\"cat\":\"pfs\",\"ph\":\"C\","
+            "\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"depth\":%" PRId64
+            "}}",
+            first ? "" : ",", e.server, e.ts_us, e.server, depth);
+    first = false;
+    const std::int64_t inflight = inflight_by_tenant[e.tenant] += e.byte_delta;
+    AppendF(out, "%s{\"name\":\"inflight bytes ", first ? "" : ",");
+    pnc::json::AppendEscaped(out, e.tenant.c_str());
+    AppendF(out,
+            "\",\"cat\":\"pfs\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,"
+            "\"tid\":0,\"args\":{\"bytes\":%" PRId64 "}}",
+            e.ts_us, inflight);
   }
   for (int s = 0; s <= max_server; ++s) {
     AppendF(out,

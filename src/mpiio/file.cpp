@@ -7,6 +7,7 @@
 
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
+#include "iostat/pattern.hpp"
 #include "mpiio/file_impl.hpp"
 
 namespace mpiio {
@@ -346,6 +347,8 @@ pnc::Status File::SievedTransfer(const std::vector<pnc::Extent>& segments,
     const auto& s = segments[0];
     PNC_IOSTAT_ADD(kMpiioSieveBytesWanted, s.len);
     PNC_IOSTAT_ADD(kMpiioSieveBytesFile, s.len);
+    PNC_IOSTAT_PATTERN_SIEVE(is_write, s.len, s.len, s.offset,
+                             /*sieved=*/false);
     return im.RetryIo(is_write, s.offset, data, s.len);
   }
 
@@ -357,6 +360,8 @@ pnc::Status File::SievedTransfer(const std::vector<pnc::Extent>& segments,
     for (const auto& s : segments) {
       PNC_IOSTAT_ADD(kMpiioSieveBytesWanted, s.len);
       PNC_IOSTAT_ADD(kMpiioSieveBytesFile, s.len);
+      PNC_IOSTAT_PATTERN_SIEVE(is_write, s.len, s.len, s.offset,
+                               /*sieved=*/false);
       PNC_RETURN_IF_ERROR(im.RetryIo(is_write, s.offset, data + dpos, s.len));
       dpos += s.len;
     }
@@ -412,9 +417,15 @@ pnc::Status File::SievedTransfer(const std::vector<pnc::Extent>& segments,
     if (span_len == 0) break;
     PNC_IOSTAT_ADD(kMpiioSieveBytesWanted, covered);
     PNC_IOSTAT_ADD(kMpiioSieveBytesFile, span_len);
+    const bool holes = covered != span_len;
+    // Window-level pattern sample: useful payload vs bytes at the file
+    // (writes with holes pre-read the whole span, doubling the file bytes —
+    // mirrors the counter accounting below).
+    PNC_IOSTAT_PATTERN_SIEVE(is_write, covered,
+                             is_write && holes ? 2 * span_len : span_len,
+                             span_start, /*sieved=*/true);
 
     if (is_write) {
-      const bool holes = covered != span_len;
       // ROMIO takes a file lock around sieved writes: the read-modify-write
       // of the covering range must not interleave with another client's RMW
       // of an overlapping range, or updates are lost.

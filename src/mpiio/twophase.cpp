@@ -19,6 +19,7 @@
 
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
+#include "iostat/pattern.hpp"
 #include "mpiio/file_impl.hpp"
 
 namespace mpiio {
@@ -169,6 +170,9 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
   std::vector<pnc::Extent> segs;
   if (bytes > 0)
     im.view.MapRange(offset_etypes * im.view.etype_size(), bytes, segs);
+  // Pattern: the per-rank fragment sizes entering the exchange ("pre"
+  // extents); the aggregators' file windows below are the "post" side.
+  PNC_IOSTAT_PATTERN_TWOPHASE_PRE(segs);
 
   // Stage noncontiguous memory through a packed buffer.
   std::vector<std::byte> staging;
@@ -421,6 +425,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
             pnc::Status wst;
             if (holes && st.ok()) {
               PNC_IOSTAT_ADD(kMpiioAggBytes, span_len);  // RMW pre-read
+              PNC_IOSTAT_PATTERN_AGG(span_len);
               wst = im.RetryIo(/*is_write=*/false, span_start, window.data(),
                                span_len);
             }
@@ -430,6 +435,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
                             pc.len);
               clk.Advance(cost.CopyCost(covered));
               PNC_IOSTAT_ADD(kMpiioAggBytes, span_len);
+              PNC_IOSTAT_PATTERN_AGG(span_len);
               wst = im.RetryIo(/*is_write=*/true, span_start, window.data(),
                                span_len);
             }
@@ -444,6 +450,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
             pnc::Status rst;
             if (st.ok()) {
               PNC_IOSTAT_ADD(kMpiioAggBytes, span_len);
+              PNC_IOSTAT_PATTERN_AGG(span_len);
               rst = im.RetryIo(/*is_write=*/false, span_start, window.data(),
                                span_len);
             }

@@ -13,6 +13,7 @@
 
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
+#include "iostat/pattern.hpp"
 
 namespace pfs {
 
@@ -658,6 +659,12 @@ double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
                          (bytes_per_server[s] << 8) | (s & 0xff),
                          static_cast<std::uint64_t>(g.begin_ns - arrival),
                          detail);
+        // Pattern heatmap cell + per-server totals. `offset` is the
+        // request's start offset (each server of a striped request records
+        // the same one — "which region was hot", not exact chunk addresses).
+        PNC_IOSTAT_PATTERN_PFS(static_cast<int>(s), offset,
+                               bytes_per_server[s], g.begin_ns, g.done_ns,
+                               g.depth, wait);
       }
       if (tc.wait_samples.size() < TenantCounters::kMaxWaitSamples)
         tc.wait_samples.push_back(max_wait);

@@ -9,6 +9,7 @@
 #include "format/sums.hpp"
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
+#include "iostat/pattern.hpp"
 #include "util/crc32.hpp"
 
 namespace pnetcdf {
@@ -1052,6 +1053,10 @@ pnc::Status Dataset::MoveExternal(int varid,
     offs.push_back(r.offset);
     lens.push_back(r.len);
   }
+  // Pattern profiler: this call's flattened extents, tagged per variable.
+  // Same virtual timestamps as the req scope above — recording never
+  // advances clocks.
+  PNC_IOSTAT_PATTERN_ACCESS(varname, is_write, collective, offs, lens);
   auto filetype = simmpi::Datatype::Hindexed(lens, offs, simmpi::ByteType());
 
   PNC_IOSTAT_ADD(kNcDataCalls, 1);
@@ -1345,6 +1350,9 @@ pnc::Status Dataset::BatchAccess(std::span<BatchItem> items, bool is_write) {
     pos += p.ext.len;
   }
   if (is_write && total > 0) clk.Advance(im.comm.cost().CopyCost(total));
+  // Pattern profiler: the coalesced nonblocking batch as one access — the
+  // merged extent list is exactly what wait_all hands the I/O engine.
+  PNC_IOSTAT_PATTERN_ACCESS("*batch", is_write, true, offs, lens);
   auto filetype = simmpi::Datatype::Hindexed(lens, offs, simmpi::ByteType());
 
   PNC_IOSTAT_ADD(kNcDataCalls, 1);

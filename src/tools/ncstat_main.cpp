@@ -18,11 +18,19 @@
 //   ncstat --critpath=FILE critical-path analysis of a pnc-events-v1 dump:
 //                          per-op straggler-wait / exchange / file-io
 //                          decomposition per rank and per pfs server
+//   ncstat --advise=FILE   run the rule-based tuning advisor over every
+//                          iostat report found in FILE (needs the embedded
+//                          pnc-pattern-v1 section for pattern rules)
+//   ncstat --heatmap=FILE  render the pnc-pattern-v1 server x virtual-time
+//                          utilization grid of every report in FILE
 //
 // Workload options (with --run):
 //   --procs=N                  ranks (default 4)
 //   --size=MB                  total payload in MiB (default 8)
-//   --pattern=contig|strided   file access pattern (default contig)
+//   --pattern=contig|strided|random
+//                              file access pattern (default contig)
+//   --mode=coll|indep          collective or independent data calls
+//                              (default coll)
 //   --op=write|read            measured operation (default write; read runs
 //                              a populating write first and resets counters)
 //   --json=PATH                also dump the report JSON ("-" = stdout)
@@ -30,6 +38,9 @@
 //   --blackbox=PATH            dump the flight recorder (pnc-events-v1)
 //   --critpath                 print the critical-path decomposition of the
 //                              workload's collective ops
+//   --advise                   print ranked tuning recommendations for the
+//                              workload just run
+//   --heatmap                  print the pfs server x time utilization grid
 //
 // Exit status: 0 success, 1 --diff found differences, 2 usage/IO/parse
 // error. See src/tools/cli.hpp and docs/API.md for the contract shared with
@@ -43,9 +54,11 @@
 #include <string>
 #include <vector>
 
+#include "iostat/advise.hpp"
 #include "iostat/critpath.hpp"
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
+#include "iostat/pattern.hpp"
 #include "iostat/report.hpp"
 #include "iostat/trace.hpp"
 #include "pnetcdf/dataset.hpp"
@@ -60,12 +73,16 @@ int Usage() {
   std::fprintf(stderr,
                "usage: ncstat --report=FILE\n"
                "       ncstat --run [--procs=N] [--size=MB]\n"
-               "              [--pattern=contig|strided] [--op=write|read]\n"
+               "              [--pattern=contig|strided|random]\n"
+               "              [--mode=coll|indep] [--op=write|read]\n"
                "              [--json=PATH] [--trace=PATH]\n"
                "              [--blackbox=PATH] [--critpath]\n"
+               "              [--advise] [--heatmap]\n"
                "       ncstat --diff A B [--tolerance=PCT]\n"
                "       ncstat --blackbox=FILE\n"
-               "       ncstat --critpath=FILE\n");
+               "       ncstat --critpath=FILE\n"
+               "       ncstat --advise=FILE\n"
+               "       ncstat --heatmap=FILE\n");
   return nctools::kExitError;
 }
 
@@ -223,20 +240,62 @@ int ReportMode(const std::string& path) {
   return nctools::kExitOk;
 }
 
+/// `--advise=FILE` / `--heatmap=FILE`: run the tuning advisor and/or render
+/// the server x time heatmap over every iostat report found in FILE (same
+/// line-oriented discovery as --report). Reports without an embedded
+/// pnc-pattern-v1 section still get counter-based advice; the heatmap then
+/// reports that no pattern data was recorded.
+int AdviseFileMode(const std::string& path, bool do_advise, bool do_heatmap) {
+  std::string text;
+  if (!ReadAll(path, &text)) return nctools::kExitError;
+  std::vector<iostat::Report> reports;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto r = iostat::ParseReportJson(line);
+    if (r.ok()) reports.push_back(r.value());
+  }
+  if (reports.empty()) {
+    auto r = iostat::ParseReportJson(text);
+    if (r.ok()) reports.push_back(r.value());
+  }
+  if (reports.empty()) {
+    std::fprintf(stderr, "ncstat: no pnc-iostat-v1 report found in %s\n",
+                 path.c_str());
+    return nctools::kExitError;
+  }
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports.size() > 1)
+      std::printf("%s--- record %zu of %zu ---\n", i ? "\n" : "", i + 1,
+                  reports.size());
+    if (do_heatmap)
+      std::fputs(iostat::RenderHeatmap(reports[i].pattern).c_str(), stdout);
+    if (do_advise)
+      std::fputs(iostat::PrettyPrintAdvice(iostat::Advise(reports[i])).c_str(),
+                 stdout);
+  }
+  return nctools::kExitOk;
+}
+
 int RunMode(nctools::Cli& cli) {
   const int procs =
       std::max(1, std::atoi(cli.Value("--procs", "4").c_str()));
   const std::uint64_t mb = static_cast<std::uint64_t>(
       std::max(1, std::atoi(cli.Value("--size", "8").c_str())));
   const std::string pattern = cli.Value("--pattern", "contig");
+  const std::string mode = cli.Value("--mode", "coll");
   const std::string op = cli.Value("--op", "write");
   const std::string json = cli.Value("--json", "");
   const std::string trace = cli.Value("--trace", "");
   const std::string blackbox = cli.Value("--blackbox", "");
   const bool critpath = cli.Has("--critpath");
-  if ((pattern != "contig" && pattern != "strided") ||
+  const bool advise = cli.Flag("--advise");
+  const bool heatmap = cli.Flag("--heatmap");
+  if ((pattern != "contig" && pattern != "strided" && pattern != "random") ||
+      (mode != "coll" && mode != "indep") ||
       (op != "write" && op != "read"))
     return Usage();
+  const bool indep = mode == "indep";
   if (!trace.empty()) iostat::Registry::Get().SetSpansEnabled(true);
 
   const std::uint64_t total_elems = (mb << 20) / 8;
@@ -256,8 +315,10 @@ int RunMode(nctools::Cli& cli) {
     auto ds = std::move(dsr).value();
     std::uint64_t start[2], count[2];
     int v;
-    if (pattern == "contig") {
-      // u(total): each rank one contiguous block.
+    if (pattern == "contig" || pattern == "random") {
+      // u(total): each rank one contiguous slice. "random" revisits that
+      // slice as 16 equal chunks in a permuted order so consecutive calls
+      // have changing gaps (classified random by the pattern profiler).
       const int xd = ds.DefDim("x", total_elems).value();
       v = ds.DefVar("u", ncformat::NcType::kDouble, {xd}).value();
       start[0] = per * static_cast<std::uint64_t>(comm.rank());
@@ -279,16 +340,56 @@ int RunMode(nctools::Cli& cli) {
       return;
     }
     std::vector<double> mine(per, 1.0);
-    const std::size_t nd = pattern == "contig" ? 1 : 2;
-    const std::span<const std::uint64_t> sp(start, nd), cp(count, nd);
-    pnc::Status st = ds.PutVaraAll<double>(v, sp, cp, mine);
+    const std::size_t nd = pattern == "strided" ? 2 : 1;
+    // One pass over the rank's region with the selected pattern and mode.
+    // "random" issues 16 chunk accesses at permuted slots ((j*5+3) mod 16,
+    // gcd(5,16)=1 covers every slot); every rank makes the same number of
+    // calls so collective data ops stay aligned across ranks.
+    auto do_op = [&](bool wr) -> pnc::Status {
+      pnc::Status st = pnc::Status::Ok();
+      if (indep) st = ds.BeginIndepData();
+      if (st.ok() && pattern == "random") {
+        const std::uint64_t chunk = std::max<std::uint64_t>(1, per / 16);
+        for (int j = 0; j < 16 && st.ok(); ++j) {
+          const std::uint64_t slot = static_cast<std::uint64_t>(j * 5 + 3) % 16;
+          std::uint64_t s0 = start[0] + slot * chunk;
+          std::uint64_t c0 = slot == 15 ? per - 15 * chunk : chunk;
+          if (s0 >= start[0] + per) {  // tiny --size degenerates gracefully
+            s0 = start[0];
+            c0 = 1;
+          }
+          const std::span<const std::uint64_t> s(&s0, 1), c(&c0, 1);
+          const std::span<double> buf(mine.data(), c0);
+          if (wr)
+            st = indep ? ds.PutVara<double>(v, s, c, buf)
+                       : ds.PutVaraAll<double>(v, s, c, buf);
+          else
+            st = indep ? ds.GetVara<double>(v, s, c, buf)
+                       : ds.GetVaraAll<double>(v, s, c, buf);
+        }
+      } else if (st.ok()) {
+        const std::span<const std::uint64_t> sp(start, nd), cp(count, nd);
+        if (wr)
+          st = indep ? ds.PutVara<double>(v, sp, cp, mine)
+                     : ds.PutVaraAll<double>(v, sp, cp, mine);
+        else
+          st = indep ? ds.GetVara<double>(v, sp, cp, mine)
+                     : ds.GetVaraAll<double>(v, sp, cp, mine);
+      }
+      if (indep) {
+        const pnc::Status es = ds.EndIndepData();
+        if (st.ok()) st = es;
+      }
+      return st;
+    };
+    pnc::Status st = do_op(/*wr=*/true);
     if (is_read && st.ok()) {
       // Drop the populating write from the report: read stats only.
       comm.Barrier();
       if (comm.rank() == 0) iostat::Registry::Get().Reset();
       comm.Barrier();
       iostat::Registry::BindRank(comm.rank());
-      st = ds.GetVaraAll<double>(v, sp, cp, mine);
+      st = do_op(/*wr=*/false);
     }
     if (!st.ok() && comm.rank() == 0) fail_why = st.message();
     (void)ds.Close();
@@ -299,9 +400,13 @@ int RunMode(nctools::Cli& cli) {
   }
 
   const iostat::Report rep = iostat::BuildReport();
-  std::printf("ncstat: %s %s, %d ranks, %llu MiB total\n", pattern.c_str(),
-              op.c_str(), procs, static_cast<unsigned long long>(mb));
+  std::printf("ncstat: %s %s %s, %d ranks, %llu MiB total\n", mode.c_str(),
+              pattern.c_str(), op.c_str(), procs,
+              static_cast<unsigned long long>(mb));
   std::fputs(iostat::PrettyPrint(rep).c_str(), stdout);
+  if (heatmap) std::fputs(iostat::RenderHeatmap(rep.pattern).c_str(), stdout);
+  if (advise)
+    std::fputs(iostat::PrettyPrintAdvice(iostat::Advise(rep)).c_str(), stdout);
 
   if (!json.empty()) {
     const std::string out = iostat::ToJson(rep) + "\n";
@@ -367,8 +472,9 @@ int main(int argc, char** argv) {
   if (run) {
     // Mark the workload options as recognized, then reject typos before
     // spending time on the workload itself.
-    for (const char* k : {"--procs", "--size", "--pattern", "--op", "--json",
-                          "--trace", "--blackbox", "--critpath"})
+    for (const char* k :
+         {"--procs", "--size", "--pattern", "--mode", "--op", "--json",
+          "--trace", "--blackbox", "--critpath", "--advise", "--heatmap"})
       (void)cli.Has(k);
     if (!cli.Unknown().empty() || !cli.positionals().empty()) return Usage();
     return RunMode(cli);
@@ -386,6 +492,18 @@ int main(int argc, char** argv) {
         !cli.positionals().empty())
       return Usage();
     return CritPathFileMode(critpath);
+  }
+  const std::string advise = cli.Value("--advise", "");
+  const std::string heatmap = cli.Value("--heatmap", "");
+  if (!advise.empty() || !heatmap.empty()) {
+    // --advise=FILE and --heatmap=FILE combine only when they name the
+    // same dump; each record then gets its heatmap above its advice.
+    if (!report.empty() || !cli.Unknown().empty() ||
+        !cli.positionals().empty() ||
+        (!advise.empty() && !heatmap.empty() && advise != heatmap))
+      return Usage();
+    return AdviseFileMode(advise.empty() ? heatmap : advise, !advise.empty(),
+                          !heatmap.empty());
   }
   if (report.empty() || !cli.Unknown().empty() || !cli.positionals().empty())
     return Usage();

@@ -287,6 +287,50 @@ TEST(SchedPacing, WaitPercentileNearestRank) {
   EXPECT_EQ(pfs::WaitPercentile({7.0}, 99.0), 7.0);
 }
 
+TEST(SchedPacing, WaitPercentileEdgeCases) {
+  // Empty at either extreme: 0, never a crash.
+  EXPECT_EQ(pfs::WaitPercentile({}, 0.0), 0.0);
+  EXPECT_EQ(pfs::WaitPercentile({}, 100.0), 0.0);
+  // A single sample answers every percentile.
+  EXPECT_EQ(pfs::WaitPercentile({4.0}, 0.0), 4.0);
+  EXPECT_EQ(pfs::WaitPercentile({4.0}, 50.0), 4.0);
+  EXPECT_EQ(pfs::WaitPercentile({4.0}, 100.0), 4.0);
+  // p0 / p100 pick the sorted extremes (nearest-rank clamps in range).
+  const std::vector<double> s = {5.0, 1.0, 9.0, 3.0, 7.0};
+  EXPECT_EQ(pfs::WaitPercentile(s, 0.0), 1.0);
+  EXPECT_EQ(pfs::WaitPercentile(s, 100.0), 9.0);
+  // A vector exactly at the reservoir cap stays addressable at both ends,
+  // and nearest-rank p50 on an even count is the lower-middle sample.
+  std::vector<double> big(pfs::TenantCounters::kMaxWaitSamples);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<double>(i);
+  EXPECT_EQ(pfs::WaitPercentile(big, 0.0), 0.0);
+  EXPECT_EQ(pfs::WaitPercentile(big, 100.0),
+            static_cast<double>(big.size() - 1));
+  EXPECT_EQ(pfs::WaitPercentile(big, 50.0),
+            static_cast<double>(big.size() / 2 - 1));
+}
+
+TEST(FileSystemTenants, WaitSampleReservoirCapsAtKMaxWaitSamples) {
+  // The per-tenant wait reservoir stops growing at kMaxWaitSamples while
+  // the event counters keep counting: unbounded churn cannot balloon the
+  // snapshot.
+  pfs::FileSystem fs;
+  auto f = fs.Create("reservoir.dat", /*exclusive=*/false).value();
+  std::vector<std::byte> buf(4096, std::byte{1});
+  f.HarnessWrite(0, pnc::ConstByteSpan(buf.data(), buf.size()), 0.0);
+  const std::size_t cap = pfs::TenantCounters::kMaxWaitSamples;
+  for (std::size_t i = 0; i < cap + 128; ++i)
+    f.HarnessRead(0, pnc::ByteSpan(buf.data(), buf.size()), 0.0);
+  const auto snap = fs.TenantUsageSnapshot();
+  ASSERT_FALSE(snap.empty());
+  const auto& ctr = snap[0].ctr;  // default tenant
+  EXPECT_EQ(ctr.wait_samples.size(), cap);
+  EXPECT_GE(ctr.server_events, cap + 128);
+  // The capped reservoir still yields finite percentiles.
+  EXPECT_GE(pfs::WaitPercentile(ctr.wait_samples, 99.0), 0.0);
+}
+
 // ------------------------------------------------ FileSystem integration
 
 TEST(FileSystemTenants, RegisterInternsByNameAndUpdatesInPlace) {
