@@ -9,6 +9,7 @@
 
 #include "iostat/iostat.hpp"
 #include "iostat/report.hpp"
+#include "iostat/schemas.hpp"
 #include "iostat/trace.hpp"
 #include "simmpi/info.hpp"
 #include "util/json.hpp"
@@ -216,11 +217,29 @@ class Recorder {
   /// Finish a configuration: append its record line and rewrite the trace.
   /// Returns false (and latches io_failed()) when either cannot be written.
   bool EndConfig(const JsonObj& config, const JsonObj& metrics) {
+    iostat::Report rep;
+    if (enabled() || tracing()) rep = iostat::BuildReport();
     if (enabled()) {
+      // `meta` stamps each record with the suite schema this writer targets
+      // and the build configuration that produced the numbers, so a trend
+      // reader can refuse to compare a sanitizer build against a release
+      // one. Readers of pnc-bench-v1 skip unknown keys, so old parsers
+      // still accept stamped lines.
+      const std::string meta =
+          std::string("{\"suite_schema\":\"") + iostat::schemas::kBenchSuite +
+          "\",\"iostat\":" + (PNC_IOSTAT_ENABLED ? "true" : "false") +
+          ",\"sanitize\":" +
+#if defined(PNC_SANITIZE_BUILD)
+          "true"
+#else
+          "false"
+#endif
+          + std::string("}");
       std::string line =
-          "{\"schema\":\"pnc-bench-v1\",\"bench\":\"" + bench_ +
-          "\",\"config\":" + config.str() + ",\"metrics\":" + metrics.str() +
-          ",\"iostat\":" + iostat::ToJson(iostat::BuildReport()) + "}\n";
+          std::string("{\"schema\":\"") + iostat::schemas::kBench +
+          "\",\"bench\":\"" + bench_ + "\",\"meta\":" + meta +
+          ",\"config\":" + config.str() + ",\"metrics\":" + metrics.str() +
+          ",\"iostat\":" + iostat::ToJson(rep) + "}\n";
       if (path_ == "-") {
         std::fwrite(line.data(), 1, line.size(), stdout);
         std::fflush(stdout);
@@ -242,7 +261,8 @@ class Recorder {
       }
     }
     if (tracing()) {
-      const pnc::Status ts = iostat::WriteChromeTrace(trace_path_);
+      const pnc::Status ts =
+          iostat::WriteChromeTrace(trace_path_, &rep.timeline);
       if (!ts.ok()) {
         std::fprintf(stderr, "bench: %s\n", ts.message().c_str());
         io_failed_ = true;

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "iostat/json_cursor.hpp"
+#include "iostat/schemas.hpp"
 #include "util/json.hpp"
 
 namespace iostat {
@@ -77,13 +78,14 @@ const char* EvName(Ev e) {
     case Ev::kMsgDrop: return "msg_drop";
     case Ev::kAgreement: return "agreement";
     case Ev::kDataCorrupt: return "data_corrupt";
+    case Ev::kSloViolation: return "slo_violation";
   }
   return "unknown";
 }
 
 bool EvFromName(std::string_view name, Ev* out) {
-  for (std::uint16_t k = 1; k <= static_cast<std::uint16_t>(Ev::kDataCorrupt);
-       ++k) {
+  for (std::uint16_t k = 1;
+       k <= static_cast<std::uint16_t>(Ev::kSloViolation); ++k) {
     const Ev e = static_cast<Ev>(k);
     if (name == EvName(e)) {
       *out = e;
@@ -240,7 +242,9 @@ std::string EventsToJson(const char* reason) {
   const int nranks = Registry::Get().nranks();
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"pnc-events-v1\",\"reason\":\"";
+  out += "{\"schema\":\"";
+  out += schemas::kEvents;
+  out += "\",\"reason\":\"";
   pnc::json::AppendEscaped(out, reason == nullptr ? "" : reason);
   AppendF(out, "\",\"capacity\":%zu,\"nranks\":%d,\"ranks\":[",
           fr.capacity(), nranks);
@@ -315,7 +319,7 @@ pnc::Result<EventDump> ParseEventsJson(std::string_view text) {
   const auto fail = [](const char* what) {
     return pnc::Status(pnc::Err::kNotNc, std::string("pnc-events: ") + what);
   };
-  if (!jsoncur::SeekObjectWithMarker(cur, "pnc-events-v1"))
+  if (!jsoncur::SeekObjectWithMarker(cur, schemas::kEvents))
     return fail("schema marker not found");
 
   EventDump dump;

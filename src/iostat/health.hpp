@@ -1,0 +1,137 @@
+// Online SLO health monitoring over timeline buckets.
+//
+// A declarative rule set (PNC_SLO, or programmatic for tests) is evaluated
+// at every sealed timeline bucket boundary — i.e. the moment the observed
+// virtual-time high-water mark crosses out of a bucket — instead of once at
+// Close. A rule that holds for `window` consecutive sealed buckets is a
+// violation: the TimelineRegistry emits one `slo_violation` flight-recorder
+// event for the episode (t = window start, detail = rule id) while the run
+// is still in flight, so a tenant starving mid-storm is visible in the
+// blackbox even if the final aggregates look healthy.
+//
+// The monitor itself is pure bookkeeping: the timeline owns the bucketed
+// data, assembles one SloBucketView per rule per sealed bucket, and feeds
+// them here in virtual-time order. Everything is deterministic given the
+// bucket contents — evaluation never advances virtual clocks and never
+// depends on thread interleaving (buckets are order-independent sums).
+//
+// Production layers never touch this API; only src/iostat and the CLIs do
+// (lint-enforced, see tests/CMakeLists.txt lint.no_direct_timeline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iostat {
+
+/// One declarative SLO rule. PNC_SLO syntax (';'-separated):
+///   kind[:tenant[:threshold[:window]]]
+/// e.g. "p99_wait:steady:1e7;bw_floor::50:4". An empty tenant selects the
+/// aggregate across all tenants.
+struct SloRule {
+  enum class Kind {
+    kP99WaitNs = 0,  ///< per-bucket p99 queue wait (ns) above threshold
+    kMissRate,       ///< deadline misses / grants in a bucket above threshold
+    kRetryRate,      ///< I/O retries per virtual second above threshold
+    kFaultRate,      ///< injected faults per virtual second above threshold
+    kBwFloorMBps,    ///< total pfs bandwidth (MB/s) below threshold
+  };
+  Kind kind = Kind::kP99WaitNs;
+  std::string id;      ///< stable short id; lands in the flight-event detail
+  std::string tenant;  ///< tenant selector; "" = all tenants combined
+  double threshold = 0.0;
+  int window = 1;      ///< consecutive sealed buckets required to trip
+};
+
+/// Stable wire name for a rule kind (e.g. "p99_wait").
+const char* SloKindName(SloRule::Kind k);
+/// Inverse of SloKindName; false if `name` is not a known kind.
+bool SloKindFromName(std::string_view name, SloRule::Kind* out);
+
+/// Parse a PNC_SLO-style rule list. Malformed entries are dropped.
+std::vector<SloRule> ParseSloRules(std::string_view text);
+/// Objective defaults when PNC_SLO is unset: any deadline miss and any
+/// injected fault violate (window 1).
+std::vector<SloRule> DefaultSloRules();
+/// Rules from PNC_SLO, or DefaultSloRules() when unset/empty.
+std::vector<SloRule> SloRulesFromEnv();
+
+/// Everything one sealed bucket offers a rule. Tenant-selected fields
+/// (p99/grants/misses) are already narrowed to the rule's tenant by the
+/// caller; rate fields are normalized to the bucket length.
+struct SloBucketView {
+  double start_ns = 0.0;
+  double len_ns = 0.0;
+  double mbps = 0.0;          ///< total pfs MB/s across servers
+  double retries_per_s = 0.0;
+  double faults_per_s = 0.0;
+  double p99_wait_ns = 0.0;   ///< worst matching tenant's per-bucket p99
+  std::uint64_t grants = 0;   ///< matching tenants' grants
+  std::uint64_t misses = 0;   ///< matching tenants' deadline misses
+};
+
+/// Does `r` hold (= bucket counts toward a violation) on this bucket?
+/// `observed` receives the measured value the rule compared.
+bool SloRuleTrips(const SloRule& r, const SloBucketView& v, double* observed);
+
+/// Per-rule verdict accumulated over a run (the "health" member of the
+/// pnc-timeline-v1 section).
+struct SloRuleStatus {
+  SloRule rule;
+  std::uint64_t tripped_buckets = 0;  ///< buckets where the predicate held
+  std::uint64_t violations = 0;       ///< emitted violation episodes
+  double first_violation_ns = -1.0;   ///< start of the first episode (-1 none)
+  double worst = 0.0;                 ///< most extreme observed value
+};
+
+struct HealthStatus {
+  bool evaluated = false;  ///< any sealed bucket fed to the monitor?
+  std::uint64_t total_violations = 0;
+  std::vector<SloRuleStatus> rules;
+};
+
+/// Incremental evaluator. Owned by the TimelineRegistry; fed sealed buckets
+/// in increasing virtual-time order (bucket indices may rescale under
+/// coarsening, so episode state is kept in ns, not bucket numbers).
+class HealthMonitor {
+ public:
+  /// One violation episode to surface as a flight-recorder event.
+  struct Violation {
+    std::size_t rule = 0;    ///< index into rules()
+    double start_ns = 0.0;   ///< first tripped bucket of the episode
+    double end_ns = 0.0;     ///< end of the bucket that completed the window
+    double observed = 0.0;   ///< measured value in the completing bucket
+    std::uint64_t bucket = 0;
+  };
+
+  void SetRules(std::vector<SloRule> rules);
+  [[nodiscard]] const std::vector<SloRule>& rules() const { return rules_; }
+
+  /// Feed one sealed bucket; `per_rule` parallels rules(). Returns the
+  /// violation episodes that completed on this bucket (at most one per
+  /// rule; a sustained breach emits once until it clears and re-trips).
+  std::vector<Violation> OnBucketSealed(std::uint64_t bucket,
+                                        const std::vector<SloBucketView>& per_rule);
+
+  [[nodiscard]] HealthStatus Status() const;
+  void Reset();
+
+ private:
+  struct RuleState {
+    int consec = 0;               ///< consecutive tripped buckets
+    bool worst_init = false;      ///< st.worst holds a real observation
+    double episode_start_ns = 0;  ///< start of the current tripped streak
+    double last_emit_end_ns = -1.0;
+    SloRuleStatus st;
+  };
+  std::vector<SloRule> rules_;
+  std::vector<RuleState> state_;
+  bool fed_ = false;
+};
+
+/// Human-readable verdict table (ncstat --health).
+std::string RenderHealth(const HealthStatus& h);
+
+}  // namespace iostat

@@ -8,6 +8,7 @@
 #include "iostat/events.hpp"
 #include "iostat/pattern.hpp"
 #include "iostat/report.hpp"
+#include "iostat/timeline.hpp"
 
 namespace iostat {
 
@@ -143,6 +144,7 @@ void Registry::Reset() {
   max_rank_.store(0, std::memory_order_relaxed);
   FlightRecorder::Get().Reset();
   PatternRegistry::Get().Reset();
+  TimelineRegistry::Get().Reset();
 }
 
 void Registry::AutoReportAtClose() {

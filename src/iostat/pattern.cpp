@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "iostat/json_cursor.hpp"
+#include "iostat/schemas.hpp"
 
 namespace iostat {
 
@@ -376,8 +377,8 @@ void AppendHist(std::string& out, const PatternHist& h) {
 std::string PatternToJson(const PatternSummary& s) {
   std::string out;
   out.reserve(4096);
-  AppendF(out, "{\"schema\":\"pnc-pattern-v1\",\"cell_ns\":%.17g,\"vars\":[",
-          s.cell_ns);
+  AppendF(out, "{\"schema\":\"%s\",\"cell_ns\":%.17g,\"vars\":[",
+          schemas::kPattern, s.cell_ns);
   for (std::size_t i = 0; i < s.vars.size(); ++i) {
     const VarPattern& v = s.vars[i];
     if (i) out.push_back(',');
@@ -563,7 +564,7 @@ bool ParsePatternValue(jsoncur::Cursor& cur, PatternSummary* out) {
     bool ok = true;
     if (key == "schema") {
       std::string s;
-      ok = cur.ParseString(&s) && s == "pnc-pattern-v1";
+      ok = cur.ParseString(&s) && s == schemas::kPattern;
     } else if (key == "cell_ns") {
       ok = cur.ParseNumber(&out->cell_ns);
     } else if (key == "vars") {

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "iostat/json_cursor.hpp"
+#include "iostat/schemas.hpp"
 
 namespace iostat {
 
@@ -63,14 +64,15 @@ Report BuildReport() {
       servers > 0 && horizon > 0 ? busy / (servers * horizon) : 0.0;
   rep.pfs_queue_wait_frac = (qwait + busy) > 0 ? qwait / (qwait + busy) : 0.0;
   rep.pattern = PatternRegistry::Get().Snapshot();
+  rep.timeline = TimelineRegistry::Get().Snapshot();
   return rep;
 }
 
 std::string ToJson(const Report& rep) {
   std::string out;
   out.reserve(2048);
-  AppendF(out, "{\"schema\":\"pnc-iostat-v1\",\"nranks\":%d,\"counters\":{",
-          rep.nranks);
+  AppendF(out, "{\"schema\":\"%s\",\"nranks\":%d,\"counters\":{",
+          schemas::kIostat, rep.nranks);
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     const auto& a = rep.counters[i];
     AppendF(out,
@@ -91,6 +93,12 @@ std::string ToJson(const Report& rep) {
   if (rep.pattern.present) {
     out += ",\"pattern\":";
     out += PatternToJson(rep.pattern);
+  }
+  // Same contract for the timeline: absent unless PNC_IOSTAT_TIMELINE
+  // recorded something, so gated-off reports stay byte-identical.
+  if (rep.timeline.present) {
+    out += ",\"timeline\":";
+    out += TimelineToJson(rep.timeline);
   }
   out.push_back('}');
   return out;
@@ -140,7 +148,7 @@ pnc::Result<Report> ParseReportJson(std::string_view text) {
   };
   // The report may be nested inside a bench record: scan forward to the
   // schema marker and parse the object that contains it.
-  if (!jsoncur::SeekObjectWithMarker(cur, "pnc-iostat-v1"))
+  if (!jsoncur::SeekObjectWithMarker(cur, schemas::kIostat))
     return fail("schema marker not found");
 
   Report rep;
@@ -189,6 +197,9 @@ pnc::Result<Report> ParseReportJson(std::string_view text) {
         }
       } else if (key == "pattern") {
         if (!ParsePatternValue(cur, &rep.pattern)) return fail("bad pattern");
+      } else if (key == "timeline") {
+        if (!ParseTimelineValue(cur, &rep.timeline))
+          return fail("bad timeline");
       } else {
         if (!cur.SkipValue()) return fail("bad value");
       }
@@ -255,6 +266,22 @@ std::string PrettyPrint(const Report& rep) {
     if (!rep.pattern.agg_bytes.empty())
       AppendF(out, "    agg imbalance            %.2fx across %d ranks\n",
               rep.pattern.AggImbalance(rep.nranks), rep.nranks);
+  }
+
+  if (rep.timeline.present) {
+    AppendF(out, "  [timeline]\n");
+    AppendF(out,
+            "    %-24s %.3f ms horizon, %.3f ms cells (%zu server / %zu "
+            "tenant / %zu track cells)\n",
+            "buckets", rep.timeline.horizon_ns / 1e6,
+            rep.timeline.cell_ns / 1e6, rep.timeline.servers.size(),
+            rep.timeline.tenants.size(), rep.timeline.tracks.size());
+    const HealthStatus& h = rep.timeline.health;
+    if (h.evaluated)
+      AppendF(out, "    %-24s %" PRIu64 " violation%s across %zu rule%s\n",
+              "health", h.total_violations,
+              h.total_violations == 1 ? "" : "s", h.rules.size(),
+              h.rules.size() == 1 ? "" : "s");
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "iostat/iostat.hpp"
+#include "iostat/timeline.hpp"
 #include "util/status.hpp"
 
 namespace iostat {
@@ -18,9 +19,16 @@ namespace iostat {
 /// One "M" thread_name metadata event per rank gives each rank a named
 /// track ("rank 0", "rank 1", ...). Timestamps are microseconds (trace-event
 /// convention), converted from virtual nanoseconds.
-std::string ToChromeTrace();
+///
+/// When a timeline snapshot is supplied (and present), its buckets become
+/// additional Chrome counter ("ph":"C") tracks under the pfs process
+/// (pid 1): per-server bandwidth ("tl mbps s<N>"), per-tenant p99 queue
+/// wait ("tl p99 wait us <tenant>"), and the global rate tracks
+/// ("tl <track name>"). One sample per bucket, at the bucket's start time.
+std::string ToChromeTrace(const TimelineSummary* timeline = nullptr);
 
 /// ToChromeTrace() written to `path`. Fails only on file-system errors.
-pnc::Status WriteChromeTrace(const std::string& path);
+pnc::Status WriteChromeTrace(const std::string& path,
+                             const TimelineSummary* timeline = nullptr);
 
 }  // namespace iostat

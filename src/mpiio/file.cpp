@@ -8,6 +8,7 @@
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 #include "iostat/pattern.hpp"
+#include "iostat/timeline.hpp"
 #include "mpiio/file_impl.hpp"
 
 namespace mpiio {
@@ -254,6 +255,7 @@ pnc::Status File::Impl::RawIo(bool is_write, std::uint64_t off,
       },
       [&](int attempt, double backoff) {
         PNC_IOSTAT_ADD(kMpiioRetries, 1);
+        PNC_IOSTAT_TIMELINE_MARK(kRetries, clk.now(), 1);
         PNC_IOSTAT_EVENT(kRetry, clk.now(), backoff, is_write, attempt,
                          nullptr);
         file.RecordRetry(is_write);
@@ -265,6 +267,7 @@ pnc::Status File::Impl::RetrySync() {
   return pnc::util::RetrySyncWithBackoff(
       retry, clk, [&] { return file.TrySync(clk.now()); },
       [&](int attempt, double backoff) {
+        PNC_IOSTAT_TIMELINE_MARK(kRetries, clk.now(), 1);
         PNC_IOSTAT_EVENT(kRetry, clk.now(), backoff, 1, attempt, nullptr);
         file.RecordRetry(/*is_write=*/true);
       });

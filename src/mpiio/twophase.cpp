@@ -20,6 +20,7 @@
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 #include "iostat/pattern.hpp"
+#include "iostat/timeline.hpp"
 #include "mpiio/file_impl.hpp"
 
 namespace mpiio {
@@ -353,6 +354,7 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
     for (int r = 0; r < wp; ++r) {
       if (r != work.rank() && !sendbufs[static_cast<std::size_t>(r)].empty()) {
         PNC_IOSTAT_ADD(kMpiioExchangeMsgs, 1);
+        PNC_IOSTAT_TIMELINE_MARK(kExchangeMsgs, exchange_start, 1);
         PNC_IOSTAT_EVENT(kXchgSend, exchange_start, 0, w, r, nullptr);
       }
     }
@@ -521,7 +523,13 @@ pnc::Status File::CollectiveIo(std::uint64_t offset_etypes, void* buf,
   }
   // Under FT the final agreement already synchronized survivor clocks; an
   // allreduce here would abort if a participant died mid-collective.
+  // The jump this rank's clock takes at the barrier is exactly how long it
+  // idled waiting for the slowest rank — the straggler-wait timeline track.
+  const double pre_sync_ns = clk.now();
   if (!ft) comm.SyncClocksToMax();
+  if (clk.now() > pre_sync_ns)
+    PNC_IOSTAT_TIMELINE_MARK(kStragglerWaitNs, clk.now(),
+                             clk.now() - pre_sync_ns);
   PNC_IOSTAT_EVENT(kCollEnd, clk.now(), 0, st.ok() ? 1 : 0, is_write,
                    nullptr);
   return st;

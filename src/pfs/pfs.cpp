@@ -14,6 +14,7 @@
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 #include "iostat/pattern.hpp"
+#include "iostat/timeline.hpp"
 
 namespace pfs {
 
@@ -170,6 +171,7 @@ IoResult File::TryRead(std::uint64_t offset, pnc::ByteSpan out,
   }
   if (!oc.status.ok()) {
     PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
+    PNC_IOSTAT_TIMELINE_MARK(kFaults, start_ns, 1);
     const bool transient = oc.status.code() == pnc::Err::kIoTransient;
     PNC_IOSTAT_EVENT(kPfsFault, start_ns, 0, /*is_write=*/0, 0,
                      transient ? "transient"
@@ -218,6 +220,7 @@ IoResult File::TryWrite(std::uint64_t offset, pnc::ConstByteSpan data,
   }
   if (!oc.status.ok()) {
     PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
+    PNC_IOSTAT_TIMELINE_MARK(kFaults, start_ns, 1);
     const bool transient = oc.status.code() == pnc::Err::kIoTransient;
     PNC_IOSTAT_EVENT(kPfsFault, start_ns, 0, /*is_write=*/1, 0,
                      transient ? "transient"
@@ -237,6 +240,7 @@ IoResult File::TrySync(double start_ns) {
       fs_->ServeRequest(0, 0, /*is_write=*/true, start_ns, tenant_);
   if (d.kind != FaultDecision::Kind::kOk) {
     PNC_IOSTAT_ADD(kPfsFaultsInjected, 1);
+    PNC_IOSTAT_TIMELINE_MARK(kFaults, start_ns, 1);
     const char* kind = "permanent";
     if (d.kind == FaultDecision::Kind::kTransient) kind = "transient";
     else if (d.kind == FaultDecision::Kind::kCrash) kind = "crash";
@@ -665,6 +669,14 @@ double FileSystem::ServeRequest(std::uint64_t offset, std::uint64_t len,
         PNC_IOSTAT_PATTERN_PFS(static_cast<int>(s), offset,
                                bytes_per_server[s], g.begin_ns, g.done_ns,
                                g.depth, wait);
+        // Timeline rate series. The deadline verdict is per server grant
+        // (did this chunk finish past the tenant's deadline), not per
+        // request: miss_rate then stays a ratio of like quantities
+        // (missed grants / grants) inside one bucket.
+        PNC_IOSTAT_TIMELINE_PFS(
+            static_cast<int>(s), cls.name.c_str(), bytes_per_server[s],
+            g.begin_ns, g.done_ns, g.depth, wait,
+            cls.deadline_ns > 0.0 && g.done_ns > start_ns + cls.deadline_ns);
       }
       if (tc.wait_samples.size() < TenantCounters::kMaxWaitSamples)
         tc.wait_samples.push_back(max_wait);

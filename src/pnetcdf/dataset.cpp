@@ -10,6 +10,7 @@
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
 #include "iostat/pattern.hpp"
+#include "iostat/timeline.hpp"
 #include "util/crc32.hpp"
 
 namespace pnetcdf {
@@ -592,6 +593,7 @@ pnc::Status Dataset::Redef() {
   im.pre_redef = im.header;
   im.defining = true;
   PNC_IOSTAT_ADD(kNcModeSwitches, 1);
+  PNC_IOSTAT_TIMELINE_MARK(kModeSwitches, im.comm.clock().now(), 1);
   if (im.comm.FaultsArmed()) return FtBarrier(im);
   im.comm.Barrier();
   return pnc::Status::Ok();
@@ -706,6 +708,7 @@ pnc::Status Dataset::EndDef() {
   im.fresh = false;
   im.pre_redef.reset();
   PNC_IOSTAT_ADD(kNcModeSwitches, 1);
+  PNC_IOSTAT_TIMELINE_MARK(kModeSwitches, im.comm.clock().now(), 1);
   return pnc::Status::Ok();
 }
 
@@ -800,6 +803,7 @@ pnc::Status Dataset::BeginIndepData() {
   }
   im.indep = true;
   PNC_IOSTAT_ADD(kNcModeSwitches, 1);
+  PNC_IOSTAT_TIMELINE_MARK(kModeSwitches, im.comm.clock().now(), 1);
   return pnc::Status::Ok();
 }
 
@@ -809,6 +813,7 @@ pnc::Status Dataset::EndIndepData() {
   if (!im.indep) return pnc::Status(pnc::Err::kNotIndep);
   im.indep = false;
   PNC_IOSTAT_ADD(kNcModeSwitches, 1);
+  PNC_IOSTAT_TIMELINE_MARK(kModeSwitches, im.comm.clock().now(), 1);
   // Record counts may have diverged across ranks during independent writes;
   // converge on the maximum and persist it.
   PNC_RETURN_IF_ERROR(SyncNumrecs(im.header.numrecs, /*collective=*/true));

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "iostat/schemas.hpp"
+
 namespace benchlib {
 namespace {
 
@@ -207,7 +209,7 @@ pnc::Status ParseRecordLine(const std::string& line, Record& rec) {
     }
   } while (!c.failed() && c.Peek(',') && c.Eat(','));
   if (c.failed()) return pnc::Status(pnc::Err::kNotNc, "record: " + c.err);
-  if (schema != "pnc-bench-v1")
+  if (schema != iostat::schemas::kBench)
     return pnc::Status(pnc::Err::kNotNc, "record: wrong schema " + schema);
   if (rec.bench.empty() || rec.config_text.empty())
     return pnc::Status(pnc::Err::kNotNc, "record: missing bench/config");
@@ -251,7 +253,8 @@ pnc::Result<ResultsFile> ParseResults(const std::string& text) {
     const std::string line = text.substr(pos, nl - pos);
     pos = nl + 1;
     ++lineno;
-    if (line.find("\"pnc-bench-v1\"") != std::string::npos) {
+    if (line.find(std::string("\"") + iostat::schemas::kBench + "\"") !=
+        std::string::npos) {
       Record rec;
       pnc::Status st = ParseRecordLine(line, rec);
       if (!st.ok())
@@ -259,7 +262,8 @@ pnc::Result<ResultsFile> ParseResults(const std::string& text) {
                            "line " + std::to_string(lineno) + ": " +
                                st.message());
       out.records.push_back(std::move(rec));
-    } else if (line.find("\"pnc-bench-suite-v1\"") != std::string::npos) {
+    } else if (line.find(std::string("\"") + iostat::schemas::kBenchSuite +
+                         "\"") != std::string::npos) {
       pnc::Status st = ParseHeaderLine(line, out.header);
       if (!st.ok())
         return pnc::Status(pnc::Err::kNotNc,

@@ -1,0 +1,69 @@
+// Cross-run performance trend tracking over a bench history log: a
+// concatenation of consolidated suite results (pnc-bench-suite-v1 header +
+// pnc-bench-v1 records) appended run after run by `ncbench --history=PATH`.
+// The trend engine splits the log back into runs, threads each metric of
+// each (bench, config) identity through the runs in order, and flags series
+// whose latest value drifted beyond tolerance from the first run in the
+// harmful direction (per baseline.hpp's MetricDirection).
+//
+// Rendered by `ncstat --trend=FILE [--tolerance=PCT]`, which shares the
+// exit-code contract of the baseline gate: 0 = no flagged drift,
+// 1 = at least one metric drifted, 2 = usage / I/O / parse error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/benchlib/baseline.hpp"
+#include "tools/benchlib/records.hpp"
+
+namespace benchlib {
+
+/// One metric of one (bench, config) identity threaded through the history.
+struct TrendSeries {
+  std::string bench;
+  std::string config_text;
+  std::string metric;
+  Direction direction = Direction::kLowerIsBetter;
+  /// Run index (0-based position in the history) of each sample; runs in
+  /// which the identity or metric is absent simply contribute no sample.
+  std::vector<int> runs;
+  std::vector<double> values;  ///< parallel to `runs`
+  /// Signed relative change of the last sample vs the first, in percent
+  /// ((last-first)/first*100); +/-1e99 when first == 0 and last != 0.
+  double drift_pct = 0.0;
+  /// Drift beyond tolerance in the harmful direction (needs >= 2 samples).
+  bool flagged = false;
+};
+
+struct TrendReport {
+  int num_runs = 0;
+  int num_flagged = 0;
+  std::vector<TrendSeries> series;
+
+  [[nodiscard]] bool Passed() const { return num_flagged == 0; }
+};
+
+/// Split a history log into its constituent runs. Every
+/// pnc-bench-suite-v1 header line starts a new run; record lines before the
+/// first header form an implicit headerless run (a plain BENCH_*.json file
+/// is therefore a valid one-run history). A marker line that fails to parse
+/// is an error, exactly as in ParseResults.
+pnc::Result<std::vector<ResultsFile>> ParseHistory(const std::string& text);
+
+/// Read + ParseHistory a history file from the OS filesystem.
+pnc::Result<std::vector<ResultsFile>> LoadHistory(const std::string& path);
+
+/// Thread every comparable metric (ComparableMetrics: the record's own
+/// numbers plus the iostat-derived "iostat.*" health metrics) through the
+/// runs and compute drift. `tolerance_pct` is the allowed harmful relative
+/// drift per metric in percent.
+TrendReport BuildTrend(const std::vector<ResultsFile>& runs,
+                       double tolerance_pct);
+
+/// Render the trend: a summary line, then one row per series with an ASCII
+/// sparkline of its trajectory across runs, first/last values, and the
+/// drift; flagged series are marked and listed first within their bench.
+std::string RenderTrend(const TrendReport& rep);
+
+}  // namespace benchlib

@@ -40,6 +40,7 @@
 
 #include "bench/bench_common.hpp"
 #include "bench/registry.hpp"
+#include "iostat/schemas.hpp"
 #include "tools/benchlib/baseline.hpp"
 #include "tools/benchlib/records.hpp"
 #include "tools/cli.hpp"
@@ -58,7 +59,7 @@ int Usage() {
       stderr,
       "usage: ncbench --list\n"
       "       ncbench --suite=NAME [--json=PATH] [--trace=PATH]\n"
-      "               [--hints=k=v,...]\n"
+      "               [--hints=k=v,...] [--history=PATH]\n"
       "               [--check --baseline=PATH [--tolerance=PCT]]\n"
       "               [--update-baseline --baseline=PATH]\n"
       "       ncbench --bench=NAME [bench flags...] [--json=PATH]\n");
@@ -110,8 +111,8 @@ std::string SuiteHeaderLine(const bench::Suite& suite,
   if (!extra_hints.empty())
     config += ",\"extra_hints\":\"" + JsonEscape(extra_hints) + "\"";
   config += "}";
-  return std::string("{\"schema\":\"pnc-bench-suite-v1\",\"suite\":\"") +
-         suite.name + "\",\"git_sha\":\"" PNC_GIT_SHA
+  return std::string("{\"schema\":\"") + iostat::schemas::kBenchSuite +
+         "\",\"suite\":\"" + suite.name + "\",\"git_sha\":\"" PNC_GIT_SHA
          "\",\"build\":\"" PNC_BUILD_DESC
          "\",\"platform\":\"simulated (per-bench presets: sdsc_bluehorizon, "
          "asci_frost)\",\"config\":" +
@@ -170,6 +171,43 @@ int RunSuite(const bench::Suite& suite, const std::string& json_path,
     std::printf("\n");
   }
   std::printf("ncbench: suite %s -> %s\n", suite.name, json_path.c_str());
+  return nctools::kExitOk;
+}
+
+/// Append the consolidated results file (header + record lines) to the
+/// history log verbatim. The history file is therefore a concatenation of
+/// pnc-bench-suite-v1 runs, which is exactly what benchlib::ParseHistory
+/// splits on — no separate history schema to version.
+int AppendHistory(const std::string& results_path,
+                  const std::string& history_path) {
+  FILE* in = std::fopen(results_path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "ncbench: cannot reread %s\n", results_path.c_str());
+    return nctools::kExitError;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) text.append(buf, n);
+  const bool read_err = std::ferror(in) != 0;
+  std::fclose(in);
+  if (read_err) {
+    std::fprintf(stderr, "ncbench: read error on %s\n", results_path.c_str());
+    return nctools::kExitError;
+  }
+  FILE* out = std::fopen(history_path.c_str(), "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "ncbench: cannot append to %s\n",
+                 history_path.c_str());
+    return nctools::kExitError;
+  }
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), out) ==
+                     text.size();
+  if (std::fclose(out) != 0 || !wrote) {
+    std::fprintf(stderr, "ncbench: short write to %s\n", history_path.c_str());
+    return nctools::kExitError;
+  }
+  std::printf("ncbench: appended run to %s\n", history_path.c_str());
   return nctools::kExitOk;
 }
 
@@ -239,6 +277,7 @@ int main(int argc, char** argv) {
   const std::string tolerance_s = cli.Value("--tolerance", "0");
   const std::string hints = cli.Value("--hints", "");
   const std::string trace = cli.Value("--trace", "");
+  const std::string history = cli.Value("--history", "");
   std::string json = cli.Value("--json", "");
   if (!cli.Unknown().empty() || !cli.positionals().empty()) return Usage();
   if (check && update) return Usage();
@@ -261,6 +300,10 @@ int main(int argc, char** argv) {
 
   const int rc = RunSuite(*suite, json, trace, hints);
   if (rc != 0) return rc;
+  if (!history.empty()) {
+    const int hrc = AppendHistory(json, history);
+    if (hrc != nctools::kExitOk) return hrc;
+  }
   if (update) {
     std::printf("ncbench: baseline %s updated\n", baseline.c_str());
     return nctools::kExitOk;

@@ -23,6 +23,18 @@
 //                          pnc-pattern-v1 section for pattern rules)
 //   ncstat --heatmap=FILE  render the pnc-pattern-v1 server x virtual-time
 //                          utilization grid of every report in FILE
+//   ncstat --timeline=FILE render the pnc-timeline-v1 bucketed rate
+//                          timelines (per-server bandwidth / queue depth,
+//                          per-tenant bandwidth / p99 wait, global rate
+//                          tracks) of every report in FILE as sparklines
+//   ncstat --health=FILE   print the SLO health verdict embedded in every
+//                          report in FILE; exits 1 when any rule was
+//                          violated
+//   ncstat --trend=FILE    cross-run trend over a bench history log
+//                          (`ncbench --history=PATH`): per-metric
+//                          trajectories across runs, drift beyond
+//                          --tolerance=PCT in the harmful direction flagged
+//                          and reflected in exit code 1
 //
 // Workload options (with --run):
 //   --procs=N                  ranks (default 4)
@@ -41,6 +53,11 @@
 //   --advise                   print ranked tuning recommendations for the
 //                              workload just run
 //   --heatmap                  print the pfs server x time utilization grid
+//   --timeline                 record and print the bucketed rate timelines
+//                              (enables PNC_IOSTAT_TIMELINE for the run)
+//   --health                   evaluate SLO rules (PNC_SLO, default
+//                              miss/fault rate > 0) over the run's timeline
+//                              and print the verdict; exit 1 on violation
 //
 // Exit status: 0 success, 1 --diff found differences, 2 usage/IO/parse
 // error. See src/tools/cli.hpp and docs/API.md for the contract shared with
@@ -57,14 +74,17 @@
 #include "iostat/advise.hpp"
 #include "iostat/critpath.hpp"
 #include "iostat/events.hpp"
+#include "iostat/health.hpp"
 #include "iostat/iostat.hpp"
 #include "iostat/pattern.hpp"
 #include "iostat/report.hpp"
+#include "iostat/timeline.hpp"
 #include "iostat/trace.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
 #include "tools/benchlib/baseline.hpp"
 #include "tools/benchlib/records.hpp"
+#include "tools/benchlib/trend.hpp"
 #include "tools/cli.hpp"
 
 namespace {
@@ -78,11 +98,15 @@ int Usage() {
                "              [--json=PATH] [--trace=PATH]\n"
                "              [--blackbox=PATH] [--critpath]\n"
                "              [--advise] [--heatmap]\n"
+               "              [--timeline] [--health]\n"
                "       ncstat --diff A B [--tolerance=PCT]\n"
                "       ncstat --blackbox=FILE\n"
                "       ncstat --critpath=FILE\n"
                "       ncstat --advise=FILE\n"
-               "       ncstat --heatmap=FILE\n");
+               "       ncstat --heatmap=FILE\n"
+               "       ncstat --timeline=FILE\n"
+               "       ncstat --health=FILE\n"
+               "       ncstat --trend=FILE [--tolerance=PCT]\n");
   return nctools::kExitError;
 }
 
@@ -277,6 +301,66 @@ int AdviseFileMode(const std::string& path, bool do_advise, bool do_heatmap) {
   return nctools::kExitOk;
 }
 
+/// `--timeline=FILE` / `--health=FILE`: render the embedded pnc-timeline-v1
+/// section (sparkline timelines and/or the SLO verdict) of every iostat
+/// report found in FILE. Returns kExitCondition when --health finds a
+/// violated rule in any report.
+int TimelineFileMode(const std::string& path, bool do_timeline,
+                     bool do_health) {
+  std::string text;
+  if (!ReadAll(path, &text)) return nctools::kExitError;
+  std::vector<iostat::Report> reports;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto r = iostat::ParseReportJson(line);
+    if (r.ok()) reports.push_back(r.value());
+  }
+  if (reports.empty()) {
+    auto r = iostat::ParseReportJson(text);
+    if (r.ok()) reports.push_back(r.value());
+  }
+  if (reports.empty()) {
+    std::fprintf(stderr, "ncstat: no pnc-iostat-v1 report found in %s\n",
+                 path.c_str());
+    return nctools::kExitError;
+  }
+  bool violated = false;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports.size() > 1)
+      std::printf("%s--- record %zu of %zu ---\n", i ? "\n" : "", i + 1,
+                  reports.size());
+    if (do_timeline)
+      std::fputs(iostat::RenderTimeline(reports[i].timeline).c_str(), stdout);
+    if (do_health) {
+      std::fputs(iostat::RenderHealth(reports[i].timeline.health).c_str(),
+                 stdout);
+      if (reports[i].timeline.health.total_violations > 0) violated = true;
+    }
+  }
+  return do_health && violated ? nctools::kExitCondition : nctools::kExitOk;
+}
+
+/// `--trend=FILE`: per-metric trajectories across the runs of a bench
+/// history log. Exit 1 when any metric drifted beyond tolerance in the
+/// harmful direction.
+int TrendMode(const std::string& path, double tolerance) {
+  auto runs = benchlib::LoadHistory(path);
+  if (!runs.ok()) {
+    std::fprintf(stderr, "ncstat: %s: %s\n", path.c_str(),
+                 runs.status().message().c_str());
+    return nctools::kExitError;
+  }
+  if (runs.value().empty()) {
+    std::fprintf(stderr, "ncstat: no bench runs found in %s\n", path.c_str());
+    return nctools::kExitError;
+  }
+  const benchlib::TrendReport rep =
+      benchlib::BuildTrend(runs.value(), tolerance);
+  std::fputs(benchlib::RenderTrend(rep).c_str(), stdout);
+  return rep.Passed() ? nctools::kExitOk : nctools::kExitCondition;
+}
+
 int RunMode(nctools::Cli& cli) {
   const int procs =
       std::max(1, std::atoi(cli.Value("--procs", "4").c_str()));
@@ -291,12 +375,19 @@ int RunMode(nctools::Cli& cli) {
   const bool critpath = cli.Has("--critpath");
   const bool advise = cli.Flag("--advise");
   const bool heatmap = cli.Flag("--heatmap");
+  const bool timeline = cli.Flag("--timeline");
+  const bool health = cli.Flag("--health");
   if ((pattern != "contig" && pattern != "strided" && pattern != "random") ||
       (mode != "coll" && mode != "indep") ||
       (op != "write" && op != "read"))
     return Usage();
   const bool indep = mode == "indep";
   if (!trace.empty()) iostat::Registry::Get().SetSpansEnabled(true);
+  // Both views need the bucketed sampler; --health without --timeline still
+  // records (the verdict is computed from the buckets) but prints only the
+  // verdict. SLO rules come from PNC_SLO (SloRulesFromEnv default:
+  // any deadline miss / any injected fault violates).
+  if (timeline || health) iostat::TimelineRegistry::Get().SetEnabled(true);
 
   const std::uint64_t total_elems = (mb << 20) / 8;
   const std::uint64_t per =
@@ -405,6 +496,10 @@ int RunMode(nctools::Cli& cli) {
               static_cast<unsigned long long>(mb));
   std::fputs(iostat::PrettyPrint(rep).c_str(), stdout);
   if (heatmap) std::fputs(iostat::RenderHeatmap(rep.pattern).c_str(), stdout);
+  if (timeline)
+    std::fputs(iostat::RenderTimeline(rep.timeline).c_str(), stdout);
+  if (health)
+    std::fputs(iostat::RenderHealth(rep.timeline.health).c_str(), stdout);
   if (advise)
     std::fputs(iostat::PrettyPrintAdvice(iostat::Advise(rep)).c_str(), stdout);
 
@@ -421,7 +516,7 @@ int RunMode(nctools::Cli& cli) {
     }
   }
   if (!trace.empty()) {
-    const pnc::Status ts = iostat::WriteChromeTrace(trace);
+    const pnc::Status ts = iostat::WriteChromeTrace(trace, &rep.timeline);
     if (!ts.ok()) {
       std::fprintf(stderr, "ncstat: %s\n", ts.message().c_str());
       return nctools::kExitError;
@@ -450,6 +545,8 @@ int RunMode(nctools::Cli& cli) {
     }
     std::fputs(iostat::PrettyPrintCritPath(cp).c_str(), stdout);
   }
+  if (health && rep.timeline.health.total_violations > 0)
+    return nctools::kExitCondition;
   return nctools::kExitOk;
 }
 
@@ -474,7 +571,8 @@ int main(int argc, char** argv) {
     // spending time on the workload itself.
     for (const char* k :
          {"--procs", "--size", "--pattern", "--mode", "--op", "--json",
-          "--trace", "--blackbox", "--critpath", "--advise", "--heatmap"})
+          "--trace", "--blackbox", "--critpath", "--advise", "--heatmap",
+          "--timeline", "--health"})
       (void)cli.Has(k);
     if (!cli.Unknown().empty() || !cli.positionals().empty()) return Usage();
     return RunMode(cli);
@@ -504,6 +602,28 @@ int main(int argc, char** argv) {
       return Usage();
     return AdviseFileMode(advise.empty() ? heatmap : advise, !advise.empty(),
                           !heatmap.empty());
+  }
+  const std::string timeline = cli.Value("--timeline", "");
+  const std::string health = cli.Value("--health", "");
+  if (!timeline.empty() || !health.empty()) {
+    // Same combination rule as --advise/--heatmap: one dump, both views.
+    if (!report.empty() || !cli.Unknown().empty() ||
+        !cli.positionals().empty() ||
+        (!timeline.empty() && !health.empty() && timeline != health))
+      return Usage();
+    return TimelineFileMode(timeline.empty() ? health : timeline,
+                            !timeline.empty(), !health.empty());
+  }
+  const std::string trend = cli.Value("--trend", "");
+  if (!trend.empty()) {
+    const std::string tol_s = cli.Value("--tolerance", "0");
+    char* tol_end = nullptr;
+    const double tolerance = std::strtod(tol_s.c_str(), &tol_end);
+    if (!report.empty() || !cli.Unknown().empty() ||
+        !cli.positionals().empty() || tol_end == tol_s.c_str() ||
+        *tol_end != '\0' || tolerance < 0)
+      return Usage();
+    return TrendMode(trend, tolerance);
   }
   if (report.empty() || !cli.Unknown().empty() || !cli.positionals().empty())
     return Usage();

@@ -11,6 +11,7 @@
 #include "bench/bench_common.hpp"
 #include "tools/benchlib/baseline.hpp"
 #include "tools/benchlib/records.hpp"
+#include "tools/benchlib/trend.hpp"
 #include "tools/cli.hpp"
 
 namespace {
@@ -280,5 +281,99 @@ TEST(SmokeBaseline, ParsesAndSelfCompares) {
   EXPECT_EQ(res.ExitCode(), nctools::kExitOk);
 }
 #endif
+
+// ---------------------------------------------------------------------------
+// Cross-run trend tracking (trend.hpp)
+
+std::string SuiteHeader(const std::string& suite) {
+  return "{\"schema\":\"pnc-bench-suite-v1\",\"suite\":\"" + suite +
+         "\",\"git_sha\":\"0000000\",\"build\":\"RelWithDebInfo\","
+         "\"platform\":\"simulated\",\"config\":{\"entries\":[]}}\n";
+}
+
+TEST(Trend, ParseHistorySplitsRunsAtSuiteHeaders) {
+  const std::string text = "ncbench banner chatter\n" + SuiteHeader("smoke") +
+                           Line("a", "\"n\":1", "\"mbps\":10") +
+                           Line("b", "\"n\":1", "\"mbps\":20") +
+                           SuiteHeader("smoke") +
+                           Line("a", "\"n\":1", "\"mbps\":11");
+  auto runs = benchlib::ParseHistory(text);
+  ASSERT_TRUE(runs.ok()) << runs.status().message();
+  ASSERT_EQ(runs.value().size(), 2u);
+  EXPECT_EQ(runs.value()[0].records.size(), 2u);
+  EXPECT_EQ(runs.value()[1].records.size(), 1u);
+  EXPECT_TRUE(runs.value()[1].header.present);
+
+  // A plain one-run results file (no header) is a valid one-run history.
+  auto solo = benchlib::ParseHistory(Line("a", "\"n\":1", "\"mbps\":10"));
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(solo.value().size(), 1u);
+
+  // A stamped record's meta carries the suite-schema string (see
+  // bench_common.hpp); it must ride with its run, not start a new one.
+  const std::string stamped =
+      SuiteHeader("smoke") +
+      "{\"schema\":\"pnc-bench-v1\",\"bench\":\"a\","
+      "\"meta\":{\"suite_schema\":\"pnc-bench-suite-v1\",\"iostat\":true},"
+      "\"config\":{\"n\":1},\"metrics\":{\"mbps\":10}}\n";
+  auto one = benchlib::ParseHistory(stamped);
+  ASSERT_TRUE(one.ok()) << one.status().message();
+  ASSERT_EQ(one.value().size(), 1u);
+  EXPECT_EQ(one.value()[0].records.size(), 1u);
+}
+
+TEST(Trend, BuildTrendFlagsInjectedRegressionDirectionAware) {
+  // Three runs; the third injects a bandwidth drop (higher-is-better metric
+  // falls 28%) and an amplification rise (lower-is-better metric grows
+  // 30%). time_ns *improves*, which must never flag.
+  std::vector<benchlib::ResultsFile> runs;
+  runs.push_back(Parse(Line("wr", "\"n\":4",
+                            "\"mbps\":100,\"amp\":1.0,\"time_ns\":100")));
+  runs.push_back(Parse(Line("wr", "\"n\":4",
+                            "\"mbps\":100,\"amp\":1.0,\"time_ns\":90")));
+  runs.push_back(Parse(Line("wr", "\"n\":4",
+                            "\"mbps\":72,\"amp\":1.3,\"time_ns\":50")));
+  const benchlib::TrendReport rep = benchlib::BuildTrend(runs, 5.0);
+  EXPECT_EQ(rep.num_runs, 3);
+  EXPECT_FALSE(rep.Passed());
+  EXPECT_EQ(rep.num_flagged, 2);
+  ASSERT_EQ(rep.series.size(), 3u);
+  for (const benchlib::TrendSeries& s : rep.series) {
+    ASSERT_EQ(s.values.size(), 3u);
+    if (s.metric == "mbps") {
+      EXPECT_TRUE(s.flagged);
+      EXPECT_DOUBLE_EQ(s.drift_pct, -28.0);
+    } else if (s.metric == "amp") {
+      EXPECT_TRUE(s.flagged);
+      EXPECT_NEAR(s.drift_pct, 30.0, 1e-9);
+    } else {
+      EXPECT_EQ(s.metric, "time_ns");
+      EXPECT_FALSE(s.flagged);  // -50% in the helpful direction
+      EXPECT_DOUBLE_EQ(s.drift_pct, -50.0);
+    }
+  }
+
+  const std::string text = benchlib::RenderTrend(rep);
+  EXPECT_NE(text.find("trend: 3 runs, 3 series, 2 drifted"),
+            std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  // Flagged series lead the report: the first row is a flagged one.
+  EXPECT_LT(text.find("REGRESSED"), text.find("time_ns"));
+}
+
+TEST(Trend, DriftWithinToleranceOrSingleSampleDoesNotFlag) {
+  std::vector<benchlib::ResultsFile> runs;
+  runs.push_back(Parse(Line("wr", "\"n\":4", "\"mbps\":100") +
+                       Line("rd", "\"n\":4", "\"mbps\":50")));
+  runs.push_back(Parse(Line("wr", "\"n\":4", "\"mbps\":97")));
+  const benchlib::TrendReport rep = benchlib::BuildTrend(runs, 5.0);
+  EXPECT_TRUE(rep.Passed());  // -3% is inside the 5% tolerance
+  EXPECT_EQ(rep.num_flagged, 0);
+
+  // "rd" appears only in run 0: a single sample never drifts.
+  const std::string text = benchlib::RenderTrend(rep);
+  EXPECT_NE(text.find("(single sample)"), std::string::npos);
+  EXPECT_EQ(text.find("REGRESSED"), std::string::npos);
+}
 
 }  // namespace

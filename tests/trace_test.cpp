@@ -27,6 +27,8 @@
 
 #include "iostat/events.hpp"
 #include "iostat/iostat.hpp"
+#include "iostat/timeline.hpp"
+#include "iostat/trace.hpp"
 #include "mpiio/file.hpp"
 #include "pnetcdf/dataset.hpp"
 #include "simmpi/runtime.hpp"
@@ -201,6 +203,85 @@ TEST_F(TraceTest, FourRankTwoPhaseWriteExactEvents) {
   EXPECT_NE(text.find("exchange"), std::string::npos);
   EXPECT_NE(text.find("file-io"), std::string::npos);
   EXPECT_NE(text.find("server 0:"), std::string::npos);
+}
+
+// ------------------------------------------ timeline counter tracks
+
+// The Chrome-trace exporter's timeline overlay, pinned byte-exactly on a
+// synthetic summary: one counter sample per bucket per series, pid 1,
+// ts = bucket * cell width in microseconds. "tl mbps sN" rides the server's
+// own tid (aligning with its "pfs server N" row); tenant/track counters
+// share tid 0.
+TEST_F(TraceTest, ChromeTraceRendersTimelineCounterTracksExactly) {
+  iostat::TimelineSummary s;
+  s.present = true;
+  s.cell_ns = 2e6;  // 2 ms cells -> bucket k samples at ts = k * 2000 us
+  s.horizon_ns = 6e6;
+  // 1 MB in bucket 0 of server 0: 1e6 bytes / 2e6 ns * 1e3 = 500 MB/s.
+  s.servers.push_back({0, 0, 1e6, 1.5e6, 3, 2});
+  s.servers.push_back({2, 1, 5e5, 1e6, 1, 1});
+  iostat::TlTenantCell t;
+  t.bucket = 1;
+  t.tenant = "steady";
+  t.p99_wait_ns = 4500;
+  s.tenants.push_back(t);
+  s.tracks.push_back(
+      {static_cast<int>(iostat::TlTrack::kExchangeMsgs), 2, 6.0});
+
+  const std::string trace = iostat::ToChromeTrace(&s);
+  EXPECT_NE(trace.find("{\"name\":\"tl mbps s0\",\"cat\":\"timeline\","
+                       "\"ph\":\"C\",\"ts\":0.000,\"pid\":1,\"tid\":0,"
+                       "\"args\":{\"mbps\":500.000}}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("{\"name\":\"tl mbps s1\",\"cat\":\"timeline\","
+                       "\"ph\":\"C\",\"ts\":4000.000,\"pid\":1,\"tid\":1,"
+                       "\"args\":{\"mbps\":250.000}}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("{\"name\":\"tl p99 wait us steady\","
+                       "\"cat\":\"timeline\",\"ph\":\"C\",\"ts\":2000.000,"
+                       "\"pid\":1,\"tid\":0,\"args\":{\"us\":4.500}}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("{\"name\":\"tl exchange_msgs\",\"cat\":\"timeline\","
+                       "\"ph\":\"C\",\"ts\":4000.000,\"pid\":1,\"tid\":0,"
+                       "\"args\":{\"value\":6.000}}"),
+            std::string::npos);
+
+  // Absent timeline (null, or present=false): no "tl " counters at all,
+  // so gated-off runs export the same trace they always did.
+  EXPECT_EQ(iostat::ToChromeTrace().find("\"tl "), std::string::npos);
+  s.present = false;
+  EXPECT_EQ(iostat::ToChromeTrace(&s).find("\"tl "), std::string::npos);
+}
+
+// End to end: the 4-rank two-phase write of the exact-events test, with the
+// timeline armed — the exported trace must carry one "tl mbps" track per
+// pfs server next to the per-grant serve spans.
+TEST_F(TraceTest, FourRankTwoPhaseTraceCarriesTimelineTracks) {
+  iostat::TimelineRegistry::Get().SetEnabled(true);
+  constexpr std::uint64_t kBlock = 256 << 10;
+  pfs::Config cfg;
+  cfg.num_servers = 2;
+  cfg.stripe_size = kBlock;
+  pfs::FileSystem fs(cfg);
+  simmpi::Run(4, [&](Comm& c) {
+    auto f = mpiio::File::Open(c, fs, "tl.dat", mpiio::kCreate | mpiio::kRdWr,
+                               simmpi::NullInfo())
+                 .value();
+    PNC_IOSTAT_BIND_RANK(c.rank());
+    std::vector<std::byte> mine(kBlock, std::byte{0x5A});
+    ASSERT_TRUE(f.WriteAtAll(static_cast<std::uint64_t>(c.rank()) * kBlock,
+                             mine.data(), kBlock, simmpi::ByteType())
+                    .ok());
+    ASSERT_TRUE(f.Close().ok());
+  });
+  const iostat::TimelineSummary tl = iostat::TimelineRegistry::Get().Snapshot();
+  iostat::TimelineRegistry::Get().SetEnabled(false);
+  ASSERT_TRUE(tl.present);
+  const std::string trace = iostat::ToChromeTrace(&tl);
+  EXPECT_NE(trace.find("\"tl mbps s0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"tl mbps s1\""), std::string::npos);
+  // The bucketed exchange track observed both non-aggregators' sends.
+  EXPECT_NE(trace.find("\"tl exchange_msgs\""), std::string::npos);
 }
 
 // ---------------------------------------------- pnc-events-v1 round trip
